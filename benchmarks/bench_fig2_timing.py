@@ -1,0 +1,111 @@
+"""Benchmark: Fig. 2 -- at-speed test timing control (double capture).
+
+Fig. 2 shows the shift window / capture window waveform: per-domain gated test
+clocks with two capture pulses one functional period apart, and a single slow
+scan-enable.  The benchmark regenerates that waveform for the Core X (2 x
+250 MHz) and Core Y (8 domains around 330 MHz) clock configurations, measures
+the scheduling + waveform generation cost, and asserts the three properties
+Section 2.2 claims:
+
+* launch-to-capture spacing equals the functional period in every domain
+  (real at-speed testing, no test-clock frequency manipulation),
+* the inter-domain gap d3 exceeds the worst inter-domain clock skew,
+* SE changes only twice per capture window and its minimum stable time is far
+  above a functional period (a single slow SE suffices for all domains).
+"""
+
+import pytest
+
+from repro.timing import (
+    CaptureWindowScheduler,
+    domain_capture_pulse_times,
+    generate_bist_waveform,
+    make_clock_tree,
+    se_minimum_stable_time,
+    se_transition_count,
+)
+
+from conftest import print_rows
+
+
+def core_x_tree():
+    return make_clock_tree({"clk1": 250.0, "clk2": 250.0}, intra_domain_skew_ns=0.1)
+
+
+def core_y_tree():
+    return make_clock_tree(
+        {f"clk{i+1}": 330.0 - 8.0 * i for i in range(8)}, intra_domain_skew_ns=0.15
+    )
+
+
+@pytest.mark.parametrize(
+    "tree_factory, label",
+    [(core_x_tree, "Core X (2 domains @ 250 MHz)"), (core_y_tree, "Core Y (8 domains ~330 MHz)")],
+    ids=["core_x", "core_y"],
+)
+def test_fig2_capture_window(benchmark, tree_factory, label):
+    """Schedule + waveform generation for one capture window."""
+    tree = tree_factory()
+
+    def build():
+        # The waveform generator places the SE falling edge after the shift
+        # window and builds the capture schedule relative to it.
+        return generate_bist_waveform(tree)
+
+    waveform, schedule = benchmark(build)
+
+    rows = []
+    for timing in schedule.domains:
+        rows.append(
+            {
+                "domain": timing.domain,
+                "freq_mhz": f"{1000.0 / timing.period_ns:.0f}",
+                "launch_ns": f"{timing.launch_time_ns:.2f}",
+                "capture_ns": f"{timing.capture_time_ns:.2f}",
+                "spacing_ns": f"{timing.launch_to_capture_ns:.2f}",
+                "at_speed": timing.is_at_speed,
+            }
+        )
+    print_rows(f"Fig. 2 capture window -- {label}", rows)
+    print_rows(
+        f"Fig. 2 window parameters -- {label}",
+        [
+            {
+                "d1_ns": schedule.d1_ns,
+                "d3_ns": f"{schedule.d3_ns:.2f}",
+                "d5_ns": schedule.d5_ns,
+                "max_skew_ns": f"{schedule.max_skew_ns:.2f}",
+                "SE_transitions": se_transition_count(waveform),
+                "SE_min_stable_ns": f"{se_minimum_stable_time(waveform):.1f}",
+            }
+        ],
+    )
+
+    # Section 2.2 properties.
+    assert schedule.validate() == []
+    for timing in schedule.domains:
+        assert timing.is_at_speed
+    for earlier, later in zip(schedule.domains, schedule.domains[1:]):
+        assert later.launch_time_ns - earlier.capture_time_ns > schedule.max_skew_ns
+    assert se_transition_count(waveform) == 2
+    fastest_period = min(tree.domain(n).period_ns for n in tree.domain_names())
+    assert se_minimum_stable_time(waveform) > 3 * fastest_period
+    for domain in tree.domain_names():
+        assert len(domain_capture_pulse_times(waveform, domain)) == 2
+
+    benchmark.extra_info["capture_window_ns"] = schedule.capture_window_length_ns
+
+
+def test_fig2_se_stays_slow_as_d_intervals_stretch(benchmark):
+    """d1/d5 can be stretched arbitrarily without breaking the at-speed property."""
+    tree = core_y_tree()
+
+    def stretched():
+        scheduler = CaptureWindowScheduler(tree, d1_ns=200.0, d5_ns=400.0)
+        return scheduler.schedule()
+
+    schedule = benchmark(stretched)
+    assert schedule.validate() == []
+    assert schedule.capture_window_length_ns > 600.0
+    for timing in schedule.domains:
+        assert timing.is_at_speed

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows it reproduces (the paper's table/figure
+content) through :func:`print_rows`, so running
+``pytest benchmarks/ --benchmark-only -s`` shows the paper-vs-measured data
+alongside the timing numbers pytest-benchmark collects.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def print_rows(title: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Print a list of row dicts as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))

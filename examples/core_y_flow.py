@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Reproduce the Core Y column of Table 1 on the scaled synthetic Core Y.
+
+Core Y in the paper is the harder case: 633 K gates, 33 K flops and **eight**
+clock domains around 330 MHz, which is exactly the situation the per-domain
+PRPG/MISR pairs and the staggered double-capture window were designed for.
+The paper reports 93.22 % coverage after 20 K random patterns and 97.58 %
+after 528 top-up patterns with 3.2 % area overhead.
+
+Run with::
+
+    python examples/core_y_flow.py [--scale 1.0] [--patterns 1024]
+"""
+
+import argparse
+
+from repro.core import LogicBistConfig, LogicBistFlow, build_table1_report, coverage_shape_checks
+from repro.cores import core_y_recipe
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--patterns", type=int, default=1024)
+    args = parser.parse_args()
+
+    recipe = core_y_recipe(scale=args.scale)
+    core = recipe.build()
+    print(f"Synthetic Core Y: {core.circuit.gate_count()} gates, "
+          f"{core.circuit.flop_count()} flops, "
+          f"{len(core.circuit.clock_domains())} clock domains")
+
+    config = LogicBistConfig(
+        total_scan_chains=recipe.total_scan_chains,
+        observation_point_budget=recipe.observation_point_budget,
+        tpi_profile_patterns=recipe.tpi_profile_patterns,
+        random_patterns=args.patterns,
+        prpg_length=recipe.prpg_length,
+        clock_frequencies_mhz=recipe.clock_frequencies_mhz,
+    )
+    result = LogicBistFlow(config).run(core.circuit, core_name=recipe.name)
+
+    print()
+    print(build_table1_report(result, recipe.paper_reference).to_text())
+    print()
+    print("Per-domain STUMPS structure (one PRPG/MISR pair per clock domain):")
+    for domain, stats in result.stumps.statistics()["per_domain"].items():
+        print(f"  {domain}: {stats['chains']} chains, PRPG {stats['prpg_length']} bits, "
+              f"MISR {stats['misr_length']} bits")
+    print()
+    print("Capture order across the eight domains (staggered, d3 between groups):")
+    for timing in result.capture_schedule.domains:
+        print(f"  {timing.domain}: launch {timing.launch_time_ns:7.2f} ns, "
+              f"capture {timing.capture_time_ns:7.2f} ns "
+              f"({1000.0 / timing.period_ns:.0f} MHz at speed)")
+    print()
+    print("Shape agreement with the paper:")
+    for check, passed in coverage_shape_checks(result, recipe.paper_reference).items():
+        print(f"  [{'ok' if passed else '!!'}] {check}")
+
+
+if __name__ == "__main__":
+    main()

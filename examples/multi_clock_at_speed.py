@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""At-speed test timing for a multi-clock design (paper Section 2.2, Fig. 2).
+
+The example builds the clock model of a design with several unrelated clock
+domains, produces the double-capture capture-window schedule, renders the
+gated-test-clock / scan-enable waveform as ASCII (the Fig. 2 picture), and
+then shows the two physical-design claims:
+
+* the launch-to-capture spacing equals each domain's functional period -- no
+  test-clock frequency manipulation, i.e. *real* at-speed testing,
+* the single scan-enable signal is slow: its minimum stable time is orders of
+  magnitude longer than a functional clock period,
+* the shift-path clocking technique of Fig. 3 (PRPG/MISR clock ahead of the
+  chain clock) leaves only hold violations on the PRPG side and only setup
+  violations on the MISR side, both of which have cheap fixes.
+
+Run with::
+
+    python examples/multi_clock_at_speed.py
+"""
+
+from repro.timing import (
+    CaptureWindowScheduler,
+    ShiftPathParameters,
+    generate_bist_waveform,
+    make_clock_tree,
+    monte_carlo_violations,
+    se_minimum_stable_time,
+)
+
+
+def main() -> None:
+    # A design with four clock domains at unrelated frequencies (the situation
+    # where previous schemes required a test-only clock relation).
+    tree = make_clock_tree(
+        {"cpu": 330.0, "bus": 200.0, "ddr": 266.0, "io": 100.0},
+        intra_domain_skew_ns=0.15,
+    )
+
+    scheduler = CaptureWindowScheduler(tree, d1_ns=15.0, d5_ns=15.0)
+    schedule = scheduler.schedule()
+    print("Capture-window schedule (double capture per domain):")
+    for timing in schedule.domains:
+        print(
+            f"  {timing.domain:>4}: launch {timing.launch_time_ns:7.2f} ns, "
+            f"capture {timing.capture_time_ns:7.2f} ns, period {timing.period_ns:5.2f} ns "
+            f"-> at speed: {timing.is_at_speed}"
+        )
+    print(f"  d1 = {schedule.d1_ns} ns, d3 = {schedule.d3_ns:.2f} ns "
+          f"(max inter-domain skew {schedule.max_skew_ns:.2f} ns), d5 = {schedule.d5_ns} ns")
+    print(f"  schedule violations: {schedule.validate() or 'none'}")
+
+    waveform, schedule = generate_bist_waveform(tree, schedule=None)
+    print()
+    print("Fig. 2 style waveform (one '#' column per 2 ns):")
+    print(waveform.to_ascii(resolution_ns=2.0))
+    fastest = min(tree.domain(n).period_ns for n in tree.domain_names())
+    print()
+    print(f"SE minimum stable time: {se_minimum_stable_time(waveform):.1f} ns "
+          f"(fastest functional period: {fastest:.2f} ns)")
+
+    # Fig. 3: shift-path timing under uncontrolled vs phase-advanced BIST clock.
+    parameters = ShiftPathParameters(shift_period_ns=6.0)
+    uncontrolled = monte_carlo_violations(parameters, skew_range_ns=2.0, trials=500)
+    advanced = monte_carlo_violations(
+        parameters, skew_range_ns=2.0, trials=500, bist_clock_advance_ns=2.0
+    )
+    print()
+    print("Shift-path violations over 500 skew samples (Fig. 3 technique):")
+    print(f"  uncontrolled phase : unfixable violation mixes in {uncontrolled.unfixable} trials")
+    print(f"  PRPG/MISR clock ahead: unfixable violation mixes in {advanced.unfixable} trials "
+          "(hold on the PRPG side is fixed by re-timing flops, setup on the MISR side by "
+          "omitting the space compactor)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+The pyproject.toml [project] table carries the metadata; this file exists so
+that ``pip install -e .`` works with older setuptools/pip stacks (legacy
+``setup.py develop`` editable installs) in offline environments without the
+``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "At-Speed Logic BIST for IP Cores (DATE 2005) reproduction: netlist, "
+        "fault simulation, ATPG, scan, STUMPS logic BIST, double-capture at-speed timing"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

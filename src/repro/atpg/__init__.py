@@ -1,0 +1,37 @@
+"""Deterministic test generation (S4).
+
+Public API:
+
+* :class:`~repro.atpg.podem.PodemAtpg` -- PODEM ATPG over the full-scan view,
+* :class:`~repro.atpg.podem.TestCube` / :class:`~repro.atpg.podem.AtpgResult`,
+* :class:`~repro.atpg.topup.TopUpAtpg` -- the top-up pattern campaign used by
+  the logic BIST flow (Table 1's "# of Top-Up Patterns" / "Fault Coverage 2"),
+* the static compaction helpers in :mod:`repro.atpg.compaction`,
+* the five-valued D-calculus values in :mod:`repro.atpg.dcalc` and the
+  good/faulty implication engine in :mod:`repro.atpg.implication`.
+"""
+
+from .dcalc import D, D_BAR, ONE, X, ZERO, Value5, from_symbol
+from .implication import FaultedEvaluator
+from .podem import AtpgOutcome, AtpgResult, PodemAtpg, TestCube
+from .compaction import merge_compatible_cubes, reverse_order_compaction
+from .topup import TopUpAtpg, TopUpResult
+
+__all__ = [
+    "Value5",
+    "ZERO",
+    "ONE",
+    "X",
+    "D",
+    "D_BAR",
+    "from_symbol",
+    "FaultedEvaluator",
+    "AtpgOutcome",
+    "AtpgResult",
+    "PodemAtpg",
+    "TestCube",
+    "merge_compatible_cubes",
+    "reverse_order_compaction",
+    "TopUpAtpg",
+    "TopUpResult",
+]

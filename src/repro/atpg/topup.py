@@ -1,0 +1,167 @@
+"""Top-up ATPG: deterministic patterns for the faults random BIST missed.
+
+This is the "# of Top-Up Patterns / Fault Coverage 2" row of Table 1: after
+the 20 K random patterns plateau (Fault Coverage 1), the remaining
+random-pattern-resistant faults are targeted one by one with PODEM, the
+resulting cubes are compacted, X bits are random-filled, and every new pattern
+is fault-simulated against the whole remaining fault population (with
+dropping) so that one deterministic pattern usually retires many faults.
+
+The top-up patterns are applied through the input selector of the BIST
+architecture (Fig. 1) -- in silicon they would be scanned in through the
+Boundary-Scan port instead of coming from the PRPG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..faults.fault_list import FaultList
+from ..faults.fault_sim import FaultSimulator
+from ..faults.models import StuckAtFault
+from ..netlist.circuit import Circuit
+from .compaction import merge_compatible_cubes
+from .podem import AtpgOutcome, PodemAtpg, TestCube
+
+
+@dataclass
+class TopUpResult:
+    """Outcome of a top-up ATPG campaign."""
+
+    patterns: list[dict[str, int]]
+    cubes: list[TestCube]
+    attempted_faults: int = 0
+    successful_faults: int = 0
+    untestable_faults: int = 0
+    aborted_faults: int = 0
+    coverage_before: float = 0.0
+    coverage_after: float = 0.0
+    backtracks: int = 0
+
+    @property
+    def pattern_count(self) -> int:
+        """Number of top-up patterns produced (post compaction and random fill)."""
+        return len(self.patterns)
+
+
+@dataclass
+class TopUpAtpg:
+    """Driver that turns undetected faults into a compacted top-up pattern set."""
+
+    circuit: Circuit
+    observe_nets: Optional[Sequence[str]] = None
+    backtrack_limit: int = 200
+    seed: int = 2005
+    #: Upper bound on targeted faults (None = all undetected faults).
+    max_faults: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def run(self, fault_list: FaultList) -> TopUpResult:
+        """Generate top-up patterns for the undetected faults in ``fault_list``.
+
+        The fault list is updated in place: faults covered by the generated
+        patterns are marked detected, proven-redundant faults are marked
+        untestable, and aborted faults are marked aborted.
+        """
+        atpg = PodemAtpg(self.circuit, self.observe_nets, self.backtrack_limit)
+        simulator = FaultSimulator(self.circuit, self.observe_nets)
+        result = TopUpResult(patterns=[], cubes=[], coverage_before=fault_list.coverage())
+
+        targets = [f for f in fault_list.undetected() if isinstance(f, StuckAtFault)]
+        if self.max_faults is not None:
+            targets = targets[: self.max_faults]
+
+        stimulus_nets = self.circuit.stimulus_nets()
+        pattern_base = 1_000_000  # top-up pattern indices live in their own range
+        for fault in targets:
+            # The fault may have been covered by a pattern generated for an
+            # earlier fault in this very loop.
+            if fault not in set(fault_list.undetected()):
+                continue
+            result.attempted_faults += 1
+            attempt = atpg.generate(fault)
+            result.backtracks += attempt.backtracks
+            if attempt.outcome is AtpgOutcome.UNTESTABLE:
+                fault_list.mark_untestable(fault)
+                result.untestable_faults += 1
+                continue
+            if attempt.outcome is AtpgOutcome.ABORTED:
+                fault_list.mark_aborted(fault)
+                result.aborted_faults += 1
+                continue
+            result.successful_faults += 1
+            result.cubes.append(attempt.cube)
+            pattern = attempt.cube.fill_random(self._rng, stimulus_nets)
+            pattern_index = pattern_base + len(result.patterns)
+            simulator.simulate(
+                fault_list, [pattern], drop_detected=True, pattern_offset=pattern_index
+            )
+            result.patterns.append(pattern)
+
+        result.coverage_after = fault_list.coverage()
+        return result
+
+    def run_with_compaction(self, fault_list: FaultList) -> TopUpResult:
+        """Like :meth:`run`, but merge compatible cubes into the final pattern set.
+
+        The generation loop is incremental (a scratch fault list drops faults
+        already covered by earlier cubes, so PODEM is only invoked for faults
+        that still need a pattern).  The collected cubes are then merged,
+        random-filled, and the *merged* patterns are fault-simulated against
+        the real fault list -- so both the reported pattern count and the
+        final coverage describe exactly the pattern set that would be scanned
+        into silicon.
+        """
+        atpg = PodemAtpg(self.circuit, self.observe_nets, self.backtrack_limit)
+        result = TopUpResult(patterns=[], cubes=[], coverage_before=fault_list.coverage())
+
+        targets = [f for f in fault_list.undetected() if isinstance(f, StuckAtFault)]
+        if self.max_faults is not None:
+            targets = targets[: self.max_faults]
+
+        # Scratch list used only to skip faults already covered by a cube
+        # generated earlier in this loop.
+        scratch = FaultList(targets)
+        scratch_sim = FaultSimulator(self.circuit, self.observe_nets)
+        stimulus_nets = self.circuit.stimulus_nets()
+        cubes: list[TestCube] = []
+        untestable: list[StuckAtFault] = []
+        aborted: list[StuckAtFault] = []
+        for fault in targets:
+            if fault not in set(scratch.undetected()):
+                continue
+            result.attempted_faults += 1
+            attempt = atpg.generate(fault)
+            result.backtracks += attempt.backtracks
+            if attempt.outcome is AtpgOutcome.UNTESTABLE:
+                untestable.append(fault)
+                result.untestable_faults += 1
+                continue
+            if attempt.outcome is AtpgOutcome.ABORTED:
+                aborted.append(fault)
+                result.aborted_faults += 1
+                continue
+            result.successful_faults += 1
+            cubes.append(attempt.cube)
+            filled = attempt.cube.fill_random(self._rng, stimulus_nets)
+            scratch_sim.simulate(scratch, [filled], drop_detected=True)
+
+        result.cubes = cubes
+        merged = merge_compatible_cubes(cubes)
+        patterns = [cube.fill_random(self._rng, stimulus_nets) for cube in merged]
+
+        # Apply the final (compacted) pattern set to the real fault list.
+        simulator = FaultSimulator(self.circuit, self.observe_nets)
+        simulator.simulate(fault_list, patterns, drop_detected=True, pattern_offset=1_000_000)
+        for fault in untestable:
+            fault_list.mark_untestable(fault)
+        for fault in aborted:
+            fault_list.mark_aborted(fault)
+        result.patterns = patterns
+        result.coverage_after = fault_list.coverage()
+        return result

@@ -1,0 +1,71 @@
+"""BIST components (S8): PRPG, phase shifter, MISR, STUMPS, controller, Boundary-Scan.
+
+Public API:
+
+* :class:`~repro.bist.lfsr.FibonacciLfsr` / :class:`~repro.bist.lfsr.GaloisLfsr`
+  / :class:`~repro.bist.lfsr.Prpg`,
+* :class:`~repro.bist.phase_shifter.PhaseShifter`,
+* :class:`~repro.bist.space.SpaceExpander` / :class:`~repro.bist.space.SpaceCompactor`,
+* :class:`~repro.bist.misr.Misr` and the signature helpers,
+* :class:`~repro.bist.stumps.StumpsArchitecture` / :class:`~repro.bist.stumps.StumpsDomain`,
+* :class:`~repro.bist.controller.BistController`,
+* :class:`~repro.bist.input_selector.InputSelector`,
+* :class:`~repro.bist.boundary_scan.TapController`,
+* the primitive-polynomial table in :mod:`repro.bist.polynomials`.
+"""
+
+from .polynomials import (
+    PRIMITIVE_POLYNOMIALS,
+    is_primitive,
+    polynomial_degree,
+    polynomial_str,
+    polynomial_taps,
+    polynomial_to_mask,
+    primitive_polynomial,
+)
+from .lfsr import FibonacciLfsr, GaloisLfsr, Prpg, weighted_bits
+from .phase_shifter import PhaseShifter, identity_phase_shifter
+from .space import SpaceCompactor, SpaceExpander, identity_compactor
+from .misr import (
+    Misr,
+    estimate_aliasing_rate,
+    golden_signature,
+    signatures_differ,
+)
+from .stumps import StumpsArchitecture, StumpsDomain, StumpsDomainConfig
+from .controller import BistController, BistState, ControllerOutputs
+from .input_selector import InputSelector, InputSource
+from .boundary_scan import DataRegister, TapController, TapState
+
+__all__ = [
+    "PRIMITIVE_POLYNOMIALS",
+    "is_primitive",
+    "polynomial_degree",
+    "polynomial_str",
+    "polynomial_taps",
+    "polynomial_to_mask",
+    "primitive_polynomial",
+    "FibonacciLfsr",
+    "GaloisLfsr",
+    "Prpg",
+    "weighted_bits",
+    "PhaseShifter",
+    "identity_phase_shifter",
+    "SpaceCompactor",
+    "SpaceExpander",
+    "identity_compactor",
+    "Misr",
+    "estimate_aliasing_rate",
+    "golden_signature",
+    "signatures_differ",
+    "StumpsArchitecture",
+    "StumpsDomain",
+    "StumpsDomainConfig",
+    "BistController",
+    "BistState",
+    "ControllerOutputs",
+    "InputSelector",
+    "InputSource",
+    "TapController",
+    "TapState",
+]

@@ -1,0 +1,226 @@
+"""Behavioural IEEE 1149.1 (JTAG / Boundary-Scan) access port.
+
+The paper uses the standard Boundary-Scan interface for two jobs only:
+loading initial test data (PRPG seeds, pattern counts, golden signatures) and
+downloading internal state (MISR signatures) for fault diagnosis.  This module
+provides a behavioural TAP controller with the full 16-state FSM, an
+instruction register, and a small register file holding the BIST-related data
+registers, which is all the flow needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TapState(enum.Enum):
+    """The 16 states of the IEEE 1149.1 TAP controller."""
+
+    TEST_LOGIC_RESET = "test-logic-reset"
+    RUN_TEST_IDLE = "run-test-idle"
+    SELECT_DR_SCAN = "select-dr-scan"
+    CAPTURE_DR = "capture-dr"
+    SHIFT_DR = "shift-dr"
+    EXIT1_DR = "exit1-dr"
+    PAUSE_DR = "pause-dr"
+    EXIT2_DR = "exit2-dr"
+    UPDATE_DR = "update-dr"
+    SELECT_IR_SCAN = "select-ir-scan"
+    CAPTURE_IR = "capture-ir"
+    SHIFT_IR = "shift-ir"
+    EXIT1_IR = "exit1-ir"
+    PAUSE_IR = "pause-ir"
+    EXIT2_IR = "exit2-ir"
+    UPDATE_IR = "update-ir"
+
+
+#: State transition table: state -> (next state when TMS=0, next state when TMS=1).
+_TRANSITIONS: dict[TapState, tuple[TapState, TapState]] = {
+    TapState.TEST_LOGIC_RESET: (TapState.RUN_TEST_IDLE, TapState.TEST_LOGIC_RESET),
+    TapState.RUN_TEST_IDLE: (TapState.RUN_TEST_IDLE, TapState.SELECT_DR_SCAN),
+    TapState.SELECT_DR_SCAN: (TapState.CAPTURE_DR, TapState.SELECT_IR_SCAN),
+    TapState.CAPTURE_DR: (TapState.SHIFT_DR, TapState.EXIT1_DR),
+    TapState.SHIFT_DR: (TapState.SHIFT_DR, TapState.EXIT1_DR),
+    TapState.EXIT1_DR: (TapState.PAUSE_DR, TapState.UPDATE_DR),
+    TapState.PAUSE_DR: (TapState.PAUSE_DR, TapState.EXIT2_DR),
+    TapState.EXIT2_DR: (TapState.SHIFT_DR, TapState.UPDATE_DR),
+    TapState.UPDATE_DR: (TapState.RUN_TEST_IDLE, TapState.SELECT_DR_SCAN),
+    TapState.SELECT_IR_SCAN: (TapState.CAPTURE_IR, TapState.TEST_LOGIC_RESET),
+    TapState.CAPTURE_IR: (TapState.SHIFT_IR, TapState.EXIT1_IR),
+    TapState.SHIFT_IR: (TapState.SHIFT_IR, TapState.EXIT1_IR),
+    TapState.EXIT1_IR: (TapState.PAUSE_IR, TapState.UPDATE_IR),
+    TapState.PAUSE_IR: (TapState.PAUSE_IR, TapState.EXIT2_IR),
+    TapState.EXIT2_IR: (TapState.SHIFT_IR, TapState.UPDATE_IR),
+    TapState.UPDATE_IR: (TapState.RUN_TEST_IDLE, TapState.SELECT_DR_SCAN),
+}
+
+
+@dataclass
+class DataRegister:
+    """One addressable data register behind the TAP."""
+
+    name: str
+    width: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("register width must be positive")
+        self.value &= (1 << self.width) - 1
+
+
+#: Standard + BIST-specific instructions and the data register each selects.
+DEFAULT_INSTRUCTIONS: dict[str, str] = {
+    "BYPASS": "bypass",
+    "IDCODE": "idcode",
+    "LBIST_SEED": "lbist_seed",
+    "LBIST_CONTROL": "lbist_control",
+    "LBIST_SIGNATURE": "lbist_signature",
+}
+
+
+class TapController:
+    """Behavioural TAP controller with a small BIST register file."""
+
+    def __init__(self, idcode: int = 0x1B15_7001, instruction_width: int = 4) -> None:
+        self.state = TapState.TEST_LOGIC_RESET
+        self.instruction_width = instruction_width
+        self.instruction_shift = 0
+        self.current_instruction = "IDCODE"
+        self.registers: dict[str, DataRegister] = {
+            "bypass": DataRegister("bypass", 1),
+            "idcode": DataRegister("idcode", 32, idcode),
+            "lbist_seed": DataRegister("lbist_seed", 64),
+            "lbist_control": DataRegister("lbist_control", 32),
+            "lbist_signature": DataRegister("lbist_signature", 128),
+        }
+        self.instructions = dict(DEFAULT_INSTRUCTIONS)
+        self._instruction_codes = {
+            name: index for index, name in enumerate(sorted(self.instructions))
+        }
+        self._dr_shift = 0
+        self._dr_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Raw pin-level interface
+    # ------------------------------------------------------------------ #
+    def clock(self, tms: int, tdi: int = 0) -> int:
+        """One TCK rising edge; returns TDO."""
+        tdo = self._tdo_before_shift()
+        state = self.state
+        if state is TapState.SHIFT_IR:
+            self.instruction_shift = (self.instruction_shift >> 1) | (
+                (tdi & 1) << (self.instruction_width - 1)
+            )
+        elif state is TapState.SHIFT_DR:
+            register = self._selected_register()
+            register.value = (register.value >> 1) | ((tdi & 1) << (register.width - 1))
+            self._dr_count += 1
+        elif state is TapState.CAPTURE_IR:
+            self.instruction_shift = 0b01  # mandated capture value pattern xx01
+        elif state is TapState.UPDATE_IR:
+            pass
+        self.state = _TRANSITIONS[state][1 if tms else 0]
+        if self.state is TapState.UPDATE_IR:
+            self._update_instruction()
+        return tdo
+
+    def _tdo_before_shift(self) -> int:
+        if self.state is TapState.SHIFT_IR:
+            return self.instruction_shift & 1
+        if self.state is TapState.SHIFT_DR:
+            return self._selected_register().value & 1
+        return 0
+
+    def _selected_register(self) -> DataRegister:
+        register_name = self.instructions.get(self.current_instruction, "bypass")
+        return self.registers[register_name]
+
+    def _update_instruction(self) -> None:
+        code = self.instruction_shift & ((1 << self.instruction_width) - 1)
+        for name, assigned in self._instruction_codes.items():
+            if assigned == code:
+                self.current_instruction = name
+                return
+        self.current_instruction = "BYPASS"
+
+    # ------------------------------------------------------------------ #
+    # Convenience (protocol-level) interface
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Hold TMS high for five clocks: guaranteed Test-Logic-Reset."""
+        for _ in range(5):
+            self.clock(tms=1)
+        self.current_instruction = "IDCODE"
+
+    def load_instruction(self, name: str) -> None:
+        """Drive the TAP through an IR scan loading ``name``."""
+        if name not in self.instructions:
+            raise KeyError(f"unknown instruction {name!r}")
+        code = self._instruction_codes[name]
+        # From Run-Test/Idle: 1,1,0,0 reaches Shift-IR.
+        self._goto_run_test_idle()
+        for tms in (1, 1, 0, 0):
+            self.clock(tms=tms)
+        for bit_index in range(self.instruction_width):
+            last = bit_index == self.instruction_width - 1
+            self.clock(tms=1 if last else 0, tdi=(code >> bit_index) & 1)
+        self.clock(tms=1)  # Exit1-IR -> Update-IR
+        self.clock(tms=0)  # Update-IR -> Run-Test/Idle
+
+    def shift_data(self, value: int, width: int) -> int:
+        """Drive a DR scan of ``width`` bits; returns the bits shifted out."""
+        self._goto_run_test_idle()
+        for tms in (1, 0, 0):
+            self.clock(tms=tms)
+        out = 0
+        for bit_index in range(width):
+            last = bit_index == width - 1
+            tdo = self.clock(tms=1 if last else 0, tdi=(value >> bit_index) & 1)
+            out |= tdo << bit_index
+        self.clock(tms=1)  # Exit1-DR -> Update-DR
+        self.clock(tms=0)  # Update-DR -> Run-Test/Idle
+        return out
+
+    def _goto_run_test_idle(self) -> None:
+        guard = 0
+        while self.state is not TapState.RUN_TEST_IDLE:
+            # TMS=0 from reset reaches Run-Test/Idle; from other states a
+            # reset followed by TMS=0 always works.
+            if self.state is TapState.TEST_LOGIC_RESET:
+                self.clock(tms=0)
+            else:
+                self.clock(tms=1)
+            guard += 1
+            if guard > 16:
+                raise RuntimeError("TAP failed to reach Run-Test/Idle")
+
+    # ------------------------------------------------------------------ #
+    # BIST-level helpers
+    # ------------------------------------------------------------------ #
+    def write_register(self, name: str, value: int) -> None:
+        """Protocol-level write of a named BIST data register."""
+        register = self.registers[self.instructions[self._instruction_for(name)]]
+        self.load_instruction(self._instruction_for(name))
+        self.shift_data(value, register.width)
+
+    def read_register(self, name: str) -> int:
+        """Protocol-level read of a named BIST data register."""
+        instruction = self._instruction_for(name)
+        register = self.registers[self.instructions[instruction]]
+        self.load_instruction(instruction)
+        return self.shift_data(0, register.width)
+
+    def set_register_value(self, name: str, value: int) -> None:
+        """Back-door load used by the flow to expose signatures for readout."""
+        instruction = self._instruction_for(name)
+        register = self.registers[self.instructions[instruction]]
+        register.value = value & ((1 << register.width) - 1)
+
+    def _instruction_for(self, register_name: str) -> str:
+        for instruction, target in self.instructions.items():
+            if target == register_name or instruction == register_name:
+                return instruction
+        raise KeyError(f"no instruction selects register {register_name!r}")

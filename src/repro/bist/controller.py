@@ -1,0 +1,143 @@
+"""BIST controller: the FSM that sequences shift and capture windows.
+
+The controller block of Fig. 1 is a small state machine driven by ``Start``:
+
+* ``IDLE``     -- waiting for Start,
+* ``INIT``     -- load PRPG seeds / reset MISRs (through Boundary-Scan),
+* ``SHIFT``    -- SE high, shift clocks running for ``max_chain_length`` cycles,
+* ``CAPTURE``  -- SE low, the double-capture pulse train plays out,
+* ``UNLOAD``   -- the final response is shifted out into the MISRs (overlapped
+  with the next SHIFT in hardware; modelled separately here for clarity),
+* ``COMPARE``  -- signatures compared against the golden values,
+* ``DONE``     -- Finish asserted, Result reflects the comparison.
+
+The controller is deliberately *data-free*: it owns pattern counting and
+handshake signals and delegates data movement to the STUMPS architecture and
+the capture scheduler, mirroring how the hardware splits responsibilities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+
+class BistState(enum.Enum):
+    """Controller FSM states."""
+
+    IDLE = "idle"
+    INIT = "init"
+    SHIFT = "shift"
+    CAPTURE = "capture"
+    UNLOAD = "unload"
+    COMPARE = "compare"
+    DONE = "done"
+
+
+@dataclass
+class ControllerOutputs:
+    """Control signals the FSM drives in its current state."""
+
+    scan_enable: int
+    shift_clocks_active: bool
+    capture_window_active: bool
+    finish: int
+    result_valid: int
+
+
+@dataclass
+class BistController:
+    """Cycle-free behavioural model of the BIST controller FSM.
+
+    The controller is advanced window by window rather than clock by clock:
+    one :meth:`advance` call per shift or capture window, which is the
+    granularity every other model in the library works at.  A cycle-accurate
+    trace of SE and the test clocks inside a window comes from
+    :mod:`repro.timing.waveform_gen`.
+    """
+
+    total_patterns: int
+    state: BistState = BistState.IDLE
+    patterns_done: int = 0
+    golden_signatures: Optional[Mapping[str, int]] = None
+    observed_signatures: dict[str, int] = field(default_factory=dict)
+    result: Optional[bool] = None
+
+    def start(self) -> None:
+        """Pulse the Start input."""
+        if self.state is not BistState.IDLE:
+            raise RuntimeError("controller already running")
+        self.state = BistState.INIT
+        self.patterns_done = 0
+        self.observed_signatures = {}
+        self.result = None
+
+    def outputs(self) -> ControllerOutputs:
+        """Control signals for the current state."""
+        return ControllerOutputs(
+            scan_enable=1 if self.state in (BistState.SHIFT, BistState.UNLOAD) else 0,
+            shift_clocks_active=self.state in (BistState.SHIFT, BistState.UNLOAD),
+            capture_window_active=self.state is BistState.CAPTURE,
+            finish=1 if self.state is BistState.DONE else 0,
+            result_valid=1 if self.state is BistState.DONE else 0,
+        )
+
+    def advance(self) -> BistState:
+        """Move to the next window; returns the new state."""
+        if self.state is BistState.IDLE:
+            raise RuntimeError("controller not started")
+        if self.state is BistState.INIT:
+            self.state = BistState.SHIFT
+        elif self.state is BistState.SHIFT:
+            self.state = BistState.CAPTURE
+        elif self.state is BistState.CAPTURE:
+            self.patterns_done += 1
+            if self.patterns_done >= self.total_patterns:
+                self.state = BistState.UNLOAD
+            else:
+                self.state = BistState.SHIFT
+        elif self.state is BistState.UNLOAD:
+            self.state = BistState.COMPARE
+        elif self.state is BistState.COMPARE:
+            self._compare()
+            self.state = BistState.DONE
+        return self.state
+
+    def record_signatures(self, signatures: Mapping[str, int]) -> None:
+        """Latch the observed per-domain signatures (called during UNLOAD)."""
+        self.observed_signatures = dict(signatures)
+
+    def _compare(self) -> None:
+        if self.golden_signatures is None:
+            self.result = None
+            return
+        self.result = all(
+            self.observed_signatures.get(domain) == expected
+            for domain, expected in self.golden_signatures.items()
+        )
+
+    @property
+    def finished(self) -> bool:
+        """True once the session reached DONE."""
+        return self.state is BistState.DONE
+
+    @property
+    def passed(self) -> Optional[bool]:
+        """Result output: True = signatures matched, None = no golden reference."""
+        return self.result
+
+    def run_to_completion(self) -> int:
+        """Advance until DONE; returns the number of window transitions taken.
+
+        Only meaningful when the caller does not need to interleave data
+        movement (e.g. FSM unit tests); the real flow interleaves
+        :meth:`advance` with STUMPS pattern generation and capture.
+        """
+        transitions = 0
+        while not self.finished:
+            self.advance()
+            transitions += 1
+            if transitions > 4 * self.total_patterns + 16:
+                raise RuntimeError("controller failed to terminate")
+        return transitions

@@ -1,0 +1,67 @@
+"""Input selector: random PRPG patterns vs. deterministic top-up patterns.
+
+Fig. 1 places an *input selector* between the TPG and the core-under-test so
+that the same scan infrastructure can apply either
+
+* random patterns generated on-chip by the PRPGs (the bulk of the session), or
+* deterministic top-up ATPG patterns delivered from outside (through the
+  Boundary-Scan port) that close the coverage gap (Table 1's "# of Top-Up
+  Patterns" row).
+
+This behavioural model keeps an explicit queue of external patterns and a
+handle to the STUMPS architecture, and hands out scan-load states in whichever
+mode the controller selects.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Mapping, Optional, Sequence
+
+from .stumps import StumpsArchitecture
+
+
+class InputSource(enum.Enum):
+    """Which source feeds the scan chains."""
+
+    #: On-chip PRPG + phase shifter (pure self-test).
+    PRPG = "prpg"
+    #: Externally supplied deterministic patterns (top-up ATPG).
+    EXTERNAL = "external"
+
+
+@dataclass
+class InputSelector:
+    """Multiplexer between the PRPG patterns and an external pattern queue."""
+
+    stumps: StumpsArchitecture
+    mode: InputSource = InputSource.PRPG
+    external_queue: Deque[Mapping[str, int]] = field(default_factory=deque)
+
+    def select(self, mode: InputSource) -> None:
+        """Switch the pattern source."""
+        self.mode = mode
+
+    def load_external_patterns(self, patterns: Sequence[Mapping[str, int]]) -> None:
+        """Queue deterministic patterns (scan-cell name -> value)."""
+        for pattern in patterns:
+            self.external_queue.append(dict(pattern))
+
+    @property
+    def external_remaining(self) -> int:
+        """Number of queued external patterns not yet applied."""
+        return len(self.external_queue)
+
+    def next_pattern(self) -> dict[str, int]:
+        """The scan-load state for the next shift window in the current mode."""
+        if self.mode is InputSource.PRPG:
+            return self.stumps.generate_pattern()
+        if not self.external_queue:
+            raise RuntimeError("external pattern queue is empty")
+        return dict(self.external_queue.popleft())
+
+    def next_patterns(self, count: int) -> list[dict[str, int]]:
+        """Convenience: the next ``count`` patterns in the current mode."""
+        return [self.next_pattern() for _ in range(count)]

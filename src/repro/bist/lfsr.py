@@ -1,0 +1,208 @@
+"""Linear feedback shift registers: the PRPGs of the STUMPS architecture.
+
+Both canonical forms are implemented:
+
+* :class:`FibonacciLfsr` -- external-XOR form, the textbook STUMPS PRPG,
+* :class:`GaloisLfsr` -- internal-XOR form, one XOR level per stage (faster
+  silicon, identical sequence up to a state mapping).
+
+Both walk the full ``2**length - 1`` non-zero state space when built from a
+primitive polynomial (:mod:`repro.bist.polynomials`).  The PRPG drives one bit
+per scan chain per shift cycle, after the phase shifter decorrelates adjacent
+chains (:mod:`repro.bist.phase_shifter`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from .polynomials import (
+    polynomial_degree,
+    polynomial_taps,
+    primitive_polynomial,
+)
+
+
+class _LfsrBase:
+    """State storage and iteration helpers shared by both LFSR forms."""
+
+    def __init__(
+        self,
+        length: int,
+        polynomial: Optional[tuple[int, ...]] = None,
+        seed: int = 1,
+    ) -> None:
+        if length < 2:
+            raise ValueError("LFSR length must be at least 2")
+        self.length = length
+        self.polynomial = polynomial if polynomial is not None else primitive_polynomial(length)
+        if polynomial_degree(self.polynomial) != length:
+            raise ValueError(
+                f"polynomial degree {polynomial_degree(self.polynomial)} "
+                f"does not match LFSR length {length}"
+            )
+        self._mask = (1 << length) - 1
+        self.state = 0
+        self.reseed(seed)
+
+    # ------------------------------------------------------------------ #
+    # State management
+    # ------------------------------------------------------------------ #
+    def reseed(self, seed: int) -> None:
+        """Load a new seed (must be non-zero after masking to the register width)."""
+        seed &= self._mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.state = seed
+
+    def state_bits(self) -> list[int]:
+        """Current state as a list of bits, index 0 = stage 0."""
+        return [(self.state >> i) & 1 for i in range(self.length)]
+
+    def bit(self, index: int) -> int:
+        """Value of one stage."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"stage {index} out of range for length {self.length}")
+        return (self.state >> index) & 1
+
+    # ------------------------------------------------------------------ #
+    # Iteration
+    # ------------------------------------------------------------------ #
+    def step(self) -> int:  # pragma: no cover - overridden
+        """Advance one clock; returns the serial output bit."""
+        raise NotImplementedError
+
+    def run(self, cycles: int) -> list[int]:
+        """Advance ``cycles`` clocks, returning the serial output bit stream."""
+        return [self.step() for _ in range(cycles)]
+
+    def states(self, cycles: int) -> Iterator[int]:
+        """Yield the state value after each of ``cycles`` steps."""
+        for _ in range(cycles):
+            self.step()
+            yield self.state
+
+    def period(self, limit: Optional[int] = None) -> int:
+        """Number of steps until the state repeats (exhaustive walk).
+
+        ``limit`` guards against non-maximal polynomials; defaults to
+        ``2**length`` which always terminates.
+        """
+        limit = limit if limit is not None else (1 << self.length)
+        start = self.state
+        count = 0
+        while count < limit:
+            self.step()
+            count += 1
+            if self.state == start:
+                return count
+        return count
+
+
+class FibonacciLfsr(_LfsrBase):
+    """External-XOR (Fibonacci) LFSR.
+
+    The new bit entering stage ``length-1`` is the XOR of the tap stages; the
+    serial output is stage 0.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        polynomial: Optional[tuple[int, ...]] = None,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(length, polynomial, seed)
+        # Tap exponent e corresponds to stage e-1 feeding the XOR (plus the
+        # constant term handled by stage 0 / output bit).
+        self._tap_stages = [e for e in polynomial_taps(self.polynomial) if e > 0]
+
+    def step(self) -> int:
+        output = self.state & 1
+        feedback = output
+        for exponent in self._tap_stages:
+            feedback ^= (self.state >> exponent) & 1
+        self.state = (self.state >> 1) | (feedback << (self.length - 1))
+        return output
+
+
+class GaloisLfsr(_LfsrBase):
+    """Internal-XOR (Galois) LFSR (one-level feedback, the usual hardware choice)."""
+
+    def __init__(
+        self,
+        length: int,
+        polynomial: Optional[tuple[int, ...]] = None,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(length, polynomial, seed)
+        taps = 0
+        for exponent in polynomial_taps(self.polynomial):
+            if exponent > 0:
+                taps |= 1 << (exponent - 1)
+        self._tap_mask = taps
+
+    def step(self) -> int:
+        output = self.state & 1
+        self.state >>= 1
+        if output:
+            self.state ^= self._tap_mask | (1 << (self.length - 1))
+        return output
+
+
+class Prpg:
+    """Pseudo-random pattern generator: an LFSR exposing its parallel state.
+
+    In a STUMPS architecture one PRPG feeds many scan chains in parallel; the
+    value presented to chain *c* in a shift cycle is (after the phase shifter)
+    a XOR of PRPG stages.  This wrapper advances the LFSR once per shift cycle
+    and hands the full state to the phase shifter.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        polynomial: Optional[tuple[int, ...]] = None,
+        seed: int = 1,
+        galois: bool = False,
+    ) -> None:
+        lfsr_class = GaloisLfsr if galois else FibonacciLfsr
+        self.lfsr = lfsr_class(length, polynomial, seed)
+
+    @property
+    def length(self) -> int:
+        """Number of LFSR stages."""
+        return self.lfsr.length
+
+    @property
+    def state(self) -> int:
+        """Current LFSR state."""
+        return self.lfsr.state
+
+    def reseed(self, seed: int) -> None:
+        """Load a new non-zero seed (e.g. through Boundary-Scan)."""
+        self.lfsr.reseed(seed)
+
+    def next_state_bits(self) -> list[int]:
+        """Advance one shift cycle and return the new parallel state bits."""
+        self.lfsr.step()
+        return self.lfsr.state_bits()
+
+    def generate_states(self, cycles: int) -> list[list[int]]:
+        """Parallel state bits for ``cycles`` consecutive shift cycles."""
+        return [self.next_state_bits() for _ in range(cycles)]
+
+
+def weighted_bits(bits: Sequence[int], weight_taps: int = 1) -> int:
+    """AND ``weight_taps`` adjacent bits together (weighted-random utility).
+
+    Classic weighted-random BIST biases the 1-probability of selected inputs
+    by ANDing several PRPG outputs; the helper is used by the weighted-pattern
+    ablation experiments.
+    """
+    if weight_taps < 1:
+        raise ValueError("weight_taps must be >= 1")
+    value = 1
+    for index in range(weight_taps):
+        value &= bits[index % len(bits)]
+    return value

@@ -1,0 +1,248 @@
+"""Primitive polynomials over GF(2) for LFSR/MISR construction.
+
+A maximal-length LFSR needs a primitive feedback polynomial; the paper's PRPGs
+are 19 bits long and its MISRs range from 19 to 99 bits (Table 1).  This table
+covers every degree from 2 to 128 with one known-primitive polynomial per
+degree (taken from standard LFSR tap tables, e.g. Xilinx XAPP052 and
+Peterson & Weldon), each represented by the exponents of its non-zero terms.
+
+``x**19 + x**5 + x**2 + x + 1`` is listed as ``(19, 5, 2, 1, 0)``.
+"""
+
+from __future__ import annotations
+
+#: Exponents of one primitive polynomial per degree.  Degree -> exponents
+#: (always includes the degree itself and 0).
+PRIMITIVE_POLYNOMIALS: dict[int, tuple[int, ...]] = {
+    2: (2, 1, 0),
+    3: (3, 1, 0),
+    4: (4, 1, 0),
+    5: (5, 2, 0),
+    6: (6, 1, 0),
+    7: (7, 1, 0),
+    8: (8, 6, 5, 4, 0),
+    9: (9, 4, 0),
+    10: (10, 3, 0),
+    11: (11, 2, 0),
+    12: (12, 7, 4, 3, 0),
+    13: (13, 4, 3, 1, 0),
+    14: (14, 12, 11, 1, 0),
+    15: (15, 1, 0),
+    16: (16, 5, 3, 2, 0),
+    17: (17, 3, 0),
+    18: (18, 7, 0),
+    19: (19, 6, 5, 1, 0),
+    20: (20, 3, 0),
+    21: (21, 2, 0),
+    22: (22, 1, 0),
+    23: (23, 5, 0),
+    24: (24, 4, 3, 1, 0),
+    25: (25, 3, 0),
+    26: (26, 8, 7, 1, 0),
+    27: (27, 8, 7, 1, 0),
+    28: (28, 3, 0),
+    29: (29, 2, 0),
+    30: (30, 16, 15, 1, 0),
+    31: (31, 3, 0),
+    32: (32, 28, 27, 1, 0),
+    33: (33, 13, 0),
+    34: (34, 15, 14, 1, 0),
+    35: (35, 2, 0),
+    36: (36, 11, 0),
+    37: (37, 12, 10, 2, 0),
+    38: (38, 6, 5, 1, 0),
+    39: (39, 4, 0),
+    40: (40, 21, 19, 2, 0),
+    41: (41, 3, 0),
+    42: (42, 23, 22, 1, 0),
+    43: (43, 6, 5, 1, 0),
+    44: (44, 27, 26, 1, 0),
+    45: (45, 4, 3, 1, 0),
+    46: (46, 21, 20, 1, 0),
+    47: (47, 5, 0),
+    48: (48, 29, 27, 4, 0),
+    49: (49, 9, 0),
+    50: (50, 27, 26, 1, 0),
+    51: (51, 16, 15, 1, 0),
+    52: (52, 3, 0),
+    53: (53, 16, 15, 1, 0),
+    54: (54, 37, 36, 1, 0),
+    55: (55, 24, 0),
+    56: (56, 22, 21, 1, 0),
+    57: (57, 7, 0),
+    58: (58, 19, 0),
+    59: (59, 22, 21, 1, 0),
+    60: (60, 1, 0),
+    61: (61, 16, 15, 1, 0),
+    62: (62, 57, 56, 1, 0),
+    63: (63, 1, 0),
+    64: (64, 4, 3, 1, 0),
+    65: (65, 18, 0),
+    66: (66, 57, 56, 1, 0),
+    67: (67, 10, 9, 1, 0),
+    68: (68, 9, 0),
+    69: (69, 29, 27, 2, 0),
+    70: (70, 16, 15, 1, 0),
+    71: (71, 6, 0),
+    72: (72, 53, 47, 6, 0),
+    73: (73, 25, 0),
+    74: (74, 16, 15, 1, 0),
+    75: (75, 11, 10, 1, 0),
+    76: (76, 36, 35, 1, 0),
+    77: (77, 31, 30, 1, 0),
+    78: (78, 20, 19, 1, 0),
+    79: (79, 9, 0),
+    80: (80, 38, 37, 1, 0),
+    81: (81, 4, 0),
+    82: (82, 38, 35, 3, 0),
+    83: (83, 46, 45, 1, 0),
+    84: (84, 13, 0),
+    85: (85, 28, 27, 1, 0),
+    86: (86, 13, 12, 1, 0),
+    87: (87, 13, 0),
+    88: (88, 72, 71, 1, 0),
+    89: (89, 38, 0),
+    90: (90, 19, 18, 1, 0),
+    91: (91, 84, 83, 1, 0),
+    92: (92, 13, 12, 1, 0),
+    93: (93, 2, 0),
+    94: (94, 21, 0),
+    95: (95, 11, 0),
+    96: (96, 49, 47, 2, 0),
+    97: (97, 6, 0),
+    98: (98, 11, 0),
+    99: (99, 47, 45, 2, 0),
+    100: (100, 37, 0),
+    101: (101, 7, 6, 1, 0),
+    102: (102, 77, 76, 1, 0),
+    103: (103, 9, 0),
+    104: (104, 11, 10, 1, 0),
+    105: (105, 16, 0),
+    106: (106, 15, 0),
+    107: (107, 65, 63, 2, 0),
+    108: (108, 31, 0),
+    109: (109, 7, 6, 1, 0),
+    110: (110, 13, 12, 1, 0),
+    111: (111, 10, 0),
+    112: (112, 45, 43, 2, 0),
+    113: (113, 9, 0),
+    114: (114, 82, 81, 1, 0),
+    115: (115, 15, 14, 1, 0),
+    116: (116, 71, 70, 1, 0),
+    117: (117, 20, 18, 2, 0),
+    118: (118, 33, 0),
+    119: (119, 8, 0),
+    120: (120, 118, 111, 7, 0),
+    121: (121, 18, 0),
+    122: (122, 60, 59, 1, 0),
+    123: (123, 2, 0),
+    124: (124, 37, 0),
+    125: (125, 108, 107, 1, 0),
+    126: (126, 91, 90, 1, 0),
+    127: (127, 1, 0),
+    128: (128, 29, 27, 2, 0),
+}
+
+
+def primitive_polynomial(degree: int) -> tuple[int, ...]:
+    """A primitive polynomial of the given degree (exponent tuple, high to low)."""
+    try:
+        return PRIMITIVE_POLYNOMIALS[degree]
+    except KeyError as exc:
+        raise ValueError(
+            f"no primitive polynomial tabulated for degree {degree} (supported: 2..128)"
+        ) from exc
+
+
+def polynomial_to_mask(exponents: tuple[int, ...]) -> int:
+    """Integer bit mask of a polynomial: bit *i* set iff term x**i is present."""
+    mask = 0
+    for exponent in exponents:
+        mask |= 1 << exponent
+    return mask
+
+
+def polynomial_taps(exponents: tuple[int, ...]) -> list[int]:
+    """Feedback tap positions (exponents without the leading degree term)."""
+    degree = max(exponents)
+    return sorted(e for e in exponents if e != degree)
+
+
+def polynomial_degree(exponents: tuple[int, ...]) -> int:
+    """Degree of the polynomial."""
+    return max(exponents)
+
+
+def polynomial_str(exponents: tuple[int, ...]) -> str:
+    """Human-readable form, e.g. ``x^19 + x^6 + x^5 + x + 1``."""
+    terms = []
+    for exponent in sorted(exponents, reverse=True):
+        if exponent == 0:
+            terms.append("1")
+        elif exponent == 1:
+            terms.append("x")
+        else:
+            terms.append(f"x^{exponent}")
+    return " + ".join(terms)
+
+
+# --------------------------------------------------------------------------- #
+# GF(2) polynomial arithmetic (used to verify primitivity in tests/benches)
+# --------------------------------------------------------------------------- #
+def _gf2_mulmod(a: int, b: int, modulus: int) -> int:
+    """Multiply two GF(2) polynomials (bit masks) modulo ``modulus``."""
+    degree = modulus.bit_length() - 1
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a >> degree & 1:
+            a ^= modulus
+    return result
+
+
+def _gf2_powmod(base: int, exponent: int, modulus: int) -> int:
+    """Raise a GF(2) polynomial to ``exponent`` modulo ``modulus``."""
+    result = 1
+    while exponent:
+        if exponent & 1:
+            result = _gf2_mulmod(result, base, modulus)
+        base = _gf2_mulmod(base, base, modulus)
+        exponent >>= 1
+    return result
+
+
+def _prime_factors(value: int) -> list[int]:
+    """Prime factorisation by trial division (adequate for 2**n - 1, n <= ~48)."""
+    factors = []
+    candidate = 2
+    while candidate * candidate <= value:
+        while value % candidate == 0:
+            factors.append(candidate)
+            value //= candidate
+        candidate += 1 if candidate == 2 else 2
+    if value > 1:
+        factors.append(value)
+    return sorted(set(factors))
+
+
+def is_primitive(exponents: tuple[int, ...]) -> bool:
+    """Check whether a polynomial over GF(2) is primitive.
+
+    The polynomial is primitive iff the multiplicative order of ``x`` modulo
+    the polynomial is exactly ``2**degree - 1``.  Factoring ``2**degree - 1``
+    by trial division bounds practical use to degrees up to roughly 48, which
+    covers every PRPG the experiments instantiate (the long MISRs reuse
+    tabulated polynomials and are not re-verified at runtime).
+    """
+    degree = polynomial_degree(exponents)
+    modulus = polynomial_to_mask(exponents)
+    group_order = (1 << degree) - 1
+    if _gf2_powmod(0b10, group_order, modulus) != 1:
+        return False
+    for prime in _prime_factors(group_order):
+        if _gf2_powmod(0b10, group_order // prime, modulus) == 1:
+            return False
+    return True

@@ -1,0 +1,255 @@
+"""STUMPS architecture assembly: one PRPG/phase-shifter/MISR set per clock domain.
+
+This is the structural heart of Fig. 1.  For every clock domain of the
+BIST-ready core the architecture instantiates:
+
+* a PRPG (:class:`~repro.bist.lfsr.Prpg`) of configurable length,
+* a phase shifter (:class:`~repro.bist.phase_shifter.PhaseShifter`) spreading
+  the PRPG over that domain's scan chains,
+* optionally a space expander,
+* a space compactor (identity by default -- the paper connects chains straight
+  to a chain-count-wide MISR to avoid setup-critical XOR levels), and
+* a MISR (:class:`~repro.bist.misr.Misr`).
+
+The per-domain pairing is the paper's answer to clock skew between domains:
+no shift path ever crosses a domain boundary, so only the *capture* window has
+to worry about inter-domain skew (handled by the double-capture scheduler in
+:mod:`repro.timing.double_capture`).
+
+Besides the structure, the module emulates the data path: pattern generation
+(what state a shift window loads into every scan cell) and response compaction
+(what signature a captured response produces), which is what the end-to-end
+flow and the signature tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..scan.chains import ScanChainArchitecture
+from .lfsr import Prpg
+from .misr import Misr
+from .phase_shifter import PhaseShifter, identity_phase_shifter
+from .space import SpaceCompactor, SpaceExpander, identity_compactor
+
+
+@dataclass
+class StumpsDomainConfig:
+    """Per-clock-domain BIST configuration."""
+
+    domain: str
+    prpg_length: int = 19
+    #: MISR length; ``None`` means "as wide as the domain's chain count"
+    #: (the paper's no-space-compactor choice).
+    misr_length: Optional[int] = None
+    prpg_seed: int = 1
+    use_phase_shifter: bool = True
+    phase_shifter_taps: int = 3
+    phase_shifter_seed: int = 1
+    #: Number of compactor outputs; ``None`` disables compaction (identity).
+    compactor_outputs: Optional[int] = None
+    #: Optional space expander input width (None = drive chains from the PS directly).
+    expander_inputs: Optional[int] = None
+    galois: bool = False
+
+
+class StumpsDomain:
+    """PRPG -> PS -> (SpE) -> chains -> (SpC) -> MISR for one clock domain."""
+
+    def __init__(self, config: StumpsDomainConfig, architecture: ScanChainArchitecture) -> None:
+        self.config = config
+        self.chains = architecture.chains_in_domain(config.domain)
+        if not self.chains:
+            raise ValueError(f"no scan chains in domain {config.domain!r}")
+        self.chain_count = len(self.chains)
+        self.max_chain_length = max(chain.length for chain in self.chains)
+
+        self.prpg = Prpg(
+            config.prpg_length, seed=config.prpg_seed, galois=config.galois
+        )
+        if config.use_phase_shifter:
+            self.phase_shifter = PhaseShifter(
+                prpg_length=config.prpg_length,
+                num_channels=self.chain_count,
+                taps_per_channel=config.phase_shifter_taps,
+                seed=config.phase_shifter_seed,
+            )
+        else:
+            self.phase_shifter = identity_phase_shifter(config.prpg_length, self.chain_count)
+
+        self.expander: Optional[SpaceExpander] = None
+        if config.expander_inputs is not None:
+            self.expander = SpaceExpander(config.expander_inputs, self.chain_count)
+
+        if config.compactor_outputs is None:
+            self.compactor = identity_compactor(self.chain_count)
+        else:
+            self.compactor = SpaceCompactor(self.chain_count, config.compactor_outputs)
+
+        misr_length = (
+            config.misr_length if config.misr_length is not None else self.compactor.num_outputs
+        )
+        misr_length = max(2, misr_length)
+        self.misr = Misr(misr_length)
+
+    # ------------------------------------------------------------------ #
+    # Pattern generation (shift window emulation)
+    # ------------------------------------------------------------------ #
+    def generate_load(self, shift_cycles: Optional[int] = None) -> dict[str, int]:
+        """Emulate one shift window; returns scan-cell name -> loaded value.
+
+        The PRPG advances once per shift cycle; the phase-shifter output for
+        chain *c* at cycle *t* enters the chain's scan-in and ends up at
+        position ``shift_cycles - 1 - t`` if it has not fallen off the end.
+        """
+        cycles = shift_cycles if shift_cycles is not None else self.max_chain_length
+        per_cycle_channels: list[list[int]] = []
+        for _ in range(cycles):
+            bits = self.prpg.next_state_bits()
+            channels = self.phase_shifter.outputs(bits)
+            if self.expander is not None:
+                channels = self.expander.expand(channels)
+            per_cycle_channels.append(channels)
+
+        load: dict[str, int] = {}
+        for chain_index, chain in enumerate(self.chains):
+            for position, cell in enumerate(chain.cells):
+                source_cycle = cycles - 1 - position
+                if source_cycle < 0:
+                    load[cell] = 0
+                else:
+                    load[cell] = per_cycle_channels[source_cycle][chain_index]
+        return load
+
+    # ------------------------------------------------------------------ #
+    # Response compaction (unload window emulation)
+    # ------------------------------------------------------------------ #
+    def compact_response(self, captured: Mapping[str, int]) -> int:
+        """Shift out a captured response and fold it into the MISR.
+
+        ``captured`` maps scan-cell names to their post-capture values.  Cells
+        missing from the mapping contribute 0.  Returns the MISR state after
+        the unload.
+        """
+        for cycle in range(self.max_chain_length):
+            slice_bits: list[int] = []
+            for chain in self.chains:
+                position = chain.length - 1 - cycle
+                if position < 0:
+                    slice_bits.append(0)
+                else:
+                    slice_bits.append(int(captured.get(chain.cells[position], 0)) & 1)
+            self.misr.compact(self.compactor.compact(slice_bits))
+        return self.misr.state
+
+    @property
+    def signature(self) -> int:
+        """Current MISR signature for this domain."""
+        return self.misr.signature
+
+    def reset(self) -> None:
+        """Reset PRPG seed and MISR state to their configured initial values."""
+        self.prpg.reseed(self.config.prpg_seed)
+        self.misr.reset()
+
+    def statistics(self) -> dict[str, object]:
+        """Structure summary (feeds the Table 1 report rows)."""
+        return {
+            "domain": self.config.domain,
+            "chains": self.chain_count,
+            "max_chain_length": self.max_chain_length,
+            "prpg_length": self.prpg.length,
+            "misr_length": self.misr.length,
+            "phase_shifter_xors": self.phase_shifter.xor_gate_count(),
+            "compactor_xors": self.compactor.xor_gate_count(),
+        }
+
+
+class StumpsArchitecture:
+    """The complete multi-domain STUMPS TPG/ODC structure."""
+
+    def __init__(
+        self,
+        architecture: ScanChainArchitecture,
+        domain_configs: Optional[Sequence[StumpsDomainConfig]] = None,
+        default_prpg_length: int = 19,
+        seed: int = 1,
+    ) -> None:
+        self.chain_architecture = architecture
+        configs: dict[str, StumpsDomainConfig] = {}
+        if domain_configs:
+            for config in domain_configs:
+                configs[config.domain] = config
+        for index, domain in enumerate(architecture.domains()):
+            if domain not in configs:
+                configs[domain] = StumpsDomainConfig(
+                    domain=domain,
+                    prpg_length=default_prpg_length,
+                    prpg_seed=seed + index,
+                    phase_shifter_seed=seed + 17 * (index + 1),
+                )
+        self.domains: dict[str, StumpsDomain] = {
+            domain: StumpsDomain(configs[domain], architecture)
+            for domain in architecture.domains()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Data-path emulation across all domains
+    # ------------------------------------------------------------------ #
+    def generate_pattern(self) -> dict[str, int]:
+        """One shift window across every domain: scan-cell name -> loaded value.
+
+        All domains shift simultaneously (they share the shift window in
+        Fig. 2), each for its own chain length; the slow SE signal spans the
+        longest domain, shorter domains simply idle afterwards, which does not
+        change the loaded values.
+        """
+        load: dict[str, int] = {}
+        for domain in self.domains.values():
+            load.update(domain.generate_load())
+        return load
+
+    def generate_patterns(self, count: int) -> list[dict[str, int]]:
+        """Generate ``count`` consecutive scan-load patterns."""
+        return [self.generate_pattern() for _ in range(count)]
+
+    def compact_response(self, captured: Mapping[str, int]) -> dict[str, int]:
+        """Fold one captured response into every domain's MISR; returns the states."""
+        return {
+            name: domain.compact_response(captured) for name, domain in self.domains.items()
+        }
+
+    def signatures(self) -> dict[str, int]:
+        """Current per-domain signatures."""
+        return {name: domain.signature for name, domain in self.domains.items()}
+
+    def reset(self) -> None:
+        """Reset every domain's PRPG and MISR."""
+        for domain in self.domains.values():
+            domain.reset()
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def prpg_count(self) -> int:
+        """Number of PRPGs (one per clock domain, as in the paper)."""
+        return len(self.domains)
+
+    def misr_count(self) -> int:
+        """Number of MISRs (one per clock domain)."""
+        return len(self.domains)
+
+    def misr_lengths(self) -> dict[str, int]:
+        """Per-domain MISR lengths (Table 1 reports e.g. ``1: 19 / 1: 99``)."""
+        return {name: domain.misr.length for name, domain in self.domains.items()}
+
+    def statistics(self) -> dict[str, object]:
+        """Aggregate structure summary."""
+        return {
+            "prpgs": self.prpg_count(),
+            "misrs": self.misr_count(),
+            "prpg_lengths": {n: d.prpg.length for n, d in self.domains.items()},
+            "misr_lengths": self.misr_lengths(),
+            "per_domain": {n: d.statistics() for n, d in self.domains.items()},
+        }

@@ -1,0 +1,38 @@
+"""End-to-end logic BIST flow (S10).
+
+Public API:
+
+* :class:`~repro.core.config.LogicBistConfig` -- every knob of the flow,
+* :class:`~repro.core.flow.LogicBistFlow` / :class:`~repro.core.flow.LogicBistResult`
+  -- the paper's scheme end to end,
+* :func:`~repro.core.bist_ready.prepare_scan_core` and
+  :class:`~repro.core.bist_ready.BistReadyCore`,
+* :func:`~repro.core.report.build_table1_report` and
+  :func:`~repro.core.report.coverage_shape_checks`.
+"""
+
+from .config import LogicBistConfig
+from .bist_ready import BistReadyCore, finalize_with_observation_points, prepare_scan_core
+from .flow import LogicBistFlow, LogicBistResult, PhaseTiming
+from .report import (
+    Table1Report,
+    Table1Row,
+    TABLE1_LABELS,
+    build_table1_report,
+    coverage_shape_checks,
+)
+
+__all__ = [
+    "LogicBistConfig",
+    "BistReadyCore",
+    "finalize_with_observation_points",
+    "prepare_scan_core",
+    "LogicBistFlow",
+    "LogicBistResult",
+    "PhaseTiming",
+    "Table1Report",
+    "Table1Row",
+    "TABLE1_LABELS",
+    "build_table1_report",
+    "coverage_shape_checks",
+]

@@ -1,0 +1,105 @@
+"""Preparation of the BIST-ready core (Section 2.1).
+
+A *BIST-ready core* is "a full-scan circuit with unknown value (X) sources
+properly blocked" plus the observation points chosen by fault simulation.
+This module wraps the scan/X-blocking/test-point steps into two calls the flow
+uses:
+
+* :func:`prepare_scan_core` -- full-scan insertion + X-blocking + chain
+  construction + structural validation,
+* :func:`finalize_with_observation_points` -- physically insert the chosen
+  observation points (new scan cells) and rebuild the chain architecture so
+  the new cells are shifted and observed like any other cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..netlist.library import CellLibrary
+from ..netlist.validate import validate_circuit
+from ..scan.chains import ScanChainArchitecture, build_scan_chains, verify_chain_architecture
+from ..scan.insertion import ScanInsertionConfig, ScanInsertionResult, insert_scan
+from ..scan.x_blocking import verify_x_clean
+from ..tpi.observation_points import ObservationPointPlan, apply_observation_points
+from .config import LogicBistConfig
+
+
+@dataclass
+class BistReadyCore:
+    """The scan-inserted, X-blocked, test-point-equipped core."""
+
+    original: Circuit
+    circuit: Circuit
+    scan_result: ScanInsertionResult
+    architecture: ScanChainArchitecture
+    observation_nets: list[str] = field(default_factory=list)
+    observation_flops: list[str] = field(default_factory=list)
+    tpi_plan: Optional[ObservationPointPlan] = None
+
+    @property
+    def test_point_count(self) -> int:
+        """Number of inserted observation points (the paper's "# of Test Points")."""
+        return len(self.observation_flops)
+
+    def observation_point_area(self, library: Optional[CellLibrary] = None) -> float:
+        """Area of the observation-point scan cells (gate equivalents)."""
+        library = library or CellLibrary()
+        return self.test_point_count * library.scan_cell_area()
+
+
+def prepare_scan_core(
+    circuit: Circuit, config: LogicBistConfig, library: Optional[CellLibrary] = None
+) -> BistReadyCore:
+    """Run scan insertion + X blocking and validate the result."""
+    scan_config = config.scan
+    if (
+        scan_config.max_chain_length is None
+        and scan_config.chains_per_domain is None
+        and scan_config.total_chains is None
+        and config.total_scan_chains is not None
+    ):
+        scan_config = ScanInsertionConfig(**{**scan_config.__dict__})
+        scan_config.total_chains = config.total_scan_chains
+    result = insert_scan(circuit, scan_config, library)
+    if result.problems:
+        raise ValueError(
+            f"scan insertion produced an inconsistent chain architecture: {result.problems[:3]}"
+        )
+    report = validate_circuit(result.circuit)
+    report.raise_if_errors()
+    residual = verify_x_clean(result.circuit)
+    if residual:
+        raise ValueError(f"X sources still reach observation nets: {residual[:5]}")
+    return BistReadyCore(
+        original=circuit,
+        circuit=result.circuit,
+        scan_result=result,
+        architecture=result.architecture,
+    )
+
+
+def finalize_with_observation_points(
+    core: BistReadyCore,
+    plan: ObservationPointPlan,
+    config: LogicBistConfig,
+) -> BistReadyCore:
+    """Insert the selected observation points and rebuild the scan chains."""
+    flops = apply_observation_points(core.circuit, plan.nets)
+    scan_config = config.scan
+    architecture = build_scan_chains(
+        core.circuit,
+        max_chain_length=scan_config.max_chain_length,
+        chains_per_domain=scan_config.chains_per_domain,
+        total_chains=scan_config.total_chains or config.total_scan_chains,
+    )
+    problems = verify_chain_architecture(core.circuit, architecture)
+    if problems:
+        raise ValueError(f"chain rebuild after TPI failed: {problems[:3]}")
+    core.architecture = architecture
+    core.observation_nets = list(plan.nets)
+    core.observation_flops = flops
+    core.tpi_plan = plan
+    return core

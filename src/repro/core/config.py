@@ -1,0 +1,92 @@
+"""Configuration of the end-to-end logic BIST flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..scan.insertion import ScanInsertionConfig
+
+
+@dataclass
+class LogicBistConfig:
+    """Every knob of the flexible logic BIST flow (Fig. 1 + Section 3 notes).
+
+    The defaults mirror the paper's application choices: PI/PO wrapper cells,
+    one 19-bit PRPG and one MISR per clock domain, no space compactor in front
+    of the MISR, observation-only test points chosen by fault simulation, and
+    a random phase followed by top-up ATPG.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Scan architecture
+    # ------------------------------------------------------------------ #
+    #: Scan-insertion options (PI/PO wrapping, X-blocking, chain sizing).
+    scan: ScanInsertionConfig = field(default_factory=ScanInsertionConfig)
+    #: Global scan-chain budget used when the scan config does not size chains.
+    total_scan_chains: Optional[int] = 16
+
+    # ------------------------------------------------------------------ #
+    # STUMPS structure
+    # ------------------------------------------------------------------ #
+    #: PRPG length (the paper uses 19-bit PRPGs for both cores).
+    prpg_length: int = 19
+    #: Use a space compactor in front of each MISR.  The paper explicitly does
+    #: not (to avoid chain->MISR setup violations); the ablation flips this.
+    use_space_compactor: bool = False
+    #: MISR length when a space compactor *is* used.
+    compacted_misr_length: int = 19
+    #: Seed controlling PRPG seeds and phase-shifter construction.
+    bist_seed: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Test points
+    # ------------------------------------------------------------------ #
+    #: Observation-point budget (the paper inserts 1 K observe-only points).
+    observation_point_budget: int = 16
+    #: TPI method: "fault_sim" (the paper) or "observability" (baseline) or "none".
+    tpi_method: str = "fault_sim"
+    #: Patterns used for the preliminary fault simulation that guides TPI.
+    tpi_profile_patterns: int = 256
+
+    # ------------------------------------------------------------------ #
+    # Pattern budgets
+    # ------------------------------------------------------------------ #
+    #: Random (PRPG) patterns for the main BIST session (paper: 20 K).
+    random_patterns: int = 2048
+    #: Upper bound on top-up ATPG targets (None = every remaining fault).
+    topup_max_faults: Optional[int] = None
+    #: PODEM backtrack limit for top-up ATPG.
+    topup_backtrack_limit: int = 100
+    #: Merge compatible top-up cubes before scan-in (static compaction).
+    topup_compaction: bool = True
+    #: Seed for top-up random fill.
+    topup_seed: int = 2005
+
+    # ------------------------------------------------------------------ #
+    # Clocking
+    # ------------------------------------------------------------------ #
+    #: Functional frequency per clock domain (MHz).  Domains missing from the
+    #: mapping default to ``default_frequency_mhz``.
+    clock_frequencies_mhz: Mapping[str, float] = field(default_factory=dict)
+    default_frequency_mhz: float = 250.0
+    #: Worst-case intra-domain clock skew (ns) used by the capture scheduler.
+    intra_domain_skew_ns: float = 0.1
+    #: Phase advance (ns) of the PRPG/MISR clock versus the scan-chain clock
+    #: (the Fig. 3 technique).
+    bist_clock_advance_ns: float = 0.5
+
+    # ------------------------------------------------------------------ #
+    # Measurement options
+    # ------------------------------------------------------------------ #
+    #: Also run launch-on-capture transition-fault simulation (at-speed value).
+    measure_transition_coverage: bool = False
+    #: Patterns used for the transition-coverage measurement.
+    transition_patterns: int = 256
+    #: Compute per-domain MISR signatures for this many leading random patterns
+    #: (0 disables signature emulation; coverage never depends on it).
+    signature_patterns: int = 64
+    #: Exclude faults on primary-input pad nets (outside the wrapped core).
+    exclude_pad_faults: bool = True
+    #: Fault-simulation block size.
+    block_size: int = 64

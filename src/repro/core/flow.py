@@ -1,0 +1,431 @@
+"""The end-to-end flexible logic BIST flow (the paper's primary contribution).
+
+:class:`LogicBistFlow` ties every subsystem together in the order a real DFT
+insertion + sign-off flow would run them:
+
+1. **BIST-ready core preparation** -- full-scan insertion with PI/PO wrapper
+   cells, X-source blocking, per-domain scan chains
+   (:mod:`repro.core.bist_ready`).
+2. **Test point insertion** -- a preliminary random-pattern fault simulation
+   (patterns taken from the real PRPG + phase shifter) identifies the
+   random-resistant faults, and observation points are chosen from their
+   fault-effect profile (:mod:`repro.tpi.observation_points`); no control
+   points are used.
+3. **Random-pattern BIST phase** -- the STUMPS architecture (one PRPG/MISR
+   pair per clock domain) generates the configured number of patterns; fault
+   simulation with dropping gives "Fault Coverage 1"; MISR signatures are
+   computed for a leading slice of the session.
+4. **Top-up ATPG phase** -- PODEM targets the remaining faults, cubes are
+   compacted and random-filled, and the patterns are applied through the
+   input selector, giving "# of Top-Up Patterns" and "Fault Coverage 2".
+5. **At-speed timing assembly** -- the clock-gating block and the
+   double-capture scheduler produce the Fig. 2 capture schedule; optionally a
+   launch-on-capture transition-fault simulation quantifies the at-speed test
+   quality; the Fig. 3 shift-path analysis checks the PRPG/chain/MISR
+   interfaces under the configured phase advance.
+6. **Reporting** -- everything Table 1 reports (plus the extras) is gathered
+   into :class:`LogicBistResult`, which :mod:`repro.core.report` renders.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..atpg.topup import TopUpAtpg, TopUpResult
+from ..bist.controller import BistController
+from ..bist.input_selector import InputSelector, InputSource
+from ..bist.stumps import StumpsArchitecture, StumpsDomainConfig
+from ..faults.collapse import collapse_stuck_at
+from ..faults.fault_list import FaultList
+from ..faults.fault_sim import FaultSimulationResult, FaultSimulator
+from ..faults.transition_sim import TransitionFaultSimulator, derive_capture_patterns
+from ..netlist.circuit import Circuit
+from ..netlist.library import CellLibrary
+from ..netlist.gates import GateType
+from ..simulation.comb_sim import PackedSimulator
+from ..timing.clocks import ClockTreeModel, make_clock_tree
+from ..timing.double_capture import CaptureSchedule, CaptureWindowScheduler
+from ..timing.skew_analysis import ShiftPathAnalyzer, ShiftPathParameters, ShiftPathReport
+from ..tpi.observability_tpi import ObservabilityGuidedTpi
+from ..tpi.observation_points import FaultSimGuidedObservationTpi, ObservationPointPlan
+from .bist_ready import BistReadyCore, finalize_with_observation_points, prepare_scan_core
+from .config import LogicBistConfig
+
+
+@dataclass
+class PhaseTiming:
+    """Wall-clock duration of one flow phase (the paper reports CPU time)."""
+
+    name: str
+    seconds: float
+
+
+@dataclass
+class LogicBistResult:
+    """Everything the flow measured -- the superset of a Table 1 column."""
+
+    core_name: str
+    config: LogicBistConfig
+    bist_ready: BistReadyCore
+    stumps: StumpsArchitecture
+    clock_tree: ClockTreeModel
+    capture_schedule: CaptureSchedule
+
+    # Structure numbers (Table 1 upper half).
+    gate_count: int = 0
+    flop_count: int = 0
+    scan_chain_count: int = 0
+    max_chain_length: int = 0
+    clock_domain_count: int = 0
+    prpg_count: int = 0
+    prpg_length: int = 0
+    misr_count: int = 0
+    misr_lengths: dict[str, int] = field(default_factory=dict)
+    test_point_count: int = 0
+
+    # Coverage numbers (Table 1 lower half).
+    total_faults: int = 0
+    random_pattern_count: int = 0
+    fault_coverage_random: float = 0.0
+    top_up_pattern_count: int = 0
+    fault_coverage_final: float = 0.0
+    area_overhead_fraction: float = 0.0
+    cpu_time_seconds: float = 0.0
+
+    # Extras beyond Table 1.
+    coverage_curve: list[tuple[int, float]] = field(default_factory=list)
+    transition_coverage: Optional[float] = None
+    signatures: dict[str, int] = field(default_factory=dict)
+    shift_path_report: Optional[ShiftPathReport] = None
+    topup: Optional[TopUpResult] = None
+    phase_timings: list[PhaseTiming] = field(default_factory=list)
+    tpi_plan: Optional[ObservationPointPlan] = None
+    fault_list: Optional[FaultList] = None
+
+    @property
+    def coverage_gain_from_topup(self) -> float:
+        """Fault-coverage improvement contributed by the top-up patterns."""
+        return self.fault_coverage_final - self.fault_coverage_random
+
+
+class LogicBistFlow:
+    """Configuration-driven implementation of the paper's logic BIST scheme."""
+
+    def __init__(self, config: Optional[LogicBistConfig] = None) -> None:
+        self.config = config or LogicBistConfig()
+        self.library = CellLibrary()
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def run(self, circuit: Circuit, core_name: Optional[str] = None) -> LogicBistResult:
+        """Run the complete flow on ``circuit`` and return the measurements."""
+        config = self.config
+        timings: list[PhaseTiming] = []
+        flow_start = time.perf_counter()
+
+        # Phase 1: BIST-ready core (scan + X blocking).
+        start = time.perf_counter()
+        core = prepare_scan_core(circuit, config, self.library)
+        timings.append(PhaseTiming("scan_insertion", time.perf_counter() - start))
+
+        # Phase 2: test point insertion guided by fault simulation.
+        start = time.perf_counter()
+        tpi_plan = self._insert_test_points(core)
+        timings.append(PhaseTiming("test_point_insertion", time.perf_counter() - start))
+
+        # Phase 3: final STUMPS + clock tree + capture schedule.
+        clock_tree = self._build_clock_tree(core.circuit)
+        stumps = self._build_stumps(core)
+        scheduler = CaptureWindowScheduler(clock_tree)
+        capture_schedule = scheduler.schedule()
+
+        # Phase 4: random-pattern BIST session.
+        start = time.perf_counter()
+        fault_list, random_result, signatures = self._random_phase(core, stumps, capture_schedule)
+        timings.append(PhaseTiming("random_patterns", time.perf_counter() - start))
+        coverage_random = fault_list.coverage()
+
+        # Phase 5: top-up ATPG.
+        start = time.perf_counter()
+        topup_result = self._topup_phase(core, fault_list)
+        timings.append(PhaseTiming("topup_atpg", time.perf_counter() - start))
+
+        # Phase 6: optional at-speed transition coverage + shift-path timing.
+        start = time.perf_counter()
+        transition_coverage = None
+        if config.measure_transition_coverage:
+            transition_coverage = self._transition_phase(core, stumps, capture_schedule)
+        shift_report = self._shift_path_check(clock_tree)
+        timings.append(PhaseTiming("at_speed_analysis", time.perf_counter() - start))
+
+        total_seconds = time.perf_counter() - flow_start
+
+        result = LogicBistResult(
+            core_name=core_name or circuit.name,
+            config=config,
+            bist_ready=core,
+            stumps=stumps,
+            clock_tree=clock_tree,
+            capture_schedule=capture_schedule,
+            gate_count=core.circuit.gate_count(),
+            flop_count=core.circuit.flop_count(),
+            scan_chain_count=core.architecture.chain_count,
+            max_chain_length=core.architecture.max_chain_length,
+            clock_domain_count=len(core.circuit.clock_domains()),
+            prpg_count=stumps.prpg_count(),
+            prpg_length=config.prpg_length,
+            misr_count=stumps.misr_count(),
+            misr_lengths=stumps.misr_lengths(),
+            test_point_count=core.test_point_count,
+            total_faults=len(fault_list),
+            random_pattern_count=config.random_patterns,
+            fault_coverage_random=coverage_random,
+            top_up_pattern_count=topup_result.pattern_count,
+            fault_coverage_final=fault_list.coverage(),
+            area_overhead_fraction=self._area_overhead(core, stumps),
+            cpu_time_seconds=total_seconds,
+            coverage_curve=random_result.coverage_curve,
+            transition_coverage=transition_coverage,
+            signatures=signatures,
+            shift_path_report=shift_report,
+            topup=topup_result,
+            phase_timings=timings,
+            tpi_plan=tpi_plan,
+            fault_list=fault_list,
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Phase implementations
+    # ------------------------------------------------------------------ #
+    def _insert_test_points(self, core: BistReadyCore) -> Optional[ObservationPointPlan]:
+        config = self.config
+        if config.tpi_method == "none" or config.observation_point_budget <= 0:
+            return None
+        if config.tpi_method == "observability":
+            plan = ObservabilityGuidedTpi(
+                core.circuit, budget=config.observation_point_budget
+            ).select()
+        elif config.tpi_method == "fault_sim":
+            stumps = self._build_stumps(core)
+            patterns = self._scan_patterns(stumps, config.tpi_profile_patterns)
+            fault_list = self._fresh_fault_list(core.circuit)
+            simulator = FaultSimulator(core.circuit)
+            simulator.simulate(fault_list, patterns, block_size=config.block_size)
+            tpi = FaultSimGuidedObservationTpi(
+                core.circuit,
+                budget=config.observation_point_budget,
+                profile_patterns=min(config.tpi_profile_patterns, 128),
+            )
+            plan = tpi.select(fault_list, patterns)
+        else:
+            raise ValueError(f"unknown tpi_method {config.tpi_method!r}")
+        if plan.nets:
+            finalize_with_observation_points(core, plan, config)
+        else:
+            core.tpi_plan = plan
+        return plan
+
+    def _build_clock_tree(self, circuit: Circuit) -> ClockTreeModel:
+        config = self.config
+        frequencies = {
+            domain: float(
+                config.clock_frequencies_mhz.get(domain, config.default_frequency_mhz)
+            )
+            for domain in circuit.clock_domains()
+        }
+        return make_clock_tree(
+            frequencies, intra_domain_skew_ns=config.intra_domain_skew_ns
+        )
+
+    def _build_stumps(self, core: BistReadyCore) -> StumpsArchitecture:
+        config = self.config
+        domain_configs = []
+        for index, domain in enumerate(core.architecture.domains()):
+            chains = len(core.architecture.chains_in_domain(domain))
+            domain_configs.append(
+                StumpsDomainConfig(
+                    domain=domain,
+                    prpg_length=config.prpg_length,
+                    prpg_seed=config.bist_seed + index + 1,
+                    phase_shifter_seed=config.bist_seed + 100 + index,
+                    compactor_outputs=(
+                        min(config.compacted_misr_length, chains)
+                        if config.use_space_compactor
+                        else None
+                    ),
+                    # The paper's MISRs are never shorter than the 19-bit PRPG
+                    # (small domains get 19-bit MISRs, the big domain gets one
+                    # as wide as its chain count); mirror that rule here.
+                    misr_length=(
+                        config.compacted_misr_length
+                        if config.use_space_compactor
+                        else max(chains, config.prpg_length)
+                    ),
+                )
+            )
+        return StumpsArchitecture(core.architecture, domain_configs)
+
+    def _scan_patterns(self, stumps: StumpsArchitecture, count: int) -> list[dict[str, int]]:
+        """Scan-load patterns from the PRPGs (primary-input pads held at 0)."""
+        return stumps.generate_patterns(count)
+
+    def _fresh_fault_list(self, circuit: Circuit) -> FaultList:
+        collapsed = collapse_stuck_at(circuit)
+        faults = collapsed.representatives
+        if self.config.exclude_pad_faults:
+            faults = [
+                fault
+                for fault in faults
+                if not (
+                    fault.is_stem
+                    and circuit.gate(fault.gate).gate_type is GateType.INPUT
+                )
+            ]
+        return FaultList(faults)
+
+    def _credit_chain_flush(self, core: BistReadyCore, fault_list: FaultList) -> int:
+        """Credit the scan-chain flush (integrity) test.
+
+        Before any BIST pattern is applied, a standard chain flush test shifts
+        a known sequence through every chain; a stuck value on any scan cell
+        output corrupts everything passing through it, so output-stem faults
+        of scan cells are detected by that test.  Commercial flows count this
+        coverage, and so does the paper's tool.
+        """
+        flop_names = set(core.circuit.flop_names())
+        credited = 0
+        for fault in list(fault_list.undetected()):
+            if fault.is_stem and fault.gate in flop_names:
+                fault_list.mark_detected(fault, pattern_index=-1)
+                credited += 1
+        return credited
+
+    def _random_phase(
+        self,
+        core: BistReadyCore,
+        stumps: StumpsArchitecture,
+        schedule: CaptureSchedule,
+    ) -> tuple[FaultList, FaultSimulationResult, dict[str, int]]:
+        config = self.config
+        fault_list = self._fresh_fault_list(core.circuit)
+        self._credit_chain_flush(core, fault_list)
+        simulator = FaultSimulator(core.circuit)
+        stumps.reset()
+        patterns = self._scan_patterns(stumps, config.random_patterns)
+        result = simulator.simulate(fault_list, patterns, block_size=config.block_size)
+        signatures = self._signature_phase(core, stumps, schedule, patterns)
+        return fault_list, result, signatures
+
+    def _signature_phase(
+        self,
+        core: BistReadyCore,
+        stumps: StumpsArchitecture,
+        schedule: CaptureSchedule,
+        patterns: list[dict[str, int]],
+    ) -> dict[str, int]:
+        config = self.config
+        if config.signature_patterns <= 0:
+            return {}
+        count = min(config.signature_patterns, len(patterns))
+        # The captured response of the double-capture window: apply the
+        # staggered launch pulses, then the capture pulses, and read the flop
+        # contents that would be shifted into the MISRs.  Input wrapper cells
+        # capture the (statically driven) pad value at the launch pulse, which
+        # is exactly how they contribute launch transitions for delay faults.
+        pulse_order = schedule.pulse_order
+        launch_patterns = patterns[:count]
+        after_launch = derive_capture_patterns(core.circuit, launch_patterns, pulse_order)
+        after_capture = derive_capture_patterns(core.circuit, after_launch, pulse_order)
+        controller = BistController(total_patterns=count)
+        controller.start()
+        flop_names = set(core.circuit.flop_names())
+        for captured in after_capture:
+            response = {name: captured.get(name, 0) for name in flop_names}
+            stumps.compact_response(response)
+            controller.advance()
+        controller.record_signatures(stumps.signatures())
+        return dict(stumps.signatures())
+
+    def _topup_phase(self, core: BistReadyCore, fault_list: FaultList) -> TopUpResult:
+        config = self.config
+        topup = TopUpAtpg(
+            core.circuit,
+            backtrack_limit=config.topup_backtrack_limit,
+            seed=config.topup_seed,
+            max_faults=config.topup_max_faults,
+        )
+        if config.topup_compaction:
+            result = topup.run_with_compaction(fault_list)
+        else:
+            result = topup.run(fault_list)
+        # The top-up patterns reach the core through the input selector.
+        if result.patterns:
+            selector = InputSelector(self._build_stumps(core))
+            selector.load_external_patterns(result.patterns)
+            selector.select(InputSource.EXTERNAL)
+        return result
+
+    def _transition_phase(
+        self,
+        core: BistReadyCore,
+        stumps: StumpsArchitecture,
+        schedule: CaptureSchedule,
+    ) -> float:
+        config = self.config
+        stumps.reset()
+        launch_patterns = self._scan_patterns(stumps, config.transition_patterns)
+        fault_list = FaultList.transition(core.circuit)
+        simulator = TransitionFaultSimulator(core.circuit)
+        result = simulator.simulate_with_derived_capture(
+            fault_list, launch_patterns, pulse_order=schedule.pulse_order
+        )
+        return result.coverage
+
+    def _shift_path_check(self, clock_tree: ClockTreeModel) -> ShiftPathReport:
+        config = self.config
+        parameters = ShiftPathParameters(
+            compactor_depth=0 if not config.use_space_compactor else 3
+        )
+        analyzer = ShiftPathAnalyzer(parameters)
+        skew = clock_tree.max_skew_overall()
+        return analyzer.analyze(
+            chain_clock_arrival_ns=skew + config.bist_clock_advance_ns,
+            bist_clock_arrival_ns=skew,
+            retiming=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Area accounting
+    # ------------------------------------------------------------------ #
+    def _bist_logic_area(self, stumps: StumpsArchitecture) -> float:
+        """Area of the PRPGs, phase shifters, MISRs, compactors and controller."""
+        library = self.library
+        dff_area = library.area(GateType.DFF, 1)
+        xor_area = library.area(GateType.XOR, 2)
+        total = 0.0
+        for domain in stumps.domains.values():
+            total += domain.prpg.length * dff_area
+            total += domain.misr.length * dff_area
+            total += domain.misr.length * xor_area  # MISR input XORs
+            total += domain.phase_shifter.xor_gate_count() * xor_area
+            total += domain.compactor.xor_gate_count() * xor_area
+            # Clock gating cell + control per domain (small fixed cost).
+            total += 10.0
+        # Controller + Boundary-Scan glue (fixed cost, a few hundred gates).
+        total += 150.0
+        return total
+
+    def _area_overhead(self, core: BistReadyCore, stumps: StumpsArchitecture) -> float:
+        original_area = core.scan_result.original_area
+        if original_area <= 0:
+            return 0.0
+        overhead = (
+            core.scan_result.area_overhead
+            + core.observation_point_area(self.library)
+            + self._bist_logic_area(stumps)
+        )
+        return overhead / original_area

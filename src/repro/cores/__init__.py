@@ -1,0 +1,30 @@
+"""Synthetic IP cores and benchmark circuits (S11).
+
+Public API:
+
+* :func:`~repro.cores.generator.generate_synthetic_core` with
+  :class:`~repro.cores.generator.SyntheticCoreConfig`,
+* the Table 1 recipes :func:`~repro.cores.recipes.core_x_recipe`,
+  :func:`~repro.cores.recipes.core_y_recipe` and
+  :func:`~repro.cores.recipes.tiny_recipe`,
+* the small built-in benchmarks in :mod:`repro.cores.benchmarks`.
+"""
+
+from .generator import SyntheticCore, SyntheticCoreConfig, generate_synthetic_core
+from .recipes import CoreRecipe, core_x_recipe, core_y_recipe, tiny_recipe
+from .benchmarks import C17_BENCH, S27_LIKE_BENCH, c17, comparator_core, s27_like
+
+__all__ = [
+    "SyntheticCore",
+    "SyntheticCoreConfig",
+    "generate_synthetic_core",
+    "CoreRecipe",
+    "core_x_recipe",
+    "core_y_recipe",
+    "tiny_recipe",
+    "C17_BENCH",
+    "S27_LIKE_BENCH",
+    "c17",
+    "comparator_core",
+    "s27_like",
+]

@@ -1,0 +1,95 @@
+"""Small built-in benchmark circuits used by tests and examples.
+
+These are tiny, well-understood circuits (the ISCAS-85 c17, a small
+ISCAS-89-style sequential circuit, and a parameterised random-resistant
+comparator core) that exercise the tool chain end to end without the cost of a
+full synthetic CPU core.
+"""
+
+from __future__ import annotations
+
+from ..netlist.bench_format import parse_bench_text
+from ..netlist.builder import CircuitBuilder
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+
+#: The ISCAS-85 c17 benchmark (6 NAND gates).
+C17_BENCH = """
+# c17 (ISCAS-85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+#: A small s27-like sequential benchmark with three flops (single clock).
+S27_LIKE_BENCH = """
+# s27-like sequential benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = NOT(G10)
+G6 = NOT(G11)
+G7 = NOT(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G7)
+G9 = NAND(G16, G15)
+G12 = NOR(G1, G5)
+G13 = NOR(G2, G12)
+G17 = NOT(G9)
+G10 = DFF(G14)
+G11 = DFF(G9)
+G18 = DFF(G13)
+"""
+
+
+def c17() -> Circuit:
+    """The ISCAS-85 c17 benchmark circuit."""
+    return parse_bench_text(C17_BENCH, name="c17")
+
+
+def s27_like() -> Circuit:
+    """A small sequential benchmark in the style of ISCAS-89 s27."""
+    return parse_bench_text(S27_LIKE_BENCH, name="s27_like")
+
+
+def comparator_core(width: int = 12, easy_outputs: int = 4, name: str = "cmp_core") -> Circuit:
+    """A two-domain core dominated by a random-resistant wide comparator.
+
+    The comparator output gates a small XOR cloud, so most of the cloud's
+    faults are random-resistant; a handful of directly-observable XOR outputs
+    provide the random-easy population.  This is the canonical shape for
+    demonstrating the paper's test-point insertion and top-up ATPG in tests
+    and examples without a full synthetic CPU core.
+    """
+    builder = CircuitBuilder(name=name)
+    left = builder.inputs(width, prefix="l")
+    right = builder.inputs(width, prefix="r")
+    data = builder.inputs(max(2, easy_outputs), prefix="d")
+    match = builder.equality_comparator(left, right)
+    cloud = [
+        builder.xor(data[i], data[(i + 1) % len(data)], name=f"cloud{i}")
+        for i in range(len(data))
+    ]
+    gated = [builder.and_(net, match, name=f"gated{i}") for i, net in enumerate(cloud)]
+    merged = builder.tree(GateType.OR, gated, prefix="merge")
+    state = builder.flop(merged, name="state_a", clock_domain="clkA")
+    cross = builder.xor(state, data[0], name="cross")
+    state_b = builder.flop(cross, name="state_b", clock_domain="clkB")
+    builder.output(state_b)
+    for i in range(easy_outputs):
+        builder.output(cloud[i % len(cloud)])
+    return builder.build()

@@ -1,0 +1,215 @@
+"""Parameterised synthetic "CPU-like" IP core generator.
+
+The paper evaluates its logic BIST scheme on two commercial CPU IP cores that
+are not available (and would be far beyond what a pure-Python fault simulator
+can chew through).  This generator produces structurally comparable cores at a
+configurable scale:
+
+* several clock domains, each with register banks and pipeline stages,
+* datapath blocks (ripple adders, XOR clouds, multiplexer trees) that are easy
+  for random patterns,
+* *random-pattern-resistant* blocks -- wide equality comparators and deep
+  AND/OR decode cones -- whose detection probability under random stimulus is
+  tiny, so that test-point insertion and top-up ATPG have exactly the job they
+  have on a real CPU core (address comparators, exception conditions, ...),
+* cross-clock-domain links (pipeline registers fed from another domain), the
+  reason the paper uses one PRPG/MISR pair per domain and staggered capture,
+* optional X sources (modelled memory read ports) that the X-blocking step has
+  to neutralise.
+
+Everything is driven by an explicit seed, so every experiment is reproducible
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..netlist.builder import CircuitBuilder
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+
+
+@dataclass
+class SyntheticCoreConfig:
+    """Knobs of the synthetic core generator.
+
+    The defaults produce a small two-domain core suitable for unit tests; the
+    Table 1 recipes (:mod:`repro.cores.recipes`) scale these up.
+    """
+
+    name: str = "synthetic_core"
+    #: Clock domain names, fastest first (frequencies live in the recipes).
+    clock_domains: tuple[str, ...] = ("clk1", "clk2")
+    #: Primary data inputs.
+    num_inputs: int = 16
+    #: Primary outputs.
+    num_outputs: int = 8
+    #: Register-bank width per domain (flops directly holding datapath state).
+    register_width: int = 16
+    #: Pipeline stages per domain (each stage adds a register bank + logic).
+    pipeline_stages: int = 2
+    #: Number of ripple-adder slices per domain (easy-to-test datapath logic).
+    adder_slices: int = 1
+    #: Width of each adder slice.
+    adder_width: int = 8
+    #: Widths of the random-pattern-resistant equality comparators per domain.
+    comparator_widths: tuple[int, ...] = (12,)
+    #: Depth of the decode cones (AND trees over this many signals) per domain.
+    decode_cone_width: int = 10
+    #: Number of cross-domain links (registers capturing another domain's data).
+    cross_domain_links: int = 2
+    #: Number of X-source nets (modelled memory read ports).
+    x_sources: int = 0
+    #: RNG seed for structural choices.
+    seed: int = 2005
+
+
+@dataclass
+class SyntheticCore:
+    """The generated circuit plus bookkeeping the flow and reports use."""
+
+    circuit: Circuit
+    config: SyntheticCoreConfig
+    #: Nets implementing random-resistant structures (useful for sanity checks).
+    resistant_nets: list[str] = field(default_factory=list)
+    #: Annotated X-source nets.
+    x_source_nets: list[str] = field(default_factory=list)
+
+
+def _domain_signal_pool(rng: random.Random, pool: list[str], count: int) -> list[str]:
+    """Sample ``count`` driver nets (with replacement only if the pool is small)."""
+    if count <= len(pool):
+        return rng.sample(pool, count)
+    return [rng.choice(pool) for _ in range(count)]
+
+
+def generate_synthetic_core(config: SyntheticCoreConfig) -> SyntheticCore:
+    """Generate a synthetic CPU-like IP core according to ``config``."""
+    rng = random.Random(config.seed)
+    builder = CircuitBuilder(name=config.name)
+    inputs = builder.inputs(config.num_inputs, prefix="pi")
+    resistant_nets: list[str] = []
+    x_source_nets: list[str] = []
+
+    #: Per-domain pool of nets available as logic drivers (inputs + flop outputs).
+    pools: dict[str, list[str]] = {domain: list(inputs) for domain in config.clock_domains}
+    #: Flop outputs per domain (for cross-domain links).
+    domain_registers: dict[str, list[str]] = {domain: [] for domain in config.clock_domains}
+
+    for domain_index, domain in enumerate(config.clock_domains):
+        pool = pools[domain]
+        for stage in range(config.pipeline_stages):
+            stage_prefix = f"{domain}_s{stage}"
+
+            # Datapath: adder slices (random-easy logic with reconvergence).
+            for slice_index in range(config.adder_slices):
+                a_bits = _domain_signal_pool(rng, pool, config.adder_width)
+                b_bits = _domain_signal_pool(rng, pool, config.adder_width)
+                sums, carry = builder.ripple_adder(
+                    a_bits, b_bits, prefix=f"{stage_prefix}_add{slice_index}"
+                )
+                pool.extend(sums)
+                pool.append(carry)
+
+            # Random-resistant blocks: wide comparators gating a cloud of logic.
+            for cmp_index, width in enumerate(config.comparator_widths):
+                left = _domain_signal_pool(rng, pool, width)
+                right = _domain_signal_pool(rng, pool, width)
+                match = builder.equality_comparator(left, right)
+                resistant_nets.append(match)
+                gated_sources = _domain_signal_pool(rng, pool, 4)
+                cloud = builder.parity_tree(gated_sources)
+                gated = builder.and_(
+                    match, cloud, name=builder.fresh_name(f"{stage_prefix}_gated{cmp_index}")
+                )
+                pool.append(gated)
+                resistant_nets.append(gated)
+
+            # Decode cone: deep AND over many signals (another resistant shape).
+            if config.decode_cone_width >= 2:
+                cone_inputs = _domain_signal_pool(rng, pool, config.decode_cone_width)
+                cone = builder.tree(
+                    GateType.AND, cone_inputs, prefix=f"{stage_prefix}_decode"
+                )
+                pool.append(cone)
+                resistant_nets.append(cone)
+
+            # Control logic: mux network selected by a couple of pool signals.
+            select = _domain_signal_pool(rng, pool, 2)
+            data = _domain_signal_pool(rng, pool, 4)
+            pool.append(builder.mux_n(select, data, prefix=f"{stage_prefix}_ctl"))
+
+            # Register bank closing the stage.
+            bank_inputs = _domain_signal_pool(rng, pool, config.register_width)
+            mixed = [
+                builder.xor(net, rng.choice(pool), name=builder.fresh_name(f"{stage_prefix}_mix"))
+                for net in bank_inputs
+            ]
+            registers = builder.register(
+                mixed, clock_domain=domain, prefix=f"{stage_prefix}_reg"
+            )
+            domain_registers[domain].extend(registers)
+            pool.extend(registers)
+
+        # Optional X sources in the first domain only (memory read ports).
+        # Each X source feeds exactly one mixing gate and one register, the way
+        # a memory read port feeds a specific datapath register: the X-blocking
+        # transform then only sacrifices that small cone, not half the core.
+        if domain_index == 0:
+            for x_index in range(config.x_sources):
+                source_net = rng.choice(inputs)
+                name = f"{domain}_mem_q{x_index}"
+                builder.circuit.add_gate(
+                    name, GateType.BUF, [source_net], x_source=True
+                )
+                x_source_nets.append(name)
+                mixed = builder.or_(
+                    name, rng.choice(pool), name=f"{domain}_mem_mix{x_index}"
+                )
+                capture_register = builder.flop(
+                    mixed, name=f"{domain}_mem_reg{x_index}", clock_domain=domain
+                )
+                domain_registers[domain].append(capture_register)
+
+    # Cross-domain links: a register in one domain capturing data from another.
+    domains = list(config.clock_domains)
+    if len(domains) > 1:
+        for link_index in range(config.cross_domain_links):
+            source_domain = domains[link_index % len(domains)]
+            target_domain = domains[(link_index + 1) % len(domains)]
+            source_pool = domain_registers[source_domain] or pools[source_domain]
+            source = rng.choice(source_pool)
+            mixed = builder.xor(
+                source,
+                rng.choice(pools[target_domain]),
+                name=builder.fresh_name(f"xlink{link_index}"),
+            )
+            link_register = builder.flop(
+                mixed, name=f"xlink_reg{link_index}", clock_domain=target_domain
+            )
+            pools[target_domain].append(link_register)
+            domain_registers[target_domain].append(link_register)
+
+    # Primary outputs: a mixture of datapath and resistant nets across domains.
+    output_candidates: list[str] = []
+    for domain in config.clock_domains:
+        output_candidates.extend(domain_registers[domain][-4:])
+        output_candidates.extend(pools[domain][-4:])
+    rng.shuffle(output_candidates)
+    chosen: list[str] = []
+    for net in output_candidates:
+        if net not in chosen:
+            chosen.append(net)
+        if len(chosen) >= config.num_outputs:
+            break
+    for net in chosen:
+        builder.output(net)
+
+    return SyntheticCore(
+        circuit=builder.build(),
+        config=config,
+        resistant_nets=resistant_nets,
+        x_source_nets=x_source_nets,
+    )

@@ -1,0 +1,63 @@
+"""Fault models and fault simulation (S3).
+
+Public API:
+
+* :class:`~repro.faults.models.StuckAtFault` / :class:`~repro.faults.models.TransitionFault`,
+* :class:`~repro.faults.fault_list.FaultList` and the fault enumeration helpers,
+* :func:`~repro.faults.collapse.collapse_stuck_at` -- structural equivalence collapsing,
+* :class:`~repro.faults.fault_sim.FaultSimulator` -- PPSFP stuck-at simulation
+  with fault dropping and fault-effect profiling,
+* :class:`~repro.faults.transition_sim.TransitionFaultSimulator` -- launch-on-capture
+  transition fault simulation for the double-capture scheme,
+* the statistics helpers in :mod:`repro.faults.statistics`.
+"""
+
+from .models import OUTPUT_PIN, Fault, FaultStatus, StuckAtFault, TransitionFault
+from .fault_list import (
+    FaultList,
+    FaultRecord,
+    enumerate_stuck_at_faults,
+    enumerate_transition_faults,
+)
+from .collapse import CollapsedFaults, collapse_stuck_at
+from .fault_sim import FaultSimulationResult, FaultSimulator
+from .transition_sim import (
+    TransitionFaultSimulator,
+    TransitionSimulationResult,
+    derive_capture_patterns,
+)
+from .statistics import (
+    CoveragePoint,
+    coverage_curve_from_samples,
+    coverage_plateau_slope,
+    detection_summary,
+    escape_rate,
+    patterns_to_reach,
+    random_resistant_faults,
+)
+
+__all__ = [
+    "OUTPUT_PIN",
+    "Fault",
+    "FaultStatus",
+    "StuckAtFault",
+    "TransitionFault",
+    "FaultList",
+    "FaultRecord",
+    "enumerate_stuck_at_faults",
+    "enumerate_transition_faults",
+    "CollapsedFaults",
+    "collapse_stuck_at",
+    "FaultSimulationResult",
+    "FaultSimulator",
+    "TransitionFaultSimulator",
+    "TransitionSimulationResult",
+    "derive_capture_patterns",
+    "CoveragePoint",
+    "coverage_curve_from_samples",
+    "coverage_plateau_slope",
+    "detection_summary",
+    "escape_rate",
+    "patterns_to_reach",
+    "random_resistant_faults",
+]

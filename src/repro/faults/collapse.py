@@ -1,0 +1,193 @@
+"""Structural equivalence fault collapsing.
+
+Commercial tools report coverage over the *collapsed* fault list; the paper's
+93-97 % numbers are of that kind.  This module implements the classical
+structural equivalence rules:
+
+* for an AND/NAND gate, s-a-0 at any input is equivalent to s-a-0 (AND) or
+  s-a-1 (NAND) at the output,
+* for an OR/NOR gate, s-a-1 at any input is equivalent to s-a-1 (OR) or
+  s-a-0 (NOR) at the output,
+* for NOT/BUF, each input fault is equivalent to the complementary/same
+  output fault,
+* on fanout-free nets, the branch fault is equivalent to the stem fault
+  (already handled by not enumerating such branches).
+
+Each equivalence class keeps one representative (the fault closest to the
+primary inputs, which is the conventional choice); the mapping from every
+fault to its representative is retained so detection credit can be shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+from .fault_list import FaultList, enumerate_stuck_at_faults
+from .models import OUTPUT_PIN, StuckAtFault
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: dict[object, object] = {}
+
+    def add(self, item: object) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+
+    def find(self, item: object) -> object:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def classes(self) -> dict[object, list[object]]:
+        groups: dict[object, list[object]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), []).append(item)
+        return groups
+
+
+@dataclass
+class CollapsedFaults:
+    """Result of equivalence collapsing.
+
+    Attributes
+    ----------
+    representatives:
+        One fault per equivalence class (the collapsed fault list).
+    representative_of:
+        Mapping from every original fault to its class representative.
+    classes:
+        Mapping representative -> all members of its class.
+    """
+
+    representatives: list[StuckAtFault]
+    representative_of: dict[StuckAtFault, StuckAtFault]
+    classes: dict[StuckAtFault, list[StuckAtFault]]
+
+    @property
+    def collapse_ratio(self) -> float:
+        """|collapsed| / |original| (typically around 0.5-0.7 for random logic)."""
+        total = len(self.representative_of)
+        if total == 0:
+            return 1.0
+        return len(self.representatives) / total
+
+    def to_fault_list(self) -> FaultList:
+        """Fresh :class:`FaultList` over the representatives."""
+        return FaultList(self.representatives)
+
+
+def _input_output_equivalences(
+    gate_type: GateType, gate_name: str, num_inputs: int
+) -> list[tuple[StuckAtFault, StuckAtFault]]:
+    """Equivalence pairs (input-pin fault, output-stem fault) for one gate."""
+    pairs: list[tuple[StuckAtFault, StuckAtFault]] = []
+    if gate_type in (GateType.AND, GateType.NAND):
+        controlled = 0 if gate_type is GateType.AND else 1
+        for pin in range(num_inputs):
+            pairs.append(
+                (StuckAtFault(gate_name, pin, 0), StuckAtFault(gate_name, OUTPUT_PIN, controlled))
+            )
+    elif gate_type in (GateType.OR, GateType.NOR):
+        controlled = 1 if gate_type is GateType.OR else 0
+        for pin in range(num_inputs):
+            pairs.append(
+                (StuckAtFault(gate_name, pin, 1), StuckAtFault(gate_name, OUTPUT_PIN, controlled))
+            )
+    elif gate_type is GateType.NOT:
+        pairs.append((StuckAtFault(gate_name, 0, 0), StuckAtFault(gate_name, OUTPUT_PIN, 1)))
+        pairs.append((StuckAtFault(gate_name, 0, 1), StuckAtFault(gate_name, OUTPUT_PIN, 0)))
+    elif gate_type in (GateType.BUF, GateType.DFF):
+        pairs.append((StuckAtFault(gate_name, 0, 0), StuckAtFault(gate_name, OUTPUT_PIN, 0)))
+        pairs.append((StuckAtFault(gate_name, 0, 1), StuckAtFault(gate_name, OUTPUT_PIN, 1)))
+    return pairs
+
+
+def collapse_stuck_at(
+    circuit: Circuit, faults: list[StuckAtFault] | None = None
+) -> CollapsedFaults:
+    """Equivalence-collapse the stuck-at fault universe of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist.
+    faults:
+        Optional explicit fault universe; defaults to
+        :func:`~repro.faults.fault_list.enumerate_stuck_at_faults`.
+
+    Notes
+    -----
+    Only *local* gate equivalences plus the single-fanout stem/branch identity
+    are applied (the textbook structural collapsing).  Dominance collapsing is
+    deliberately not applied because dominance does not preserve detection
+    credit under arbitrary pattern sets.
+    """
+    if faults is None:
+        faults = enumerate_stuck_at_faults(circuit)
+    fault_set = set(faults)
+    uf = _UnionFind()
+    for fault in faults:
+        uf.add(fault)
+
+    fanout = circuit.fanout_map()
+    for gate in circuit:
+        pairs = _input_output_equivalences(gate.gate_type, gate.name, len(gate.inputs))
+        for branch_fault, stem_equiv in pairs:
+            if stem_equiv not in fault_set:
+                continue
+            # The equivalence links a fault on this gate's input pin to the
+            # fault on this gate's *output* stem.
+            if branch_fault in fault_set:
+                uf.union(stem_equiv, branch_fault)
+            # On a fanout-free input net the branch fault is identical to the
+            # driving stem fault, so the gate-local equivalence extends to it
+            # even when the branch fault itself is not enumerated.
+            net = gate.inputs[branch_fault.pin]
+            if len(fanout.get(net, ())) == 1:
+                driving_stem = StuckAtFault(net, OUTPUT_PIN, branch_fault.value)
+                if driving_stem in fault_set:
+                    uf.union(stem_equiv, driving_stem)
+        # Fanout-free nets: when branch faults *are* enumerated explicitly,
+        # also merge them with the driving stem fault directly.
+        for pin, net in enumerate(gate.inputs):
+            if len(fanout.get(net, ())) == 1:
+                for value in (0, 1):
+                    branch = StuckAtFault(gate.name, pin, value)
+                    stem = StuckAtFault(net, OUTPUT_PIN, value)
+                    if branch in fault_set and stem in fault_set:
+                        uf.union(stem, branch)
+
+    classes_raw = uf.classes()
+    # Choose a deterministic representative per class: prefer stem faults at
+    # the lowest circuit level (closest to the inputs), ties broken by name.
+    levels = circuit.levels()
+
+    def representative_key(fault: StuckAtFault) -> tuple:
+        return (levels.get(fault.gate, 0), 0 if fault.is_stem else 1, fault.gate, fault.pin, fault.value)
+
+    representative_of: dict[StuckAtFault, StuckAtFault] = {}
+    classes: dict[StuckAtFault, list[StuckAtFault]] = {}
+    representatives: list[StuckAtFault] = []
+    for members in classes_raw.values():
+        rep = min(members, key=representative_key)
+        representatives.append(rep)
+        classes[rep] = sorted(members, key=representative_key)
+        for member in members:
+            representative_of[member] = rep
+    representatives.sort(key=representative_key)
+    return CollapsedFaults(representatives, representative_of, classes)

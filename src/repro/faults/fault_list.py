@@ -1,0 +1,210 @@
+"""Fault-list construction and bookkeeping.
+
+A :class:`FaultList` tracks every fault's status through the BIST campaign:
+random-pattern simulation marks faults detected (with the index of the first
+detecting pattern), the top-up ATPG phase marks remaining faults detected,
+untestable, or aborted, and the coverage figures the paper reports in Table 1
+("Fault Coverage 1" after random patterns, "Fault Coverage 2" after top-up)
+are just two snapshots of the same list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+from .models import OUTPUT_PIN, FaultStatus, StuckAtFault, TransitionFault
+
+
+def enumerate_stuck_at_faults(
+    circuit: Circuit, include_branches: bool = True
+) -> list[StuckAtFault]:
+    """Enumerate the uncollapsed single stuck-at fault universe of ``circuit``.
+
+    Every gate output stem gets s-a-0/s-a-1; when ``include_branches`` is true,
+    every input pin of every gate whose driving net has fanout > 1 also gets
+    both faults (branch faults on single-fanout nets are equivalent to the stem
+    faults and are skipped to keep the universe closer to the collapsed size
+    commercial tools report).
+    """
+    faults: list[StuckAtFault] = []
+    fanout = circuit.fanout_map()
+    for gate in circuit:
+        if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+            continue
+        faults.append(StuckAtFault(gate.name, OUTPUT_PIN, 0))
+        faults.append(StuckAtFault(gate.name, OUTPUT_PIN, 1))
+        if not include_branches:
+            continue
+        for pin, net in enumerate(gate.inputs):
+            if len(fanout.get(net, ())) > 1:
+                faults.append(StuckAtFault(gate.name, pin, 0))
+                faults.append(StuckAtFault(gate.name, pin, 1))
+    return faults
+
+
+def enumerate_transition_faults(
+    circuit: Circuit, include_branches: bool = False
+) -> list[TransitionFault]:
+    """Enumerate transition-delay faults (slow-to-rise / slow-to-fall)."""
+    faults: list[TransitionFault] = []
+    fanout = circuit.fanout_map()
+    for gate in circuit:
+        if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+            continue
+        faults.append(TransitionFault(gate.name, OUTPUT_PIN, True))
+        faults.append(TransitionFault(gate.name, OUTPUT_PIN, False))
+        if not include_branches:
+            continue
+        for pin, net in enumerate(gate.inputs):
+            if len(fanout.get(net, ())) > 1:
+                faults.append(TransitionFault(gate.name, pin, True))
+                faults.append(TransitionFault(gate.name, pin, False))
+    return faults
+
+
+@dataclass
+class FaultRecord:
+    """Status and detection history of one fault."""
+
+    fault: object
+    status: FaultStatus = FaultStatus.UNDETECTED
+    #: Index (within the overall campaign) of the first detecting pattern.
+    first_detection: Optional[int] = None
+    #: Total number of detecting patterns seen (n-detect statistics).
+    detection_count: int = 0
+
+
+class FaultList:
+    """Ordered collection of faults with status tracking and coverage queries."""
+
+    def __init__(self, faults: Iterable[object] = ()) -> None:
+        self._records: dict[object, FaultRecord] = {}
+        for fault in faults:
+            self.add(fault)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def stuck_at(cls, circuit: Circuit, include_branches: bool = True) -> "FaultList":
+        """Full single stuck-at fault list for ``circuit``."""
+        return cls(enumerate_stuck_at_faults(circuit, include_branches))
+
+    @classmethod
+    def transition(cls, circuit: Circuit, include_branches: bool = False) -> "FaultList":
+        """Full transition fault list for ``circuit``."""
+        return cls(enumerate_transition_faults(circuit, include_branches))
+
+    def add(self, fault: object) -> None:
+        """Add one fault (idempotent)."""
+        if fault not in self._records:
+            self._records[fault] = FaultRecord(fault)
+
+    # ------------------------------------------------------------------ #
+    # Status updates
+    # ------------------------------------------------------------------ #
+    def record(self, fault: object) -> FaultRecord:
+        """The :class:`FaultRecord` for ``fault``."""
+        return self._records[fault]
+
+    def mark_detected(self, fault: object, pattern_index: Optional[int] = None) -> None:
+        """Mark ``fault`` detected (keeps the earliest detecting pattern index)."""
+        record = self._records[fault]
+        record.detection_count += 1
+        if record.status is not FaultStatus.DETECTED:
+            record.status = FaultStatus.DETECTED
+            record.first_detection = pattern_index
+        elif pattern_index is not None and (
+            record.first_detection is None or pattern_index < record.first_detection
+        ):
+            record.first_detection = pattern_index
+
+    def mark_untestable(self, fault: object) -> None:
+        """Mark ``fault`` proven untestable (excluded from the coverage denominator
+        when using the *testable* coverage definition)."""
+        self._records[fault].status = FaultStatus.UNTESTABLE
+
+    def mark_aborted(self, fault: object) -> None:
+        """Mark ``fault`` aborted by ATPG (still counted as undetected)."""
+        record = self._records[fault]
+        if record.status is FaultStatus.UNDETECTED:
+            record.status = FaultStatus.ABORTED
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._records)
+
+    def __contains__(self, fault: object) -> bool:
+        return fault in self._records
+
+    def faults(self) -> list[object]:
+        """All faults, in insertion order."""
+        return list(self._records)
+
+    def with_status(self, status: FaultStatus) -> list[object]:
+        """Faults currently in ``status``."""
+        return [f for f, r in self._records.items() if r.status is status]
+
+    def undetected(self) -> list[object]:
+        """Faults not yet detected (includes aborted)."""
+        return [
+            f
+            for f, r in self._records.items()
+            if r.status in (FaultStatus.UNDETECTED, FaultStatus.ABORTED)
+        ]
+
+    def detected(self) -> list[object]:
+        """Faults detected so far."""
+        return self.with_status(FaultStatus.DETECTED)
+
+    def detected_count(self) -> int:
+        """Number of detected faults."""
+        return sum(1 for r in self._records.values() if r.status is FaultStatus.DETECTED)
+
+    def untestable_count(self) -> int:
+        """Number of proven-untestable faults."""
+        return sum(1 for r in self._records.values() if r.status is FaultStatus.UNTESTABLE)
+
+    def coverage(self, exclude_untestable: bool = False) -> float:
+        """Fault coverage in [0, 1].
+
+        ``exclude_untestable=False`` is raw fault coverage (detected / all),
+        the figure DFT reports usually quote; ``True`` gives test efficiency
+        (detected / (all - untestable)).
+        """
+        total = len(self._records)
+        if exclude_untestable:
+            total -= self.untestable_count()
+        if total == 0:
+            return 1.0
+        return self.detected_count() / total
+
+    def n_detect_histogram(self, max_n: int = 10) -> dict[int, int]:
+        """Histogram of detection counts, clipped at ``max_n`` (for N-detect studies)."""
+        histogram: dict[int, int] = {n: 0 for n in range(max_n + 1)}
+        for record in self._records.values():
+            histogram[min(record.detection_count, max_n)] += 1
+        return histogram
+
+    def filter(self, predicate: Callable[[object], bool]) -> "FaultList":
+        """New fault list containing only faults satisfying ``predicate`` (fresh records)."""
+        return FaultList(f for f in self._records if predicate(f))
+
+    def restricted_to(self, faults: Sequence[object]) -> "FaultList":
+        """New fault list containing only the given faults, preserving records."""
+        subset = FaultList()
+        for fault in faults:
+            if fault in self._records:
+                record = self._records[fault]
+                subset._records[fault] = FaultRecord(
+                    fault, record.status, record.first_detection, record.detection_count
+                )
+        return subset

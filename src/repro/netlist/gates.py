@@ -1,0 +1,313 @@
+"""Gate types and gate evaluation primitives.
+
+The whole reproduction works on a flat, technology-independent gate-level
+netlist.  This module defines the set of supported gate types together with
+their evaluation semantics in three forms:
+
+* scalar two-valued evaluation (``evaluate_scalar``) used by tests and small
+  utilities,
+* packed two-valued evaluation (``evaluate_packed``) where every operand is an
+  arbitrary-precision Python integer holding one bit per test pattern -- this
+  is the workhorse of the logic and fault simulators,
+* packed three-valued (0/1/X) evaluation (``evaluate_packed3``) used for
+  X-source analysis, unknown propagation and ATPG value justification.
+
+The three-valued encoding follows the classical *dual-rail* scheme: a value is
+a pair ``(ones, zeros)`` of bit masks.  Bit *i* of ``ones`` is set when
+pattern *i* is known to be 1, bit *i* of ``zeros`` is set when it is known to
+be 0, and a bit set in neither mask is an unknown (X).  A bit must never be
+set in both masks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class GateType(enum.Enum):
+    """Supported gate/primitive types.
+
+    The set intentionally mirrors the primitives found in the ISCAS-85/89
+    benchmark format plus a few DFT-specific primitives that the logic BIST
+    flow inserts (observation points are plain ``BUF`` fanout stems, X-blocking
+    gates are ``AND``/``OR`` with a constant side input).
+    """
+
+    #: Logical AND of all inputs (>= 1 input).
+    AND = "and"
+    #: Logical NAND of all inputs.
+    NAND = "nand"
+    #: Logical OR of all inputs.
+    OR = "or"
+    #: Logical NOR of all inputs.
+    NOR = "nor"
+    #: Exclusive OR (parity) of all inputs.
+    XOR = "xor"
+    #: Complement of the parity of all inputs.
+    XNOR = "xnor"
+    #: Inverter (exactly 1 input).
+    NOT = "not"
+    #: Non-inverting buffer (exactly 1 input).
+    BUF = "buf"
+    #: 2:1 multiplexer: inputs are ``(sel, a, b)`` -> ``a`` when sel=0, ``b`` when sel=1.
+    MUX = "mux"
+    #: Constant logic 0 (no inputs).
+    CONST0 = "const0"
+    #: Constant logic 1 (no inputs).
+    CONST1 = "const1"
+    #: D flip-flop.  Inputs are ``(d,)``; the gate output is the Q pin.
+    DFF = "dff"
+    #: Primary-input placeholder (no inputs); used internally by the circuit graph.
+    INPUT = "input"
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for state-holding primitives (only :attr:`DFF`)."""
+        return self is GateType.DFF
+
+    @property
+    def is_source(self) -> bool:
+        """True for primitives without logic inputs (constants and PIs)."""
+        return self in (GateType.CONST0, GateType.CONST1, GateType.INPUT)
+
+    @property
+    def is_inverting(self) -> bool:
+        """True when the gate complements the natural function of its class.
+
+        Used by fault collapsing and by SCOAP to decide output parity.
+        """
+        return self in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT)
+
+
+#: Gate types for which the *controlling value* concept applies.
+CONTROLLING_VALUE: dict[GateType, int] = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+#: Output produced when a controlling value is present at any input.
+CONTROLLED_OUTPUT: dict[GateType, int] = {
+    GateType.AND: 0,
+    GateType.NAND: 1,
+    GateType.OR: 1,
+    GateType.NOR: 0,
+}
+
+
+class GateEvaluationError(ValueError):
+    """Raised when a gate is evaluated with an invalid operand count."""
+
+
+def _require_inputs(gate_type: GateType, values: Sequence[int], minimum: int) -> None:
+    if len(values) < minimum:
+        raise GateEvaluationError(
+            f"{gate_type.name} requires at least {minimum} input(s), got {len(values)}"
+        )
+
+
+def evaluate_scalar(gate_type: GateType, values: Sequence[int]) -> int:
+    """Evaluate a gate on scalar two-valued inputs.
+
+    Parameters
+    ----------
+    gate_type:
+        The primitive to evaluate.  ``DFF`` and ``INPUT`` are not combinational
+        and cannot be evaluated here.
+    values:
+        Input values, each 0 or 1, in pin order.
+
+    Returns
+    -------
+    int
+        The gate output, 0 or 1.
+    """
+    return evaluate_packed(gate_type, values, mask=1) & 1
+
+
+def evaluate_packed(gate_type: GateType, values: Sequence[int], mask: int) -> int:
+    """Evaluate a gate on packed two-valued inputs.
+
+    Each element of ``values`` is an integer whose bit *i* carries the input
+    value for pattern *i*; ``mask`` has one bit set per valid pattern and is
+    used to bound the complement operation.
+    """
+    if gate_type is GateType.AND or gate_type is GateType.NAND:
+        _require_inputs(gate_type, values, 1)
+        out = mask
+        for v in values:
+            out &= v
+        return (~out & mask) if gate_type is GateType.NAND else out
+    if gate_type is GateType.OR or gate_type is GateType.NOR:
+        _require_inputs(gate_type, values, 1)
+        out = 0
+        for v in values:
+            out |= v
+        return (~out & mask) if gate_type is GateType.NOR else (out & mask)
+    if gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        _require_inputs(gate_type, values, 1)
+        out = 0
+        for v in values:
+            out ^= v
+        out &= mask
+        return (~out & mask) if gate_type is GateType.XNOR else out
+    if gate_type is GateType.NOT:
+        _require_inputs(gate_type, values, 1)
+        return ~values[0] & mask
+    if gate_type is GateType.BUF:
+        _require_inputs(gate_type, values, 1)
+        return values[0] & mask
+    if gate_type is GateType.MUX:
+        if len(values) != 3:
+            raise GateEvaluationError(f"MUX requires exactly 3 inputs, got {len(values)}")
+        sel, a, b = values
+        return ((~sel & a) | (sel & b)) & mask
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    raise GateEvaluationError(f"cannot combinationally evaluate gate type {gate_type.name}")
+
+
+@dataclass(frozen=True)
+class PackedValue3:
+    """Dual-rail packed three-valued (0/1/X) value.
+
+    ``ones`` marks patterns known to be 1, ``zeros`` marks patterns known to
+    be 0, and patterns in neither mask are X.  Invariant: ``ones & zeros == 0``.
+    """
+
+    ones: int
+    zeros: int
+
+    def __post_init__(self) -> None:
+        if self.ones & self.zeros:
+            raise ValueError("a packed 3-valued value cannot be both 0 and 1 in the same pattern")
+
+    @property
+    def x_mask(self) -> int:
+        """Bit mask of patterns whose value is unknown, given implicit width.
+
+        Note this needs a width mask to interpret; the simulators always AND
+        with their own pattern mask.
+        """
+        return ~(self.ones | self.zeros)
+
+    @staticmethod
+    def constant(value: int, mask: int) -> "PackedValue3":
+        """All-patterns constant 0 or 1."""
+        if value not in (0, 1):
+            raise ValueError("constant must be 0 or 1")
+        return PackedValue3(mask if value else 0, 0 if value else mask)
+
+    @staticmethod
+    def all_x() -> "PackedValue3":
+        """All-patterns unknown."""
+        return PackedValue3(0, 0)
+
+    @staticmethod
+    def from_packed(ones: int, mask: int) -> "PackedValue3":
+        """Lift a fully-known packed two-valued word into the dual-rail form."""
+        return PackedValue3(ones & mask, ~ones & mask)
+
+
+def evaluate_packed3(
+    gate_type: GateType, values: Sequence[PackedValue3], mask: int
+) -> PackedValue3:
+    """Evaluate a gate on packed three-valued (0/1/X) inputs.
+
+    The evaluation follows standard pessimistic three-valued semantics: an
+    output bit is known only when the inputs force it regardless of how the
+    X bits would resolve.
+    """
+    if gate_type is GateType.AND or gate_type is GateType.NAND:
+        _require_inputs(gate_type, values, 1)
+        ones = mask
+        zeros = 0
+        for v in values:
+            ones &= v.ones
+            zeros |= v.zeros
+        ones &= mask
+        zeros &= mask
+        if gate_type is GateType.NAND:
+            ones, zeros = zeros, ones
+        return PackedValue3(ones, zeros)
+    if gate_type is GateType.OR or gate_type is GateType.NOR:
+        _require_inputs(gate_type, values, 1)
+        ones = 0
+        zeros = mask
+        for v in values:
+            ones |= v.ones
+            zeros &= v.zeros
+        ones &= mask
+        zeros &= mask
+        if gate_type is GateType.NOR:
+            ones, zeros = zeros, ones
+        return PackedValue3(ones, zeros)
+    if gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        _require_inputs(gate_type, values, 1)
+        known = mask
+        parity = 0
+        for v in values:
+            known &= v.ones | v.zeros
+            parity ^= v.ones
+        parity &= known
+        ones = parity
+        zeros = known & ~parity
+        if gate_type is GateType.XNOR:
+            ones, zeros = zeros, ones
+        return PackedValue3(ones & mask, zeros & mask)
+    if gate_type is GateType.NOT:
+        _require_inputs(gate_type, values, 1)
+        return PackedValue3(values[0].zeros & mask, values[0].ones & mask)
+    if gate_type is GateType.BUF:
+        _require_inputs(gate_type, values, 1)
+        return PackedValue3(values[0].ones & mask, values[0].zeros & mask)
+    if gate_type is GateType.MUX:
+        if len(values) != 3:
+            raise GateEvaluationError(f"MUX requires exactly 3 inputs, got {len(values)}")
+        sel, a, b = values
+        # Output known-1 when: sel known-0 and a known-1, or sel known-1 and b
+        # known-1, or both a and b known-1 (sel irrelevant).  Symmetric for 0.
+        ones = (sel.zeros & a.ones) | (sel.ones & b.ones) | (a.ones & b.ones)
+        zeros = (sel.zeros & a.zeros) | (sel.ones & b.zeros) | (a.zeros & b.zeros)
+        return PackedValue3(ones & mask, zeros & mask)
+    if gate_type is GateType.CONST0:
+        return PackedValue3(0, mask)
+    if gate_type is GateType.CONST1:
+        return PackedValue3(mask, 0)
+    raise GateEvaluationError(f"cannot combinationally evaluate gate type {gate_type.name}")
+
+
+#: Mapping from the names used in .bench files (and a few aliases) to GateType.
+GATE_NAME_ALIASES: dict[str, GateType] = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "inv": GateType.NOT,
+    "buf": GateType.BUF,
+    "buff": GateType.BUF,
+    "mux": GateType.MUX,
+    "const0": GateType.CONST0,
+    "const1": GateType.CONST1,
+    "tie0": GateType.CONST0,
+    "tie1": GateType.CONST1,
+    "dff": GateType.DFF,
+    "input": GateType.INPUT,
+}
+
+
+def parse_gate_type(name: str) -> GateType:
+    """Translate a textual gate name (case-insensitive) into a :class:`GateType`."""
+    key = name.strip().lower()
+    try:
+        return GATE_NAME_ALIASES[key]
+    except KeyError as exc:
+        raise ValueError(f"unknown gate type name: {name!r}") from exc

@@ -1,0 +1,108 @@
+"""Technology cell library: per-gate area and delay characterisation.
+
+The paper reports area overhead (4.4 % for Core X, 3.2 % for Core Y) for the
+inserted BIST logic, and the at-speed timing analysis (Fig. 2 / Fig. 3) needs
+propagation delays along the shift path.  Real flows take these numbers from a
+standard-cell library; here we provide a small technology-independent library
+whose *relative* area and delay values follow typical standard-cell ratios
+(an n-input NAND is cheaper than an n-input XOR, flip-flops dominate area,
+etc.).  Absolute units are arbitrary ("gate equivalents" for area,
+"nanoseconds at nominal load" for delay) -- the experiments only use ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .gates import GateType
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Area/delay characterisation of one gate primitive.
+
+    Attributes
+    ----------
+    base_area:
+        Area of the 1-input (or fixed-arity) version, in gate equivalents.
+    area_per_input:
+        Additional area per input beyond the first.
+    base_delay_ns:
+        Intrinsic propagation delay in nanoseconds.
+    delay_per_input_ns:
+        Additional delay per input beyond the first (models larger stacks).
+    delay_per_fanout_ns:
+        Additional delay per fanout branch (models load).
+    """
+
+    base_area: float
+    area_per_input: float
+    base_delay_ns: float
+    delay_per_input_ns: float
+    delay_per_fanout_ns: float = 0.01
+
+
+#: Default characterisation.  Values follow common educational standard-cell
+#: tables (e.g. the ones used for gate-equivalent counting in DFT textbooks):
+#: NAND2 = 1 GE is the unit of area, a mux-D scan flip-flop is ~6 GE, XOR is
+#: roughly 3x a NAND.
+DEFAULT_CELL_SPECS: dict[GateType, CellSpec] = {
+    GateType.AND: CellSpec(1.25, 0.5, 0.10, 0.02),
+    GateType.NAND: CellSpec(1.00, 0.5, 0.07, 0.02),
+    GateType.OR: CellSpec(1.25, 0.5, 0.10, 0.02),
+    GateType.NOR: CellSpec(1.00, 0.5, 0.08, 0.02),
+    GateType.XOR: CellSpec(3.00, 1.5, 0.16, 0.04),
+    GateType.XNOR: CellSpec(3.00, 1.5, 0.16, 0.04),
+    GateType.NOT: CellSpec(0.50, 0.0, 0.04, 0.00),
+    GateType.BUF: CellSpec(0.75, 0.0, 0.06, 0.00),
+    GateType.MUX: CellSpec(2.50, 0.0, 0.14, 0.00),
+    GateType.CONST0: CellSpec(0.00, 0.0, 0.00, 0.00),
+    GateType.CONST1: CellSpec(0.00, 0.0, 0.00, 0.00),
+    GateType.DFF: CellSpec(4.50, 0.0, 0.20, 0.00),
+    GateType.INPUT: CellSpec(0.00, 0.0, 0.00, 0.00),
+}
+
+#: Extra area charged when a plain DFF is converted into a mux-D scan cell.
+SCAN_CELL_AREA_PENALTY = 1.5
+#: Area of one re-timing (lock-up) flip-flop inserted for hold fixing.
+RETIMING_FF_AREA = 4.5
+
+
+@dataclass
+class CellLibrary:
+    """A collection of :class:`CellSpec` entries with area/delay queries.
+
+    The library is deliberately mutable so that experiments can re-characterise
+    individual cells (for example to study how a slower XOR tree affects the
+    chain-to-MISR setup margin in the Fig. 3 analysis).
+    """
+
+    specs: dict[GateType, CellSpec] = field(
+        default_factory=lambda: dict(DEFAULT_CELL_SPECS)
+    )
+    scan_cell_area_penalty: float = SCAN_CELL_AREA_PENALTY
+
+    def spec(self, gate_type: GateType) -> CellSpec:
+        """Return the :class:`CellSpec` for ``gate_type`` (KeyError if absent)."""
+        return self.specs[gate_type]
+
+    def area(self, gate_type: GateType, num_inputs: int) -> float:
+        """Area in gate equivalents of one instance with ``num_inputs`` inputs."""
+        spec = self.specs[gate_type]
+        extra_inputs = max(0, num_inputs - 1)
+        return spec.base_area + spec.area_per_input * extra_inputs
+
+    def delay_ns(self, gate_type: GateType, num_inputs: int, fanout: int = 1) -> float:
+        """Pin-to-pin propagation delay in nanoseconds for one instance."""
+        spec = self.specs[gate_type]
+        extra_inputs = max(0, num_inputs - 1)
+        load = max(0, fanout - 1)
+        return (
+            spec.base_delay_ns
+            + spec.delay_per_input_ns * extra_inputs
+            + spec.delay_per_fanout_ns * load
+        )
+
+    def scan_cell_area(self) -> float:
+        """Area of one mux-D scan flip-flop."""
+        return self.area(GateType.DFF, 1) + self.scan_cell_area_penalty

@@ -1,0 +1,159 @@
+"""Structural validation (netlist lint) for circuits.
+
+A BIST-ready core has to satisfy a number of structural properties before the
+STUMPS logic can be wrapped around it (no dangling nets, no combinational
+loops, sensible pin counts, every flop in a known clock domain, ...).  This
+module collects those checks into a single report object so the flow can fail
+early with a readable message instead of deep inside fault simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .circuit import Circuit, CircuitError
+from .gates import GateType
+
+#: Expected input-pin counts per gate type; ``None`` means "one or more".
+_EXPECTED_PIN_COUNTS: dict[GateType, int | None] = {
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.MUX: 3,
+    GateType.DFF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.INPUT: 0,
+    GateType.AND: None,
+    GateType.NAND: None,
+    GateType.OR: None,
+    GateType.NOR: None,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+}
+
+
+@dataclass
+class ValidationIssue:
+    """One lint finding."""
+
+    severity: str  # "error" or "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"[{self.severity.upper()}] {self.code}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Collection of lint findings for one circuit."""
+
+    circuit_name: str
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        """Only the error-severity findings."""
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        """Only the warning-severity findings."""
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when the circuit has no error-severity findings."""
+        return not self.errors
+
+    def add(self, severity: str, code: str, message: str) -> None:
+        """Append one finding."""
+        self.issues.append(ValidationIssue(severity, code, message))
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`CircuitError` summarising all errors, if any."""
+        if self.errors:
+            details = "; ".join(str(issue) for issue in self.errors[:10])
+            more = "" if len(self.errors) <= 10 else f" (+{len(self.errors) - 10} more)"
+            raise CircuitError(
+                f"circuit {self.circuit_name!r} failed validation: {details}{more}"
+            )
+
+
+def validate_circuit(circuit: Circuit) -> ValidationReport:
+    """Run all structural checks on ``circuit`` and return a report.
+
+    Checks performed:
+
+    * every referenced input net is driven (``dangling-net``);
+    * gate input-pin counts match the primitive arity (``bad-pin-count``);
+    * the combinational part is acyclic (``combinational-loop``);
+    * every declared primary output is driven (``undriven-output``);
+    * floating gates, i.e. gates with no fanout that are not primary outputs
+    * every flop has a clock domain (``missing-clock-domain``);
+      and not flop data sources (``floating-gate``, warning only);
+    * primary inputs that drive nothing (``unused-input``, warning only).
+    """
+    report = ValidationReport(circuit.name)
+    gates = circuit.gates
+
+    for gate in circuit:
+        expected = _EXPECTED_PIN_COUNTS.get(gate.gate_type)
+        if expected is None:
+            if len(gate.inputs) < 1:
+                report.add(
+                    "error",
+                    "bad-pin-count",
+                    f"{gate.gate_type.name} gate {gate.name!r} has no inputs",
+                )
+        elif len(gate.inputs) != expected:
+            report.add(
+                "error",
+                "bad-pin-count",
+                f"{gate.gate_type.name} gate {gate.name!r} has {len(gate.inputs)} "
+                f"inputs, expected {expected}",
+            )
+        for net in gate.inputs:
+            if net not in gates:
+                report.add(
+                    "error",
+                    "dangling-net",
+                    f"gate {gate.name!r} references undriven net {net!r}",
+                )
+        if gate.gate_type is GateType.DFF and not gate.clock_domain:
+            report.add(
+                "error",
+                "missing-clock-domain",
+                f"flop {gate.name!r} has no clock domain",
+            )
+
+    for po in circuit.primary_outputs:
+        if po not in gates:
+            report.add("error", "undriven-output", f"primary output {po!r} is not driven")
+
+    # Loop detection and fanout analysis only make sense on a structurally
+    # sound netlist.
+    if report.ok:
+        try:
+            circuit.topological_order()
+        except CircuitError as exc:
+            report.add("error", "combinational-loop", str(exc))
+
+    if report.ok:
+        fanout = circuit.fanout_map()
+        observed = set(circuit.primary_outputs)
+        for gate in circuit:
+            if gate.is_primary_input:
+                if not fanout.get(gate.name):
+                    report.add(
+                        "warning", "unused-input", f"primary input {gate.name!r} drives nothing"
+                    )
+                continue
+            if not fanout.get(gate.name) and gate.name not in observed:
+                report.add(
+                    "warning",
+                    "floating-gate",
+                    f"gate {gate.name!r} has no fanout and is not observed",
+                )
+
+    return report

@@ -1,0 +1,55 @@
+"""Scan / DFT transforms (S7).
+
+Public API:
+
+* :func:`~repro.scan.insertion.insert_scan` with
+  :class:`~repro.scan.insertion.ScanInsertionConfig` /
+  :class:`~repro.scan.insertion.ScanInsertionResult`,
+* :func:`~repro.scan.chains.build_scan_chains`,
+  :class:`~repro.scan.chains.ScanChainArchitecture` and
+  :func:`~repro.scan.chains.verify_chain_architecture`,
+* the X-blocking helpers in :mod:`repro.scan.x_blocking`,
+* the scan-cell records in :mod:`repro.scan.scan_cell`.
+"""
+
+from .scan_cell import ScanCell, classify_flop, scan_conversion_area
+from .x_blocking import (
+    XBlockingResult,
+    block_x_sources,
+    identify_x_sources,
+    verify_x_clean,
+    x_contaminated_observation_nets,
+)
+from .chains import (
+    ScanChain,
+    ScanChainArchitecture,
+    build_scan_chains,
+    verify_chain_architecture,
+)
+from .insertion import (
+    ScanInsertionConfig,
+    ScanInsertionResult,
+    insert_scan,
+    wrap_primary_inputs,
+    wrap_primary_outputs,
+)
+
+__all__ = [
+    "ScanCell",
+    "classify_flop",
+    "scan_conversion_area",
+    "XBlockingResult",
+    "block_x_sources",
+    "identify_x_sources",
+    "verify_x_clean",
+    "x_contaminated_observation_nets",
+    "ScanChain",
+    "ScanChainArchitecture",
+    "build_scan_chains",
+    "verify_chain_architecture",
+    "ScanInsertionConfig",
+    "ScanInsertionResult",
+    "insert_scan",
+    "wrap_primary_inputs",
+    "wrap_primary_outputs",
+]

@@ -1,0 +1,80 @@
+"""Scan-cell modelling and bookkeeping.
+
+The BIST-ready core is a full-scan design: every flip-flop is replaced by a
+mux-D scan cell (functional D input plus a scan-data input selected by the
+scan-enable SE).  The netlist keeps the *functional* view -- a scan cell is
+still a DFF gate -- and the scan behaviour (shift path, SE) lives in the
+architecture objects, which is how DFT tools treat it too: the shift path is
+metadata over the functional netlist.
+
+This module defines the metadata record per scan cell and the area accounting
+used for the overhead numbers in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netlist.circuit import Circuit, Gate
+from ..netlist.library import CellLibrary
+
+
+@dataclass(frozen=True)
+class ScanCell:
+    """Metadata for one scan cell.
+
+    Attributes
+    ----------
+    flop:
+        Name of the underlying DFF gate in the netlist.
+    clock_domain:
+        Clock domain of the cell.
+    chain:
+        Name of the scan chain the cell belongs to (assigned by the chain
+        architect), ``None`` until chains are built.
+    position:
+        Position within the chain, 0 = closest to scan-in.
+    is_wrapper:
+        True for the PI/PO wrapper cells the paper adds ("Scan cells were
+        inserted for all PIs and POs to increase delay fault coverage").
+    is_observation_point:
+        True for cells added by observation test-point insertion.
+    """
+
+    flop: str
+    clock_domain: str
+    chain: Optional[str] = None
+    position: Optional[int] = None
+    is_wrapper: bool = False
+    is_observation_point: bool = False
+
+
+def classify_flop(gate: Gate) -> ScanCell:
+    """Build the :class:`ScanCell` record for a netlist flop from its attributes."""
+    return ScanCell(
+        flop=gate.name,
+        clock_domain=gate.clock_domain or "clk",
+        is_wrapper=bool(gate.attributes.get("wrapper_cell")),
+        is_observation_point=bool(gate.attributes.get("observation_point")),
+    )
+
+
+def scan_conversion_area(
+    circuit: Circuit, library: Optional[CellLibrary] = None
+) -> float:
+    """Extra area (gate equivalents) of converting every flop into a scan cell.
+
+    Only the mux-D penalty is counted here; the flop itself already exists in
+    the functional design.  Wrapper and observation-point cells are *new*
+    flops, so their full scan-cell area is charged by the insertion code, not
+    here.
+    """
+    library = library or CellLibrary()
+    original_flops = [
+        gate
+        for gate in circuit.flops()
+        if not gate.attributes.get("wrapper_cell")
+        and not gate.attributes.get("observation_point")
+    ]
+    return len(original_flops) * library.scan_cell_area_penalty

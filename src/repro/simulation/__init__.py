@@ -1,0 +1,46 @@
+"""Logic simulation substrate (S2).
+
+Public API:
+
+* :class:`~repro.simulation.comb_sim.PackedSimulator` -- two-valued
+  pattern-parallel combinational simulation (the fault-simulation workhorse),
+* :class:`~repro.simulation.comb_sim.XPropagationSimulator` -- three-valued
+  (0/1/X) simulation for X-source analysis and ATPG,
+* :class:`~repro.simulation.sequential.SequentialSimulator` -- cycle-accurate
+  scalar simulation with per-clock-domain pulses and scan shifting,
+* :class:`~repro.simulation.event_sim.EventDrivenSimulator` and
+  :func:`~repro.simulation.event_sim.arrival_times` -- delay-annotated timing,
+* :class:`~repro.simulation.waveform.Waveform` -- timing diagrams,
+* the pattern-packing helpers in :mod:`repro.simulation.packed`.
+"""
+
+from .packed import (
+    DEFAULT_BLOCK_SIZE,
+    PatternBlock,
+    iter_blocks,
+    mask_for,
+    pack_patterns,
+    unpack_words,
+)
+from .comb_sim import PackedSimulator, XPropagationSimulator
+from .sequential import SequentialSimulator
+from .event_sim import EventDrivenSimulator, arrival_times, earliest_arrival_times, gate_delay
+from .waveform import SignalTrace, Waveform
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "PatternBlock",
+    "iter_blocks",
+    "mask_for",
+    "pack_patterns",
+    "unpack_words",
+    "PackedSimulator",
+    "XPropagationSimulator",
+    "SequentialSimulator",
+    "EventDrivenSimulator",
+    "arrival_times",
+    "earliest_arrival_times",
+    "gate_delay",
+    "SignalTrace",
+    "Waveform",
+]

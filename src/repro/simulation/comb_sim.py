@@ -1,0 +1,242 @@
+"""Pattern-parallel combinational logic simulation.
+
+Two simulators are provided:
+
+* :class:`PackedSimulator` -- two-valued, pattern-parallel.  This is the
+  workhorse underneath fault simulation, random-pattern coverage estimation
+  and signature computation.  Flop outputs are treated as pseudo primary
+  inputs (the full-scan view), so the caller supplies their values alongside
+  the primary inputs.
+* :class:`XPropagationSimulator` -- three-valued (0/1/X), pattern-parallel.
+  Used by the X-source analysis in :mod:`repro.scan.x_blocking` and by ATPG
+  to check which faults a partially-specified pattern already covers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType, PackedValue3, evaluate_packed, evaluate_packed3
+from .packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
+
+
+class PackedSimulator:
+    """Two-valued, pattern-parallel combinational simulator.
+
+    The simulator pre-computes a flat evaluation schedule (topological order of
+    the combinational gates) once per circuit, then evaluates whole pattern
+    blocks with one pass of bitwise operations per gate.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self._stimulus = set(circuit.stimulus_nets())
+        # Pre-compile the evaluation schedule: (name, gate_type, inputs tuple).
+        self._schedule: list[tuple[str, GateType, tuple[str, ...]]] = []
+        for name in circuit.topological_order():
+            gate = circuit.gate(name)
+            if gate.is_primary_input or gate.is_flop:
+                continue
+            self._schedule.append((name, gate.gate_type, tuple(gate.inputs)))
+
+    # ------------------------------------------------------------------ #
+    # Block-level interface
+    # ------------------------------------------------------------------ #
+    def simulate_block(
+        self, stimulus: Mapping[str, int], num_patterns: int
+    ) -> dict[str, int]:
+        """Simulate one packed block.
+
+        Parameters
+        ----------
+        stimulus:
+            Packed values for primary inputs and flop outputs (pseudo primary
+            inputs).  Nets not supplied default to all-zero.
+        num_patterns:
+            Number of valid pattern bits in the block.
+
+        Returns
+        -------
+        dict
+            Packed values for *every* net in the circuit (stimulus nets
+            included), suitable for response capture or fault-effect
+            comparison.
+        """
+        mask = mask_for(num_patterns)
+        values: dict[str, int] = {}
+        for net in self._stimulus:
+            values[net] = stimulus.get(net, 0) & mask
+        for name, gate_type, inputs in self._schedule:
+            values[name] = evaluate_packed(
+                gate_type, [values[net] for net in inputs], mask
+            )
+        return values
+
+    def resimulate_cone(
+        self,
+        base_values: Mapping[str, int],
+        overrides: Mapping[str, int],
+        cone: set[str],
+        num_patterns: int,
+    ) -> dict[str, int]:
+        """Re-evaluate only the gates inside ``cone`` with some nets overridden.
+
+        This is the inner loop of single-fault propagation: ``base_values`` is
+        the fault-free simulation result, ``overrides`` pins the fault site(s)
+        to their faulty value, and only the fanout ``cone`` of the fault site
+        is recomputed.  Values of nets outside the cone are read from
+        ``base_values``.
+
+        Returns the packed values of the nets inside the cone (plus the
+        overridden nets).
+        """
+        mask = mask_for(num_patterns)
+        local: dict[str, int] = {net: value & mask for net, value in overrides.items()}
+
+        def value_of(net: str) -> int:
+            if net in local:
+                return local[net]
+            return base_values[net]
+
+        for name, gate_type, inputs in self._schedule:
+            if name not in cone or name in local:
+                continue
+            local[name] = evaluate_packed(gate_type, [value_of(n) for n in inputs], mask)
+        return local
+
+    # ------------------------------------------------------------------ #
+    # Pattern-list convenience interface
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        patterns: Sequence[Mapping[str, int]],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> list[dict[str, int]]:
+        """Simulate a pattern list and return per-pattern values of every net."""
+        results: list[dict[str, int]] = []
+        for block in iter_blocks(patterns, block_size=block_size):
+            values = self.simulate_block(block.assignments, block.num_patterns)
+            results.extend(PatternBlock(values, block.num_patterns).patterns())
+        return results
+
+    def run_outputs(
+        self,
+        patterns: Sequence[Mapping[str, int]],
+        observe: Sequence[str] | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> list[dict[str, int]]:
+        """Simulate a pattern list and return only the observed nets per pattern.
+
+        ``observe`` defaults to the circuit's observation nets (primary outputs
+        plus flop data inputs).
+        """
+        observe = list(observe) if observe is not None else self.circuit.observation_nets()
+        results: list[dict[str, int]] = []
+        for block in iter_blocks(patterns, block_size=block_size):
+            values = self.simulate_block(block.assignments, block.num_patterns)
+            selected = {net: values[net] for net in observe}
+            results.extend(PatternBlock(selected, block.num_patterns).patterns())
+        return results
+
+
+class XPropagationSimulator:
+    """Three-valued (0/1/X), pattern-parallel combinational simulator."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self._stimulus = set(circuit.stimulus_nets())
+        self._schedule: list[tuple[str, GateType, tuple[str, ...]]] = []
+        for name in circuit.topological_order():
+            gate = circuit.gate(name)
+            if gate.is_primary_input or gate.is_flop:
+                continue
+            self._schedule.append((name, gate.gate_type, tuple(gate.inputs)))
+
+    def simulate_block(
+        self,
+        stimulus: Mapping[str, PackedValue3],
+        num_patterns: int,
+        default_x: bool = True,
+        force_x: "set[str] | None" = None,
+    ) -> dict[str, PackedValue3]:
+        """Simulate one packed block of three-valued stimulus.
+
+        Nets not present in ``stimulus`` default to all-X when ``default_x`` is
+        true (the conservative choice for X-source analysis) and to constant 0
+        otherwise.  Nets listed in ``force_x`` are forced to all-X regardless
+        of their computed value -- this is how internal X sources (memory
+        outputs, black boxes) are modelled without changing the netlist.
+        """
+        mask = mask_for(num_patterns)
+        force_x = force_x or set()
+        values: dict[str, PackedValue3] = {}
+        for net in self._stimulus:
+            if net in force_x:
+                values[net] = PackedValue3.all_x()
+            elif net in stimulus:
+                supplied = stimulus[net]
+                values[net] = PackedValue3(supplied.ones & mask, supplied.zeros & mask)
+            elif default_x:
+                values[net] = PackedValue3.all_x()
+            else:
+                values[net] = PackedValue3.constant(0, mask)
+        for name, gate_type, inputs in self._schedule:
+            if name in force_x:
+                values[name] = PackedValue3.all_x()
+                continue
+            values[name] = evaluate_packed3(
+                gate_type, [values[net] for net in inputs], mask
+            )
+        return values
+
+    def simulate_single(
+        self, stimulus: Mapping[str, int | None], default_x: bool = True
+    ) -> dict[str, int | None]:
+        """Simulate one pattern where ``None`` denotes X; returns scalar values.
+
+        Convenience wrapper used by ATPG (which reasons pattern-at-a-time) and
+        by the X-blocking analysis tests.
+        """
+        packed: dict[str, PackedValue3] = {}
+        for net, value in stimulus.items():
+            if value is None:
+                packed[net] = PackedValue3.all_x()
+            else:
+                packed[net] = PackedValue3.constant(int(value), 1)
+        values = self.simulate_block(packed, 1, default_x=default_x)
+        result: dict[str, int | None] = {}
+        for net, value in values.items():
+            if value.ones & 1:
+                result[net] = 1
+            elif value.zeros & 1:
+                result[net] = 0
+            else:
+                result[net] = None
+        return result
+
+    def x_reachable_nets(self, x_sources: Sequence[str]) -> set[str]:
+        """Nets whose value can become X when the given source nets are X.
+
+        The sources may be stimulus nets or internal nets (memory/black-box
+        outputs).  All other stimulus nets are treated as known; a net is
+        reported when its simulated value is unknown, i.e. the X actually
+        propagates through the logic rather than merely being in the fanout.
+        A simulation with all-0 and one with all-1 side inputs are unioned,
+        because a single corner under-approximates propagation through
+        controlling values (the typical DFT heuristic).
+        """
+        mask = 1
+        sources = set(x_sources)
+        reachable: set[str] = set()
+        for corner in (0, 1):
+            stimulus = {
+                net: PackedValue3.constant(corner, mask)
+                for net in self._stimulus
+                if net not in sources
+            }
+            values = self.simulate_block(stimulus, 1, default_x=False, force_x=sources)
+            for net, value in values.items():
+                if (value.ones | value.zeros) & mask == 0:
+                    reachable.add(net)
+        return reachable

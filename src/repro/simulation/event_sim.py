@@ -1,0 +1,188 @@
+"""Event-driven timing simulation and static arrival-time analysis.
+
+The physical-implementation part of the paper (Section 2.3, Fig. 3) is about
+*when* signals arrive: the PRPG/MISR clocks are phase-advanced with respect to
+the scan-chain clock so that the PRPG-to-chain path can only fail hold and the
+chain-to-MISR path can only fail setup.  To reason about that we need gate
+propagation delays, which this module provides in two complementary forms:
+
+* :func:`arrival_times` -- a static (worst-case) arrival-time computation over
+  the combinational netlist, given per-stimulus-net launch times, using the
+  :class:`~repro.netlist.library.CellLibrary` delay model;
+* :class:`EventDrivenSimulator` -- a small event-driven simulator that applies
+  timed input transitions and produces :class:`~repro.simulation.waveform.Waveform`
+  traces (used for illustrative waveforms and for glitch inspection in tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping, Optional
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType, evaluate_scalar
+from ..netlist.library import CellLibrary
+from .waveform import Waveform
+
+
+def gate_delay(
+    circuit: Circuit, library: CellLibrary, gate_name: str
+) -> float:
+    """Propagation delay of one gate instance, including fanout load."""
+    gate = circuit.gate(gate_name)
+    fanout = len(circuit.fanout(gate_name))
+    return library.delay_ns(gate.gate_type, len(gate.inputs), max(1, fanout))
+
+
+def arrival_times(
+    circuit: Circuit,
+    library: Optional[CellLibrary] = None,
+    launch_times: Optional[Mapping[str, float]] = None,
+) -> dict[str, float]:
+    """Worst-case (latest) arrival time at every net.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist; flop outputs and primary inputs are launch points.
+    library:
+        Delay model; defaults to :class:`CellLibrary()`.
+    launch_times:
+        Launch time of each stimulus net (defaults to 0.0).  This is where the
+        clock-skew experiments inject per-domain clock arrival offsets.
+
+    Returns
+    -------
+    dict
+        Net name -> latest arrival time in nanoseconds.
+    """
+    library = library or CellLibrary()
+    launch_times = launch_times or {}
+    times: dict[str, float] = {}
+    for net in circuit.stimulus_nets():
+        times[net] = float(launch_times.get(net, 0.0))
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_primary_input or gate.is_flop:
+            continue
+        if gate.gate_type.is_source:
+            times[name] = 0.0
+            continue
+        input_arrival = max(times[net] for net in gate.inputs)
+        times[name] = input_arrival + gate_delay(circuit, library, name)
+    return times
+
+
+def earliest_arrival_times(
+    circuit: Circuit,
+    library: Optional[CellLibrary] = None,
+    launch_times: Optional[Mapping[str, float]] = None,
+) -> dict[str, float]:
+    """Best-case (earliest) arrival time at every net (used for hold analysis)."""
+    library = library or CellLibrary()
+    launch_times = launch_times or {}
+    times: dict[str, float] = {}
+    for net in circuit.stimulus_nets():
+        times[net] = float(launch_times.get(net, 0.0))
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_primary_input or gate.is_flop:
+            continue
+        if gate.gate_type.is_source:
+            times[name] = 0.0
+            continue
+        input_arrival = min(times[net] for net in gate.inputs)
+        times[name] = input_arrival + gate_delay(circuit, library, name)
+    return times
+
+
+class EventDrivenSimulator:
+    """Small event-driven gate-level simulator with per-gate delays.
+
+    The simulator keeps a scalar value per net, processes timed input
+    transitions from an event queue, and schedules gate output updates after
+    the gate's propagation delay.  It records every value change into a
+    :class:`Waveform` so tests can inspect glitches and settle times.
+    """
+
+    def __init__(self, circuit: Circuit, library: Optional[CellLibrary] = None) -> None:
+        self.circuit = circuit
+        self.library = library or CellLibrary()
+        self.values: dict[str, int] = {name: 0 for name in circuit.gates}
+        self.waveform = Waveform()
+        self._delay_cache: dict[str, float] = {}
+        self._time = 0.0
+
+    def _delay(self, gate_name: str) -> float:
+        if gate_name not in self._delay_cache:
+            self._delay_cache[gate_name] = gate_delay(self.circuit, self.library, gate_name)
+        return self._delay_cache[gate_name]
+
+    def initialise(self, values: Mapping[str, int]) -> None:
+        """Set initial values (time 0) without scheduling events."""
+        for net, value in values.items():
+            self.values[net] = int(value) & 1
+            self.waveform.signal(net, initial_value=self.values[net])
+
+    def run(
+        self,
+        input_events: Mapping[str, list[tuple[float, int]]],
+        settle_time_ns: float = 1000.0,
+    ) -> Waveform:
+        """Apply timed transitions on stimulus nets and simulate until quiet.
+
+        Parameters
+        ----------
+        input_events:
+            Mapping stimulus net -> list of (time, value) transitions.
+        settle_time_ns:
+            Safety horizon; simulation aborts past this time to guard against
+            oscillation in (erroneously) cyclic circuits.
+
+        Returns
+        -------
+        Waveform
+            Every net's recorded transitions.
+        """
+        counter = 0
+        queue: list[tuple[float, int, str, int]] = []
+        for net, events in input_events.items():
+            if net not in self.circuit.gates:
+                raise KeyError(f"unknown net {net!r}")
+            for time, value in events:
+                heapq.heappush(queue, (float(time), counter, net, int(value) & 1))
+                counter += 1
+
+        while queue:
+            time, _, net, value = heapq.heappop(queue)
+            if time > settle_time_ns:
+                raise RuntimeError(
+                    f"simulation did not settle within {settle_time_ns} ns "
+                    "(possible oscillation)"
+                )
+            self._time = time
+            if self.values.get(net) == value:
+                continue
+            self.values[net] = value
+            self.waveform.add_event(net, time, value)
+            # Schedule re-evaluation of combinational fanout gates.
+            for successor in self.circuit.fanout(net):
+                gate = self.circuit.gate(successor)
+                if gate.is_flop:
+                    continue
+                new_value = evaluate_scalar(
+                    gate.gate_type, [self.values[n] for n in gate.inputs]
+                ) if gate.gate_type not in (GateType.CONST0, GateType.CONST1) else (
+                    1 if gate.gate_type is GateType.CONST1 else 0
+                )
+                heapq.heappush(
+                    queue,
+                    (time + self._delay(successor), counter, successor, new_value),
+                )
+                counter += 1
+        return self.waveform
+
+    @property
+    def current_time(self) -> float:
+        """Time of the last processed event."""
+        return self._time

@@ -1,0 +1,189 @@
+"""COP: probabilistic controllability / observability analysis.
+
+COP (Controllability/Observability Program) estimates, under uniformly random
+stimulus:
+
+* ``p1(net)``  -- the probability that the net evaluates to 1,
+* ``obs(net)`` -- the probability that a value change on the net propagates to
+  an observed output,
+* ``detect(fault)`` -- the probability that one random pattern detects a
+  stuck-at fault, which is ``obs * p_activation``.
+
+These estimates assume signal independence (reconvergent fanout is ignored),
+which is exactly why fault-simulation-guided insertion beats them on real
+circuits -- the ablation benchmark quantifies that gap.  They are nevertheless
+useful for quick random-resistance screening and for estimating the expected
+random-pattern coverage curve analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..faults.models import StuckAtFault
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+
+
+@dataclass(frozen=True)
+class CopMeasures:
+    """COP pair for one net."""
+
+    p1: float
+    observability: float
+
+    @property
+    def p0(self) -> float:
+        """Probability of the net being 0."""
+        return 1.0 - self.p1
+
+
+def signal_probabilities(circuit: Circuit, input_p1: float = 0.5) -> Dict[str, float]:
+    """Probability of each net being 1 under independent random stimulus.
+
+    ``input_p1`` is the 1-probability of every stimulus net (0.5 for an
+    unbiased PRPG; weighted-random experiments use other values).
+    """
+    p1: dict[str, float] = {}
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_primary_input or gate.is_flop:
+            p1[name] = input_p1
+            continue
+        gate_type = gate.gate_type
+        if gate_type is GateType.CONST0:
+            p1[name] = 0.0
+            continue
+        if gate_type is GateType.CONST1:
+            p1[name] = 1.0
+            continue
+        probabilities = [p1[n] for n in gate.inputs]
+        if gate_type in (GateType.AND, GateType.NAND):
+            value = 1.0
+            for p in probabilities:
+                value *= p
+            p1[name] = 1.0 - value if gate_type is GateType.NAND else value
+        elif gate_type in (GateType.OR, GateType.NOR):
+            value = 1.0
+            for p in probabilities:
+                value *= 1.0 - p
+            p1[name] = value if gate_type is GateType.NOR else 1.0 - value
+        elif gate_type in (GateType.XOR, GateType.XNOR):
+            value = 0.0
+            for p in probabilities:
+                value = value * (1.0 - p) + (1.0 - value) * p
+            p1[name] = 1.0 - value if gate_type is GateType.XNOR else value
+        elif gate_type is GateType.NOT:
+            p1[name] = 1.0 - probabilities[0]
+        elif gate_type is GateType.BUF:
+            p1[name] = probabilities[0]
+        elif gate_type is GateType.MUX:
+            sel, a, b = probabilities
+            p1[name] = (1.0 - sel) * a + sel * b
+        else:  # pragma: no cover
+            raise ValueError(f"unsupported gate type {gate_type}")
+    return p1
+
+
+def observabilities(
+    circuit: Circuit, p1: Dict[str, float] | None = None, input_p1: float = 0.5
+) -> Dict[str, float]:
+    """COP observability of every net (probability a change propagates out)."""
+    if p1 is None:
+        p1 = signal_probabilities(circuit, input_p1)
+    obs: dict[str, float] = {name: 0.0 for name in circuit.gates}
+    for net in circuit.observation_nets():
+        obs[net] = 1.0
+    for name in reversed(circuit.topological_order()):
+        gate = circuit.gate(name)
+        if gate.is_primary_input or gate.is_flop or gate.gate_type.is_source:
+            continue
+        output_obs = obs[name]
+        if output_obs == 0.0:
+            continue
+        gate_type = gate.gate_type
+        for pin, net in enumerate(gate.inputs):
+            others = [n for i, n in enumerate(gate.inputs) if i != pin]
+            if gate_type in (GateType.AND, GateType.NAND):
+                sensitise = 1.0
+                for other in others:
+                    sensitise *= p1[other]
+            elif gate_type in (GateType.OR, GateType.NOR):
+                sensitise = 1.0
+                for other in others:
+                    sensitise *= 1.0 - p1[other]
+            elif gate_type in (GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF):
+                sensitise = 1.0
+            elif gate_type is GateType.MUX:
+                if pin == 0:
+                    # A select change matters when the two data inputs differ.
+                    a, b = p1[gate.inputs[1]], p1[gate.inputs[2]]
+                    sensitise = a * (1.0 - b) + (1.0 - a) * b
+                elif pin == 1:
+                    sensitise = 1.0 - p1[gate.inputs[0]]
+                else:
+                    sensitise = p1[gate.inputs[0]]
+            else:  # pragma: no cover
+                raise ValueError(f"unsupported gate type {gate_type}")
+            candidate = output_obs * sensitise
+            if candidate > obs[net]:
+                obs[net] = candidate
+    return obs
+
+
+def compute_cop(circuit: Circuit, input_p1: float = 0.5) -> Dict[str, CopMeasures]:
+    """Full COP analysis: per-net (p1, observability)."""
+    p1 = signal_probabilities(circuit, input_p1)
+    obs = observabilities(circuit, p1, input_p1)
+    return {name: CopMeasures(p1[name], obs[name]) for name in circuit.gates}
+
+
+def detection_probability(
+    circuit: Circuit, fault: StuckAtFault, cop: Dict[str, CopMeasures] | None = None
+) -> float:
+    """Per-random-pattern detection probability estimate for a stuck-at fault."""
+    if cop is None:
+        cop = compute_cop(circuit)
+    net = fault.faulted_net(circuit)
+    measures = cop[net]
+    activation = measures.p0 if fault.value == 1 else measures.p1
+    return activation * measures.observability
+
+
+def expected_coverage(
+    circuit: Circuit,
+    faults: list[StuckAtFault],
+    num_patterns: int,
+    cop: Dict[str, CopMeasures] | None = None,
+) -> float:
+    """Analytic estimate of random-pattern coverage after ``num_patterns``.
+
+    Uses the standard independence model: a fault with per-pattern detection
+    probability *p* is detected with probability ``1 - (1 - p) ** n``.
+    """
+    if cop is None:
+        cop = compute_cop(circuit)
+    if not faults:
+        return 1.0
+    detected = 0.0
+    for fault in faults:
+        p = detection_probability(circuit, fault, cop)
+        detected += 1.0 - (1.0 - p) ** num_patterns
+    return detected / len(faults)
+
+
+def random_resistant_nets(
+    circuit: Circuit, threshold: float = 1e-3, input_p1: float = 0.5
+) -> list[str]:
+    """Nets whose COP detection probability (for either stuck value) is below ``threshold``."""
+    cop = compute_cop(circuit, input_p1)
+    resistant = []
+    for name, measures in cop.items():
+        gate = circuit.gate(name)
+        if gate.is_primary_input or gate.gate_type.is_source:
+            continue
+        worst = min(measures.p0, measures.p1) * measures.observability
+        if worst < threshold:
+            resistant.append(name)
+    return resistant

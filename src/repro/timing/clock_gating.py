@@ -1,0 +1,120 @@
+"""Clock-gating block: derives the gated test clocks from the functional clocks.
+
+The clock-gating block of Fig. 1 takes the original functional clocks (CK1,
+CK2, ...) and the controller state and produces:
+
+* the *shift clocks* during the shift window -- one pulse per shift cycle on
+  every domain, at a (typically slower) shift frequency that all domains share,
+* the *capture pulses* during the capture window -- exactly the two at-speed
+  pulses per domain placed by the :class:`~repro.timing.double_capture.CaptureWindowScheduler`,
+* nothing at all otherwise (clocks gated off), so unrelated logic does not
+  toggle during self-test.
+
+Because gating only ever *suppresses* edges of the functional clock, every
+pulse that does come through is aligned to a functional-clock edge: the model
+therefore snaps the scheduled capture times onto the corresponding domain's
+functional edge grid and reports the (sub-period) adjustment it had to make,
+which the tests assert is always smaller than one period.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .clocks import ClockTreeModel
+from .double_capture import CaptureSchedule
+
+
+@dataclass(frozen=True)
+class GatedPulse:
+    """One pulse of a gated test clock."""
+
+    domain: str
+    start_ns: float
+    width_ns: float
+    #: "shift" or "launch" or "capture".
+    role: str
+
+
+@dataclass
+class ClockGatingBlock:
+    """Behavioural model of the per-domain clock gating logic."""
+
+    clock_tree: ClockTreeModel
+    #: Shift-clock period shared by all domains (ns).  Shifting does not need
+    #: to run at speed; 3x the slowest functional period is a comfortable
+    #: default that eases SE distribution exactly as the paper intends.
+    shift_period_ns: Optional[float] = None
+    pulse_width_fraction: float = 0.25
+    #: Sub-period adjustments made when snapping capture pulses onto the
+    #: functional edge grid (filled by generate_capture_pulses).
+    snap_adjustments_ns: dict[str, float] = field(default_factory=dict)
+
+    def resolved_shift_period(self) -> float:
+        """The shift-clock period actually used."""
+        if self.shift_period_ns is not None:
+            return self.shift_period_ns
+        slowest = max(
+            self.clock_tree.domain(name).period_ns for name in self.clock_tree.domain_names()
+        )
+        return 3.0 * slowest
+
+    # ------------------------------------------------------------------ #
+    # Shift window
+    # ------------------------------------------------------------------ #
+    def generate_shift_pulses(
+        self, start_ns: float, shift_cycles: int
+    ) -> list[GatedPulse]:
+        """Shift-clock pulses for every domain (all domains shift together)."""
+        if shift_cycles < 0:
+            raise ValueError("shift_cycles cannot be negative")
+        period = self.resolved_shift_period()
+        pulses: list[GatedPulse] = []
+        for cycle in range(shift_cycles):
+            start = start_ns + cycle * period
+            for name in self.clock_tree.domain_names():
+                pulses.append(
+                    GatedPulse(
+                        domain=name,
+                        start_ns=start,
+                        width_ns=period * self.pulse_width_fraction,
+                        role="shift",
+                    )
+                )
+        return pulses
+
+    # ------------------------------------------------------------------ #
+    # Capture window
+    # ------------------------------------------------------------------ #
+    def generate_capture_pulses(self, schedule: CaptureSchedule) -> list[GatedPulse]:
+        """The two at-speed pulses per domain, snapped onto functional edges.
+
+        Launch-to-capture spacing is preserved exactly (both pulses snap by
+        the same amount), so the at-speed property survives the snapping.
+        """
+        pulses: list[GatedPulse] = []
+        self.snap_adjustments_ns = {}
+        for timing in schedule.domains:
+            spec = self.clock_tree.domain(timing.domain)
+            grid = spec.period_ns
+            snapped_launch = math.ceil((timing.launch_time_ns - 1e-9) / grid) * grid
+            adjustment = snapped_launch - timing.launch_time_ns
+            self.snap_adjustments_ns[timing.domain] = adjustment
+            width = timing.pulse_width_ns
+            pulses.append(
+                GatedPulse(timing.domain, snapped_launch, width, role="launch")
+            )
+            pulses.append(
+                GatedPulse(
+                    timing.domain, snapped_launch + spec.period_ns, width, role="capture"
+                )
+            )
+        return pulses
+
+    def max_snap_adjustment_ns(self) -> float:
+        """Largest snap adjustment of the last capture-pulse generation."""
+        if not self.snap_adjustments_ns:
+            return 0.0
+        return max(abs(v) for v in self.snap_adjustments_ns.values())

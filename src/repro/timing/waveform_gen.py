@@ -1,0 +1,119 @@
+"""Fig. 2 waveform generation: shift window, capture window, SE, gated test clocks.
+
+This module turns a shift-window configuration plus a
+:class:`~repro.timing.double_capture.CaptureSchedule` into a
+:class:`~repro.simulation.waveform.Waveform` with one trace per gated test
+clock (TCK1, TCK2, ...) and one for the scan-enable SE -- the textual analogue
+of the paper's Fig. 2.  The Fig. 2 benchmark and the multi-clock example
+render it with :meth:`Waveform.to_ascii` and assert its structural properties
+(pulse counts, at-speed spacing, slow SE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..simulation.waveform import Waveform
+from .clock_gating import ClockGatingBlock
+from .clocks import ClockTreeModel
+from .double_capture import CaptureSchedule, CaptureWindowScheduler
+
+
+@dataclass
+class BistWaveformConfig:
+    """Knobs for the generated waveform."""
+
+    #: Number of shift cycles rendered before (and after) the capture window.
+    shift_cycles: int = 4
+    #: Gap between the last shift pulse and the SE falling edge (ns).
+    se_fall_margin_ns: float = 2.0
+    #: Gap between the SE rising edge and the first pulse of the next shift window (ns).
+    se_rise_margin_ns: float = 2.0
+
+
+def tck_signal_name(domain: str) -> str:
+    """Waveform trace name for a domain's gated test clock."""
+    return f"TCK_{domain}"
+
+
+def generate_bist_waveform(
+    clock_tree: ClockTreeModel,
+    schedule: Optional[CaptureSchedule] = None,
+    config: Optional[BistWaveformConfig] = None,
+    scheduler: Optional[CaptureWindowScheduler] = None,
+) -> tuple[Waveform, CaptureSchedule]:
+    """Render one shift window + capture window + shift window.
+
+    Returns the waveform and the capture schedule actually used (handy when it
+    was created internally).
+    """
+    config = config or BistWaveformConfig()
+    gating = ClockGatingBlock(clock_tree)
+    shift_period = gating.resolved_shift_period()
+
+    # Pre-capture shift window.
+    shift_pulses = gating.generate_shift_pulses(0.0, config.shift_cycles)
+    shift_end = config.shift_cycles * shift_period
+
+    # Capture window (schedule built relative to the SE falling edge).
+    se_fall = shift_end + config.se_fall_margin_ns
+    if schedule is None:
+        scheduler = scheduler or CaptureWindowScheduler(clock_tree)
+        schedule = scheduler.schedule(se_fall_ns=se_fall)
+    capture_pulses = gating.generate_capture_pulses(schedule)
+
+    waveform = Waveform()
+    # SE: high during shifting, low across the capture window, high again after.
+    waveform.signal("SE", initial_value=1)
+    waveform.add_event("SE", schedule.se_fall_ns, 0)
+    waveform.add_event("SE", schedule.se_rise_ns, 1)
+
+    for pulse in shift_pulses:
+        waveform.add_pulse(tck_signal_name(pulse.domain), pulse.start_ns, pulse.width_ns)
+    for pulse in capture_pulses:
+        waveform.add_pulse(tck_signal_name(pulse.domain), pulse.start_ns, pulse.width_ns)
+
+    # Post-capture shift window (start of the next pattern).
+    next_shift_start = schedule.se_rise_ns + config.se_rise_margin_ns
+    for pulse in gating.generate_shift_pulses(next_shift_start, config.shift_cycles):
+        waveform.add_pulse(tck_signal_name(pulse.domain), pulse.start_ns, pulse.width_ns)
+
+    return waveform, schedule
+
+
+def se_transition_count(waveform: Waveform) -> int:
+    """Number of SE transitions in the rendered window (2 per capture window)."""
+    return len(waveform.signal("SE").transitions())
+
+
+def se_minimum_stable_time(waveform: Waveform) -> float:
+    """Shortest time SE stays at one level -- the 'slow SE' figure of merit.
+
+    The paper's point is that d1 and d5 can be stretched so SE never needs to
+    switch quickly; this helper measures the minimum stable interval so the
+    benchmark can show it is orders of magnitude above a functional period.
+    """
+    transitions = waveform.signal("SE").transitions()
+    if len(transitions) < 2:
+        return float("inf")
+    times = [time for time, _, _ in transitions]
+    gaps = [later - earlier for earlier, later in zip(times, times[1:])]
+    return min(gaps)
+
+
+def domain_capture_pulse_times(waveform: Waveform, domain: str) -> list[float]:
+    """Rising edges of a domain's gated clock that fall inside the SE-low window."""
+    se = waveform.signal("SE")
+    low_windows = []
+    fall_time = None
+    for time, old, new in se.transitions():
+        if old == 1 and new == 0:
+            fall_time = time
+        elif old == 0 and new == 1 and fall_time is not None:
+            low_windows.append((fall_time, time))
+            fall_time = None
+    rising = waveform.signal(tck_signal_name(domain)).rising_edges()
+    return [
+        t for t in rising if any(start <= t <= end for start, end in low_windows)
+    ]

@@ -1,0 +1,32 @@
+"""Test point insertion (S6).
+
+Public API:
+
+* :class:`~repro.tpi.observation_points.FaultSimGuidedObservationTpi` -- the
+  paper's fault-simulation-guided observation-point selector,
+* :func:`~repro.tpi.observation_points.apply_observation_points` /
+  :func:`~repro.tpi.observation_points.observation_point_flops`,
+* :class:`~repro.tpi.observability_tpi.ObservabilityGuidedTpi` -- the
+  SCOAP/COP baseline selector (ablation A1),
+* :class:`~repro.tpi.control_points.ControlPointInserter` -- control points,
+  implemented only to quantify the delay penalty the paper avoids.
+"""
+
+from .observation_points import (
+    FaultSimGuidedObservationTpi,
+    ObservationPointPlan,
+    apply_observation_points,
+    observation_point_flops,
+)
+from .observability_tpi import ObservabilityGuidedTpi
+from .control_points import ControlPointInserter, ControlPointPlan
+
+__all__ = [
+    "FaultSimGuidedObservationTpi",
+    "ObservationPointPlan",
+    "apply_observation_points",
+    "observation_point_flops",
+    "ObservabilityGuidedTpi",
+    "ControlPointInserter",
+    "ControlPointPlan",
+]

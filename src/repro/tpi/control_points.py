@@ -1,0 +1,109 @@
+"""Control-point insertion -- provided only as an ablation.
+
+The paper explicitly avoids control points: *"no control point is used in
+order to meet strict performance requirements for IP cores"*, because a
+control point inserts an AND/OR gate **in series** with a functional path and
+therefore adds delay.  To quantify that trade-off, this module implements the
+classical control-point transform so the ablation benchmark can measure
+
+* the coverage a given number of control points would buy, and
+* the functional-path delay penalty they would cost (via the cell library),
+
+and show that observation-only insertion reaches the paper's coverage targets
+without the penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+from ..netlist.library import CellLibrary
+from ..testability.cop import compute_cop
+
+
+@dataclass
+class ControlPointPlan:
+    """Selected control points and the functional-delay cost of inserting them."""
+
+    #: (net, forced value) pairs: value 1 uses an OR gate, value 0 an AND gate.
+    points: list[tuple[str, int]] = field(default_factory=list)
+    #: Extra series delay (ns) added to each modified functional path.
+    delay_penalty_ns: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_delay_penalty_ns(self) -> float:
+        """Sum of per-net series-delay penalties."""
+        return sum(self.delay_penalty_ns.values())
+
+
+@dataclass
+class ControlPointInserter:
+    """Probability-driven control-point selector and inserter (ablation only)."""
+
+    circuit: Circuit
+    budget: int = 16
+    library: CellLibrary = field(default_factory=CellLibrary)
+
+    def select(self, exclude: Optional[Sequence[str]] = None) -> ControlPointPlan:
+        """Pick nets with the most skewed signal probability.
+
+        A net stuck near probability 0 gets a control-to-1 point (OR), a net
+        stuck near 1 gets a control-to-0 point (AND): the classical COP-driven
+        heuristic.
+        """
+        excluded = set(exclude or ())
+        cop = compute_cop(self.circuit)
+        plan = ControlPointPlan()
+        scored: list[tuple[float, str, int]] = []
+        for name, measures in cop.items():
+            gate = self.circuit.gate(name)
+            if gate.is_primary_input or gate.is_flop or gate.gate_type.is_source:
+                continue
+            if name in excluded:
+                continue
+            # Skew = how far from 0.5; direction picks the forced value.
+            if measures.p1 <= 0.5:
+                scored.append((measures.p1, name, 1))
+            else:
+                scored.append((1.0 - measures.p1, name, 0))
+        scored.sort()
+        for skew, name, value in scored[: self.budget]:
+            plan.points.append((name, value))
+            gate_type = GateType.OR if value == 1 else GateType.AND
+            plan.delay_penalty_ns[name] = self.library.delay_ns(gate_type, 2)
+        return plan
+
+    def apply(self, plan: ControlPointPlan, enable_net: str = "cp_test_enable") -> list[str]:
+        """Insert the control-point gates into the circuit (in place).
+
+        A single test-enable input gates every control point: when the enable
+        is 0 the circuit behaves functionally (modulo the added gate delay),
+        when it is 1 each controlled net is forced to its chosen value.
+        Returns the names of the inserted gates.
+        """
+        circuit = self.circuit
+        if enable_net not in circuit.gates:
+            circuit.add_input(enable_net)
+        inserted: list[str] = []
+        for index, (net, value) in enumerate(plan.points):
+            new_name = f"cp_{index}_{net}"
+            if value == 1:
+                # Force-to-1: OR(original, enable).
+                circuit.add_gate(new_name, GateType.OR, [net, enable_net], control_point=True)
+            else:
+                # Force-to-0: AND(original, NOT enable).
+                inv_name = f"cp_{index}_{net}_n"
+                if inv_name not in circuit.gates:
+                    circuit.add_gate(inv_name, GateType.NOT, [enable_net])
+                circuit.add_gate(new_name, GateType.AND, [net, inv_name], control_point=True)
+            # Rewire every original consumer of the net to the control point
+            # (deduplicated: one rewiring call covers every pin of a consumer).
+            for consumer in dict.fromkeys(circuit.fanout(net)):
+                if consumer == new_name or consumer.startswith(f"cp_{index}_{net}"):
+                    continue
+                circuit.replace_input_net(consumer, net, new_name)
+            inserted.append(new_name)
+        return inserted

@@ -1,0 +1,134 @@
+"""Tests for the .bench reader/writer, including round-trip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    BenchFormatError,
+    CircuitBuilder,
+    GateType,
+    circuit_to_bench_text,
+    load_bench,
+    parse_bench_text,
+    save_bench,
+)
+
+C17_TEXT = """
+# c17 (ISCAS-85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+class TestParsing:
+    def test_parse_c17(self):
+        circuit = parse_bench_text(C17_TEXT, name="c17")
+        assert len(circuit.primary_inputs) == 5
+        assert len(circuit.primary_outputs) == 2
+        assert circuit.gate_count() == 6
+        assert circuit.gate("G22").gate_type is GateType.NAND
+
+    def test_parse_sequential_with_domains(self):
+        text = """
+        INPUT(a)
+        OUTPUT(q2)
+        n1 = AND(a, q1)
+        q1 = DFF(n1)
+        q2 = DFF(n1) @fast
+        """
+        circuit = parse_bench_text(text)
+        assert circuit.gate("q1").clock_domain == "clk"
+        assert circuit.gate("q2").clock_domain == "fast"
+
+    def test_parse_constants_and_mux(self):
+        text = """
+        INPUT(s)
+        INPUT(a)
+        OUTPUT(y)
+        one = CONST1()
+        y = MUX(s, a, one)
+        """
+        circuit = parse_bench_text(text)
+        assert circuit.gate("one").gate_type is GateType.CONST1
+        assert circuit.gate("y").inputs == ["s", "a", "one"]
+
+    def test_comments_and_blank_lines_ignored(self):
+        circuit = parse_bench_text("# only a comment\n\nINPUT(a)\nOUTPUT(a)\n")
+        assert circuit.primary_inputs == ["a"]
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench_text("this is not bench format")
+
+    def test_domain_on_combinational_gate_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench_text("INPUT(a)\nb = AND(a, a) @fast\n")
+
+    def test_unknown_gate_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bench_text("INPUT(a)\nb = FROB(a)\n")
+
+
+class TestRoundTrip:
+    def test_c17_round_trip(self):
+        circuit = parse_bench_text(C17_TEXT, name="c17")
+        text = circuit_to_bench_text(circuit)
+        again = parse_bench_text(text, name="c17")
+        assert again.primary_inputs == circuit.primary_inputs
+        assert again.primary_outputs == circuit.primary_outputs
+        assert set(again.gates) == set(circuit.gates)
+        for name, gate in circuit.gates.items():
+            assert again.gate(name).gate_type is gate.gate_type
+            assert again.gate(name).inputs == gate.inputs
+
+    def test_file_round_trip(self, tmp_path):
+        circuit = parse_bench_text(C17_TEXT, name="c17")
+        path = tmp_path / "c17.bench"
+        save_bench(circuit, path)
+        loaded = load_bench(path)
+        assert loaded.name == "c17"
+        assert set(loaded.gates) == set(circuit.gates)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_circuit_round_trip(self, data):
+        """Property: writer output parses back to the identical structure."""
+        builder = CircuitBuilder(name="rand")
+        num_inputs = data.draw(st.integers(min_value=1, max_value=6))
+        nets = builder.inputs(num_inputs, prefix="in")
+        num_gates = data.draw(st.integers(min_value=1, max_value=25))
+        gate_types = [
+            GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+            GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF,
+        ]
+        for _ in range(num_gates):
+            gate_type = data.draw(st.sampled_from(gate_types))
+            arity = 1 if gate_type in (GateType.NOT, GateType.BUF) else data.draw(
+                st.integers(min_value=2, max_value=4)
+            )
+            ins = [data.draw(st.sampled_from(nets)) for _ in range(arity)]
+            nets.append(builder.gate(gate_type, ins))
+        if data.draw(st.booleans()):
+            domain = data.draw(st.sampled_from(["clk", "clkA", "clkB"]))
+            nets.append(builder.flop(nets[-1], clock_domain=domain))
+        builder.output(nets[-1])
+        circuit = builder.build()
+
+        again = parse_bench_text(circuit_to_bench_text(circuit), name="rand")
+        assert set(again.gates) == set(circuit.gates)
+        assert again.primary_outputs == circuit.primary_outputs
+        for name, gate in circuit.gates.items():
+            assert again.gate(name).gate_type is gate.gate_type
+            assert again.gate(name).inputs == gate.inputs
+            assert again.gate(name).clock_domain == gate.clock_domain

@@ -1,0 +1,268 @@
+"""Tests for the clock model, double-capture scheduler, clock gating, skew analysis and waveforms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timing import (
+    BistWaveformConfig,
+    CaptureWindowScheduler,
+    ClockDomainSpec,
+    ClockGatingBlock,
+    ClockTreeModel,
+    ShiftPathAnalyzer,
+    ShiftPathParameters,
+    domain_capture_pulse_times,
+    generate_bist_waveform,
+    make_clock_tree,
+    monte_carlo_violations,
+    se_minimum_stable_time,
+    se_transition_count,
+    tck_signal_name,
+)
+
+
+def core_x_clock_tree():
+    """Two domains at 250 MHz (Core X of Table 1)."""
+    return make_clock_tree({"clk1": 250.0, "clk2": 250.0}, intra_domain_skew_ns=0.1)
+
+
+def core_y_clock_tree():
+    """Eight domains around 330 MHz (Core Y of Table 1)."""
+    freqs = {f"clk{i+1}": 330.0 - 10 * i for i in range(8)}
+    return make_clock_tree(freqs, intra_domain_skew_ns=0.15)
+
+
+class TestClockModel:
+    def test_period_from_frequency(self):
+        spec = ClockDomainSpec("clk1", 250.0)
+        assert spec.period_ns == pytest.approx(4.0)
+        assert ClockDomainSpec("clk2", 330.0).period_ns == pytest.approx(3.0303, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockDomainSpec("bad", 0.0)
+        with pytest.raises(ValueError):
+            ClockDomainSpec("bad", 100.0, intra_domain_skew_ns=-1)
+
+    def test_skew_bounds(self):
+        tree = core_x_clock_tree()
+        intra = tree.max_skew_between("clk1", "clk1")
+        inter = tree.max_skew_between("clk1", "clk2")
+        assert intra == pytest.approx(0.1)
+        assert inter >= intra
+        assert tree.max_skew_overall() >= inter - 1e-9
+
+    def test_unknown_domain_rejected(self):
+        tree = core_x_clock_tree()
+        with pytest.raises(KeyError):
+            tree.domain("nope")
+
+    def test_sink_sampling_reproducible_and_bounded(self):
+        tree = core_x_clock_tree()
+        a = tree.sample_sink_arrivals("clk1", 50, trial=3)
+        b = tree.sample_sink_arrivals("clk1", 50, trial=3)
+        assert a == b
+        spec = tree.domain("clk1")
+        for arrival in a:
+            assert abs(arrival - spec.insertion_delay_ns) <= spec.intra_domain_skew_ns / 2 + 1e-9
+        assert tree.sample_sink_arrivals("clk1", 50, trial=4) != a
+
+
+class TestCaptureScheduler:
+    def test_two_at_speed_pulses_per_domain(self):
+        tree = core_x_clock_tree()
+        schedule = CaptureWindowScheduler(tree).schedule()
+        assert len(schedule.domains) == 2
+        for timing in schedule.domains:
+            assert timing.is_at_speed
+            assert timing.launch_to_capture_ns == pytest.approx(timing.period_ns)
+        assert schedule.validate() == []
+
+    def test_no_frequency_manipulation_across_eight_domains(self):
+        tree = core_y_clock_tree()
+        schedule = CaptureWindowScheduler(tree).schedule()
+        assert len(schedule.domains) == 8
+        for timing in schedule.domains:
+            spec = tree.domain(timing.domain)
+            # The launch/capture spacing is exactly the functional period.
+            assert timing.launch_to_capture_ns == pytest.approx(spec.period_ns)
+        assert schedule.validate() == []
+
+    def test_inter_domain_gap_exceeds_skew(self):
+        tree = core_y_clock_tree()
+        schedule = CaptureWindowScheduler(tree).schedule()
+        for earlier, later in zip(schedule.domains, schedule.domains[1:]):
+            gap = later.launch_time_ns - earlier.capture_time_ns
+            assert gap > schedule.max_skew_ns
+
+    def test_explicit_domain_order_respected(self):
+        tree = core_x_clock_tree()
+        schedule = CaptureWindowScheduler(tree).schedule(domain_order=["clk2", "clk1"])
+        assert [t.domain for t in schedule.domains] == ["clk2", "clk1"]
+
+    def test_pulse_order_alternates_launch_capture(self):
+        tree = core_x_clock_tree()
+        schedule = CaptureWindowScheduler(tree).schedule()
+        order = schedule.pulse_order
+        # Two pulses per domain.
+        assert len(order) == 4
+        flattened = [group[0] for group in order]
+        assert flattened.count(schedule.domains[0].domain) == 2
+
+    def test_validation_catches_broken_schedule(self):
+        tree = core_x_clock_tree()
+        schedule = CaptureWindowScheduler(tree).schedule()
+        broken = schedule.domains[0]
+        object.__setattr__(broken, "capture_time_ns", broken.launch_time_ns + 1.5 * broken.period_ns)
+        assert schedule.validate()
+
+    def test_d1_d5_can_be_stretched(self):
+        tree = core_x_clock_tree()
+        schedule = CaptureWindowScheduler(tree, d1_ns=500.0, d5_ns=1000.0).schedule()
+        assert schedule.validate() == []
+        assert schedule.d1_ns == 500.0
+        assert schedule.capture_window_length_ns > 1500.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=50.0, max_value=800.0),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_property_schedule_always_valid(self, num_domains, base_freq, skew):
+        freqs = {f"d{i}": base_freq + 13 * i for i in range(num_domains)}
+        tree = make_clock_tree(freqs, intra_domain_skew_ns=skew)
+        schedule = CaptureWindowScheduler(tree).schedule()
+        assert schedule.validate() == []
+
+
+class TestClockGating:
+    def test_shift_pulses_for_all_domains(self):
+        tree = core_x_clock_tree()
+        gating = ClockGatingBlock(tree)
+        pulses = gating.generate_shift_pulses(0.0, 3)
+        assert len(pulses) == 3 * 2
+        assert {p.domain for p in pulses} == {"clk1", "clk2"}
+        assert all(p.role == "shift" for p in pulses)
+        with pytest.raises(ValueError):
+            gating.generate_shift_pulses(0.0, -1)
+
+    def test_shift_period_slower_than_functional(self):
+        tree = core_y_clock_tree()
+        gating = ClockGatingBlock(tree)
+        slowest_period = max(tree.domain(n).period_ns for n in tree.domain_names())
+        assert gating.resolved_shift_period() >= slowest_period
+
+    def test_capture_pulses_preserve_at_speed_spacing(self):
+        tree = core_y_clock_tree()
+        schedule = CaptureWindowScheduler(tree).schedule()
+        gating = ClockGatingBlock(tree)
+        pulses = gating.generate_capture_pulses(schedule)
+        by_domain = {}
+        for pulse in pulses:
+            by_domain.setdefault(pulse.domain, []).append(pulse)
+        for domain, domain_pulses in by_domain.items():
+            assert len(domain_pulses) == 2
+            launch, capture = sorted(domain_pulses, key=lambda p: p.start_ns)
+            assert capture.start_ns - launch.start_ns == pytest.approx(
+                tree.domain(domain).period_ns
+            )
+        # Snapping onto the functional edge grid never moves a pulse by more
+        # than one period.
+        assert gating.max_snap_adjustment_ns() < max(
+            tree.domain(n).period_ns for n in tree.domain_names()
+        )
+
+
+class TestShiftPathAnalysis:
+    def test_phase_advance_restricts_violation_kinds(self):
+        parameters = ShiftPathParameters(shift_period_ns=10.0)
+        analyzer = ShiftPathAnalyzer(parameters)
+        # BIST clock 1 ns ahead of the chain clock.
+        report = analyzer.analyze(chain_clock_arrival_ns=1.0, bist_clock_arrival_ns=0.0)
+        assert report.bist_clock_advance_ns == pytest.approx(1.0)
+        # Without the advance the margins are symmetric; with it, the only
+        # possible violations are the fixable kinds.
+        assert report.only_fixable_violations
+
+    def test_hold_violation_fixed_by_retiming(self):
+        parameters = ShiftPathParameters(
+            shift_period_ns=10.0, prpg_to_chain_min_ns=0.0, clk_to_q_ns=0.05, hold_ns=0.2
+        )
+        analyzer = ShiftPathAnalyzer(parameters)
+        # Large advance -> PRPG data arrives long before the chain clock edge: hold risk.
+        without_fix = analyzer.analyze(chain_clock_arrival_ns=2.0, bist_clock_arrival_ns=0.0)
+        assert without_fix.prpg_to_chain.hold_violated
+        with_fix = analyzer.analyze(
+            chain_clock_arrival_ns=2.0, bist_clock_arrival_ns=0.0, retiming=True
+        )
+        assert not with_fix.prpg_to_chain.hold_violated
+
+    def test_setup_violation_from_compactor_depth(self):
+        shallow = ShiftPathParameters(shift_period_ns=1.2, compactor_depth=0)
+        deep = ShiftPathParameters(shift_period_ns=1.2, compactor_depth=6)
+        analyzer_shallow = ShiftPathAnalyzer(shallow)
+        analyzer_deep = ShiftPathAnalyzer(deep)
+        clean = analyzer_shallow.analyze(chain_clock_arrival_ns=0.5, bist_clock_arrival_ns=0.0)
+        risky = analyzer_deep.analyze(chain_clock_arrival_ns=0.5, bist_clock_arrival_ns=0.0)
+        assert risky.chain_to_misr.setup_margin_ns < clean.chain_to_misr.setup_margin_ns
+
+    def test_monte_carlo_with_advance_is_only_fixable(self):
+        parameters = ShiftPathParameters(shift_period_ns=5.0)
+        skewed = monte_carlo_violations(
+            parameters, skew_range_ns=1.5, trials=200, bist_clock_advance_ns=0.0
+        )
+        advanced = monte_carlo_violations(
+            parameters, skew_range_ns=1.5, trials=200, bist_clock_advance_ns=1.5
+        )
+        assert advanced.trials == 200
+        # With the phase advance every trial is either clean or fixable.
+        assert advanced.unfixable == 0
+        # And the uncontrolled case is no better than the advanced case.
+        assert skewed.only_fixable <= advanced.only_fixable
+
+    def test_summary_counters(self):
+        parameters = ShiftPathParameters()
+        summary = monte_carlo_violations(parameters, 0.2, 50, bist_clock_advance_ns=0.2)
+        assert summary.trials == 50
+        assert summary.clean + (summary.trials - summary.clean) == 50
+
+
+class TestWaveformGeneration:
+    def test_fig2_waveform_structure(self):
+        tree = core_x_clock_tree()
+        waveform, schedule = generate_bist_waveform(tree)
+        # SE falls once and rises once: 2 transitions.
+        assert se_transition_count(waveform) == 2
+        # Each domain shows exactly 2 capture pulses inside the SE-low window.
+        for domain in tree.domain_names():
+            pulses = domain_capture_pulse_times(waveform, domain)
+            assert len(pulses) == 2
+            spacing = pulses[1] - pulses[0]
+            assert spacing == pytest.approx(tree.domain(domain).period_ns)
+
+    def test_se_is_slow(self):
+        tree = core_y_clock_tree()
+        waveform, _ = generate_bist_waveform(
+            tree, config=BistWaveformConfig(shift_cycles=2)
+        )
+        fastest_period = min(tree.domain(n).period_ns for n in tree.domain_names())
+        # SE stays stable much longer than one functional clock period.
+        assert se_minimum_stable_time(waveform) > 3 * fastest_period
+
+    def test_ascii_rendering_contains_all_signals(self):
+        tree = core_x_clock_tree()
+        waveform, _ = generate_bist_waveform(tree)
+        art = waveform.to_ascii(resolution_ns=2.0)
+        assert "SE" in art
+        assert tck_signal_name("clk1") in art
+        assert tck_signal_name("clk2") in art
+
+    def test_external_schedule_used_verbatim(self):
+        tree = core_x_clock_tree()
+        scheduler = CaptureWindowScheduler(tree, d1_ns=50.0)
+        schedule = scheduler.schedule(se_fall_ns=100.0)
+        waveform, used = generate_bist_waveform(tree, schedule=schedule)
+        assert used is schedule
+        assert waveform.value_at("SE", 99.0) == 1
+        assert waveform.value_at("SE", 101.0) == 0
