@@ -4,11 +4,38 @@ Every benchmark prints the rows it reproduces (the paper's table/figure
 content) through :func:`print_rows`, so running
 ``pytest benchmarks/ --benchmark-only -s`` shows the paper-vs-measured data
 alongside the timing numbers pytest-benchmark collects.
+
+Performance-regression benchmarks additionally persist their measurements as
+JSON next to this file through :func:`write_bench_json` (e.g.
+``BENCH_fault_sim.json`` from ``bench_fault_sim.py``), so future PRs can track
+the throughput trajectory across the repository's history.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
 from typing import Mapping, Sequence
+
+#: Directory that receives the ``BENCH_*.json`` regression records.
+BENCH_DIR = Path(__file__).parent
+
+
+def write_bench_json(name: str, payload: Mapping[str, object]) -> Path:
+    """Persist one benchmark's measurements as ``benchmarks/BENCH_<name>.json``.
+
+    The payload is stamped with the interpreter version so historical numbers
+    can be compared like for like.  Returns the written path.
+    """
+    record = {
+        "benchmark": name,
+        "python": platform.python_version(),
+        **payload,
+    }
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
 
 
 def print_rows(title: str, rows: Sequence[Mapping[str, object]]) -> None:

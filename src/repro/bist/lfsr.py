@@ -188,6 +188,16 @@ class Prpg:
         self.lfsr.step()
         return self.lfsr.state_bits()
 
+    def next_state_int(self) -> int:
+        """Advance one shift cycle and return the new state as one integer.
+
+        The packed pattern-generation path uses this together with
+        :meth:`~repro.bist.phase_shifter.PhaseShifter.outputs_word` to avoid
+        materialising a Python list of state bits per shift cycle.
+        """
+        self.lfsr.step()
+        return self.lfsr.state
+
     def generate_states(self, cycles: int) -> list[list[int]]:
         """Parallel state bits for ``cycles`` consecutive shift cycles."""
         return [self.next_state_bits() for _ in range(cycles)]

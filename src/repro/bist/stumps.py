@@ -25,9 +25,10 @@ flow and the signature tests use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
 from ..scan.chains import ScanChainArchitecture
+from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock
 from .lfsr import Prpg
 from .misr import Misr
 from .phase_shifter import PhaseShifter, identity_phase_shifter
@@ -122,6 +123,46 @@ class StumpsDomain:
                     load[cell] = per_cycle_channels[source_cycle][chain_index]
         return load
 
+    def generate_packed_load(
+        self, num_patterns: int, shift_cycles: Optional[int] = None
+    ) -> dict[str, int]:
+        """Emulate ``num_patterns`` consecutive shift windows, packed per cell.
+
+        Returns scan-cell name -> packed word where bit *i* is the value the
+        cell is loaded with in pattern *i*.  The PRPG advances through exactly
+        the same state sequence as ``num_patterns`` calls to
+        :meth:`generate_load`, but the per-pattern dicts are never built: the
+        phase-shifter output is kept as one integer per shift cycle (bit *c* =
+        chain *c*) and scattered straight into the per-cell words.
+        """
+        cycles = shift_cycles if shift_cycles is not None else self.max_chain_length
+        words: dict[str, int] = {
+            cell: 0 for chain in self.chains for cell in chain.cells
+        }
+        prpg = self.prpg
+        shifter = self.phase_shifter
+        expander = self.expander
+        for pattern in range(num_patterns):
+            per_cycle: list[int] = []
+            if expander is None:
+                for _ in range(cycles):
+                    per_cycle.append(shifter.outputs_word(prpg.next_state_int()))
+            else:
+                for _ in range(cycles):
+                    channels = expander.expand(shifter.outputs(prpg.next_state_bits()))
+                    word = 0
+                    for channel, bit in enumerate(channels):
+                        if bit:
+                            word |= 1 << channel
+                    per_cycle.append(word)
+            bit = 1 << pattern
+            for chain_index, chain in enumerate(self.chains):
+                for position, cell in enumerate(chain.cells):
+                    source_cycle = cycles - 1 - position
+                    if source_cycle >= 0 and (per_cycle[source_cycle] >> chain_index) & 1:
+                        words[cell] |= bit
+        return words
+
     # ------------------------------------------------------------------ #
     # Response compaction (unload window emulation)
     # ------------------------------------------------------------------ #
@@ -213,6 +254,30 @@ class StumpsArchitecture:
     def generate_patterns(self, count: int) -> list[dict[str, int]]:
         """Generate ``count`` consecutive scan-load patterns."""
         return [self.generate_pattern() for _ in range(count)]
+
+    def generate_packed_blocks(
+        self, count: int, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Iterator[PatternBlock]:
+        """Stream ``count`` scan-load patterns as packed blocks.
+
+        Steps every domain's PRPG/phase shifter directly into packed per-cell
+        words (bit *i* of a word = the value loaded in pattern *i*) without
+        ever building per-pattern dicts, and yields
+        :class:`~repro.simulation.packed.PatternBlock` instances of at most
+        ``block_size`` patterns.  Pattern-for-pattern identical to
+        :meth:`generate_patterns` from the same PRPG state -- the streamed and
+        list forms are interchangeable.
+        """
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        remaining = count
+        while remaining > 0:
+            num = min(block_size, remaining)
+            assignments: dict[str, int] = {}
+            for domain in self.domains.values():
+                assignments.update(domain.generate_packed_load(num))
+            yield PatternBlock(assignments, num)
+            remaining -= num
 
     def compact_response(self, captured: Mapping[str, int]) -> dict[str, int]:
         """Fold one captured response into every domain's MISR; returns the states."""

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from ..scan.insertion import ScanInsertionConfig
+from ..simulation.packed import DEFAULT_BLOCK_SIZE
 
 
 @dataclass
@@ -88,5 +89,8 @@ class LogicBistConfig:
     signature_patterns: int = 64
     #: Exclude faults on primary-input pad nets (outside the wrapped core).
     exclude_pad_faults: bool = True
-    #: Fault-simulation block size.
-    block_size: int = 64
+    #: Fault-simulation block width: patterns packed per bigint word.  Any
+    #: width works (coverage results are block-size invariant); wider blocks
+    #: (256 / 1024) amortise the compiled kernel's interpreter loop over more
+    #: patterns per pass at the cost of wider bigint operands.
+    block_size: int = DEFAULT_BLOCK_SIZE

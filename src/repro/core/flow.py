@@ -315,8 +315,23 @@ class LogicBistFlow:
         self._credit_chain_flush(core, fault_list)
         simulator = FaultSimulator(core.circuit)
         stumps.reset()
-        patterns = self._scan_patterns(stumps, config.random_patterns)
-        result = simulator.simulate(fault_list, patterns, block_size=config.block_size)
+        # Stream the PRPG/phase-shifter output straight into packed blocks --
+        # no per-pattern dicts are ever materialised on the random-pattern
+        # path.  Only the leading slice needed for signature emulation is
+        # expanded back into scalar patterns afterwards.
+        blocks = list(
+            stumps.generate_packed_blocks(
+                config.random_patterns, block_size=config.block_size
+            )
+        )
+        result = simulator.simulate_blocks(fault_list, blocks)
+        signature_count = min(config.signature_patterns, config.random_patterns)
+        patterns: list[dict[str, int]] = []
+        for block in blocks:
+            if len(patterns) >= signature_count:
+                break
+            take = min(block.num_patterns, signature_count - len(patterns))
+            patterns.extend(block.pattern(index) for index in range(take))
         signatures = self._signature_phase(core, stumps, schedule, patterns)
         return fault_list, result, signatures
 

@@ -10,6 +10,14 @@ Public API:
 * :class:`~repro.faults.transition_sim.TransitionFaultSimulator` -- launch-on-capture
   transition fault simulation for the double-capture scheme,
 * the statistics helpers in :mod:`repro.faults.statistics`.
+
+Both simulators run on the compiled integer-indexed kernel
+(:mod:`repro.simulation.kernel`): nets are interned to dense IDs at
+construction, good values live in flat ``list[int]`` tables, fanout cones are
+pre-compiled into per-site ID schedules, and pattern blocks of any width
+(64 / 256 / 1024 patterns per word) stream through
+:meth:`~repro.faults.fault_sim.FaultSimulator.simulate_blocks` without
+per-pattern dicts.  The name-keyed entry points remain as thin adapters.
 """
 
 from .models import OUTPUT_PIN, Fault, FaultStatus, StuckAtFault, TransitionFault

@@ -1,6 +1,7 @@
 """Pattern-parallel single-fault-propagation (PPSFP) stuck-at fault simulation.
 
-For every block of up to 64 packed patterns the simulator runs one fault-free
+For every block of packed patterns (the block width is a free parameter --
+64 / 256 / 1024 patterns per bigint word) the simulator runs one fault-free
 simulation, then for each still-undetected fault:
 
 1. computes the faulty value at the fault site (constant for stem faults; a
@@ -11,6 +12,19 @@ simulation, then for each still-undetected fault:
 
 Detected faults are dropped from subsequent blocks (classical fault dropping),
 which is what makes simulating thousands of random patterns tractable.
+
+Since the compiled-kernel refactor the whole engine runs in *integer ID
+space*: good values live in a flat ``list[int]`` indexed by interned net ID,
+fault sites are pre-resolved to ``(site ID, opcode, operand IDs)`` records,
+and every fanout cone is lowered once into a per-site
+:class:`~repro.simulation.kernel.ConePlan` (sorted schedule slices plus the
+frontier nets read from the fault-free base).  The name-keyed entry points
+(:meth:`FaultSimulator.detection_mask`, :meth:`FaultSimulator.simulate` with
+pattern dicts) are thin adapters over the ID path, so ATPG, TPI and the tests
+keep their original API.  :meth:`FaultSimulator.simulate_blocks` consumes
+pre-packed :class:`~repro.simulation.packed.PatternBlock` streams (e.g. from
+``StumpsArchitecture.generate_packed_blocks``) without ever materialising
+per-pattern dicts.
 
 The same engine exposes :meth:`FaultSimulator.fault_effect_profile`, which the
 paper's fault-simulation-guided test-point insertion uses: instead of asking
@@ -27,9 +41,14 @@ from typing import Iterable, Mapping, Optional, Sequence
 from ..netlist.circuit import Circuit
 from ..netlist.gates import evaluate_packed
 from ..simulation.comb_sim import PackedSimulator
-from ..simulation.packed import DEFAULT_BLOCK_SIZE, iter_blocks, mask_for
+from ..simulation.kernel import StrictStimulusError
+from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
 from .fault_list import FaultList
 from .models import StuckAtFault
+
+#: Fault-site kinds pre-resolved into ID space (see ``_fault_spec``).
+_SITE_CONST = 0  # output stem or flop D-pin branch: forced constant word
+_SITE_GATE = 1  # combinational input-branch: re-evaluate the owning gate
 
 
 @dataclass
@@ -60,7 +79,7 @@ class FaultSimulationResult:
 
 
 class FaultSimulator:
-    """PPSFP stuck-at fault simulator with fault dropping."""
+    """PPSFP stuck-at fault simulator with fault dropping (compiled-kernel engine)."""
 
     def __init__(
         self,
@@ -69,12 +88,19 @@ class FaultSimulator:
     ) -> None:
         self.circuit = circuit
         self.simulator = PackedSimulator(circuit)
+        self.kernel = self.simulator.kernel
         self.observe_nets = (
             list(observe_nets) if observe_nets is not None else circuit.observation_nets()
         )
         self._observe_set = set(self.observe_nets)
-        # Cache of fanout cones and their observed subsets, keyed by site net.
-        self._cone_cache: dict[str, tuple[set[str], list[str]]] = {}
+        # Cache of (ConePlan, observed IDs inside the plan), keyed by site ID.
+        self._site_cache: dict[int, tuple[object, tuple[int, ...]]] = {}
+        # Cache of fault -> pre-resolved site record, keyed by the fault itself.
+        self._fault_specs: dict[StuckAtFault, tuple] = {}
+        # Reusable good-value table (one slot per interned net).
+        self._good = self.kernel.make_table()
+        #: Aggregate count of gate (re-)evaluations, for throughput reporting.
+        self.gate_evals = 0
 
     # ------------------------------------------------------------------ #
     # Observation management (used by test-point insertion)
@@ -86,43 +112,94 @@ class FaultSimulator:
         if net not in self._observe_set:
             self.observe_nets.append(net)
             self._observe_set.add(net)
-            self._cone_cache.clear()
+            self._site_cache.clear()
 
     # ------------------------------------------------------------------ #
-    # Fault injection helpers
+    # Fault injection helpers (ID space)
     # ------------------------------------------------------------------ #
-    def _cone_and_observed(self, site_net: str) -> tuple[set[str], list[str]]:
-        cached = self._cone_cache.get(site_net)
+    def _fault_spec(self, fault: StuckAtFault) -> tuple:
+        """Pre-resolved site record: how to compute (site ID, faulty word)."""
+        spec = self._fault_specs.get(fault)
+        if spec is None:
+            net_id = self.kernel.net_id
+            if fault.is_stem:
+                spec = (_SITE_CONST, net_id[fault.gate], fault.value)
+            else:
+                gate = self.circuit.gate(fault.gate)
+                if gate.is_flop:
+                    # A branch fault on a flop's D pin is observed at the D net
+                    # itself in the scan view; represent it as a constant
+                    # override on the D net (see the pre-kernel engine).
+                    spec = (_SITE_CONST, net_id[gate.inputs[fault.pin]], fault.value)
+                else:
+                    spec = (
+                        _SITE_GATE,
+                        net_id[fault.gate],
+                        fault.value,
+                        gate.gate_type,
+                        tuple(net_id[n] for n in gate.inputs),
+                        fault.pin,
+                    )
+            self._fault_specs[fault] = spec
+        return spec
+
+    def _faulty_site_value_ids(
+        self, fault: StuckAtFault, good: Sequence[int], mask: int
+    ) -> tuple[int, int]:
+        """Return (site net ID, packed faulty word) for ``fault``."""
+        spec = self._fault_spec(fault)
+        if spec[0] == _SITE_CONST:
+            return spec[1], (mask if spec[2] else 0)
+        _, site_id, value, gate_type, input_ids, pin = spec
+        forced = mask if value else 0
+        inputs = [
+            forced if index == pin else good[nid]
+            for index, nid in enumerate(input_ids)
+        ]
+        return site_id, evaluate_packed(gate_type, inputs, mask)
+
+    def _site_plan(self, site_id: int) -> tuple[object, tuple[int, ...]]:
+        """Cone plan plus the observed net IDs it recomputes (or forces)."""
+        cached = self._site_cache.get(site_id)
         if cached is None:
-            cone = self.circuit.fanout_cone(site_net)
-            observed = [net for net in self.observe_nets if net in cone]
-            cached = (cone, observed)
-            self._cone_cache[site_net] = cached
+            plan = self.kernel.cone_plan(site_id)
+            computed = set(plan.computed)
+            computed.add(site_id)
+            net_id = self.kernel.net_id
+            observed_ids = tuple(
+                net_id[net]
+                for net in self.observe_nets
+                if net_id[net] in computed
+            )
+            cached = (plan, observed_ids)
+            self._site_cache[site_id] = cached
         return cached
 
-    def _faulty_site_value(
-        self, fault: StuckAtFault, good_values: Mapping[str, int], mask: int
-    ) -> tuple[str, int]:
-        """Return (net to override, packed faulty value) for ``fault``."""
-        if fault.is_stem:
-            return fault.gate, (mask if fault.value else 0)
-        gate = self.circuit.gate(fault.gate)
-        inputs = []
-        for pin, net in enumerate(gate.inputs):
-            if pin == fault.pin:
-                inputs.append(mask if fault.value else 0)
-            else:
-                inputs.append(good_values[net])
-        if gate.is_flop:
-            # A branch fault on a flop's D pin is observed at the flop's D net
-            # itself in the scan view; the faulty "output" is simply the forced
-            # value as seen by the capturing flop.  Represent it as a stem-like
-            # override on the D net restricted to this flop -- since the D net
-            # may fan out elsewhere, we conservatively treat the fault as
-            # detected when the forced value differs from the good D value.
-            return gate.inputs[fault.pin], (mask if fault.value else 0)
-        faulty_output = evaluate_packed(gate.gate_type, inputs, mask)
-        return fault.gate, faulty_output
+    def _detection_ids(
+        self, fault: StuckAtFault, good: list[int], mask: int
+    ) -> int:
+        """Detection mask computed entirely in ID space (the hot path)."""
+        site_id, faulty_word = self._faulty_site_value_ids(fault, good, mask)
+        if faulty_word == good[site_id]:
+            return 0
+        plan, observed_ids = self._site_plan(site_id)
+        if not observed_ids:
+            return 0
+        scratch = self.kernel.resimulate_plan(plan, good, faulty_word, mask)
+        self.gate_evals += len(plan.ops)
+        detection = 0
+        for nid in observed_ids:
+            detection |= scratch[nid] ^ good[nid]
+        return detection & mask
+
+    # ------------------------------------------------------------------ #
+    # Name-keyed adapters (public API unchanged from the pre-kernel engine)
+    # ------------------------------------------------------------------ #
+    def detection_mask_ids(
+        self, fault: StuckAtFault, good_values: list[int], num_patterns: int
+    ) -> int:
+        """Detection mask against an integer-indexed good-value table."""
+        return self._detection_ids(fault, good_values, mask_for(num_patterns))
 
     def detection_mask(
         self,
@@ -130,21 +207,21 @@ class FaultSimulator:
         good_values: Mapping[str, int],
         num_patterns: int,
     ) -> int:
-        """Packed mask of patterns (within the block) that detect ``fault``."""
+        """Packed mask of patterns (within the block) that detect ``fault``.
+
+        ``good_values`` is a name-keyed fault-free block result (what
+        :meth:`PackedSimulator.simulate_block` returns); it is interned into
+        the ID table once per call, so prefer :meth:`detection_mask_ids` in
+        loops over many faults.  Keys that are not circuit nets are ignored;
+        a circuit net missing from the mapping raises ``KeyError`` (fail
+        fast, never a silent all-zero default).
+        """
         mask = mask_for(num_patterns)
-        override_net, faulty_value = self._faulty_site_value(fault, good_values, mask)
-        if faulty_value == good_values[override_net]:
-            return 0
-        cone, observed = self._cone_and_observed(override_net)
-        if not observed:
-            return 0
-        faulty = self.simulator.resimulate_cone(
-            good_values, {override_net: faulty_value}, cone, num_patterns
-        )
-        detection = 0
-        for net in observed:
-            detection |= (faulty.get(net, good_values[net]) ^ good_values[net])
-        return detection & mask
+        table = self._table_from_mapping(good_values)
+        return self._detection_ids(fault, table, mask)
+
+    def _table_from_mapping(self, good_values: Mapping[str, int]) -> list[int]:
+        return [good_values[name] for name in self.kernel.net_names]
 
     # ------------------------------------------------------------------ #
     # Campaign-level simulation
@@ -156,6 +233,7 @@ class FaultSimulator:
         block_size: int = DEFAULT_BLOCK_SIZE,
         drop_detected: bool = True,
         pattern_offset: int = 0,
+        strict: bool = False,
     ) -> FaultSimulationResult:
         """Fault-simulate ``patterns`` against ``fault_list``.
 
@@ -166,7 +244,8 @@ class FaultSimulator:
         patterns:
             Sequence of stimulus dicts (primary inputs and flop outputs).
         block_size:
-            Patterns per packed block.
+            Patterns per packed block (wider blocks amortise the interpreter
+            loop over more patterns; 256 is a good throughput choice).
         drop_detected:
             Stop simulating a fault once it has been detected (the paper's BIST
             coverage numbers use dropping; N-detect studies disable it).
@@ -174,17 +253,61 @@ class FaultSimulator:
             Index of the first pattern within the overall campaign, used so
             that first-detection indices stay globally meaningful when random
             and top-up phases are simulated in separate calls.
+        strict:
+            When true, any pattern containing a net that is not a stimulus net
+            (e.g. a misspelled name, which the packing step would otherwise
+            silently drop to 0) raises
+            :class:`~repro.simulation.kernel.StrictStimulusError`.
         """
-        result = FaultSimulationResult(fault_list, len(patterns))
-        result.detections_per_pattern = [0] * len(patterns)
+        if strict:
+            allowed = set(self.circuit.stimulus_nets())
+            for index, pattern in enumerate(patterns):
+                unknown = [net for net in pattern if net not in allowed]
+                if unknown:
+                    raise StrictStimulusError(
+                        f"pattern {index} assigns non-stimulus nets "
+                        f"{unknown[:5]!r}{'...' if len(unknown) > 5 else ''}"
+                    )
+        stimulus_nets = self.circuit.stimulus_nets()
+        blocks = iter_blocks(patterns, block_size=block_size, nets=stimulus_nets)
+        return self.simulate_blocks(
+            fault_list,
+            blocks,
+            drop_detected=drop_detected,
+            pattern_offset=pattern_offset,
+        )
+
+    def simulate_blocks(
+        self,
+        fault_list: FaultList,
+        blocks: Iterable[PatternBlock],
+        drop_detected: bool = True,
+        pattern_offset: int = 0,
+    ) -> FaultSimulationResult:
+        """Fault-simulate a stream of pre-packed pattern blocks.
+
+        This is the streaming entry point: blocks may come from
+        ``iter_blocks`` over a pattern list or directly from
+        ``StumpsArchitecture.generate_packed_blocks`` without any per-pattern
+        dict ever being built.  Scan cells / stimulus nets missing from a
+        block's assignments default to the all-zero word, exactly as in the
+        pattern-list path.
+        """
+        result = FaultSimulationResult(fault_list, 0)
         active = list(fault_list.undetected())
         simulated = 0
-        stimulus_nets = self.circuit.stimulus_nets()
-        for block in iter_blocks(patterns, block_size=block_size, nets=stimulus_nets):
-            good = self.simulator.simulate_block(block.assignments, block.num_patterns)
+        kernel = self.kernel
+        good = self._good
+        for block in blocks:
+            num = block.num_patterns
+            mask = mask_for(num)
+            kernel.set_stimulus(good, block.assignments, mask)
+            kernel.evaluate(good, mask)
+            self.gate_evals += kernel.num_gates
+            result.detections_per_pattern.extend([0] * num)
             still_active: list[StuckAtFault] = []
             for fault in active:
-                detection = self.detection_mask(fault, good, block.num_patterns)
+                detection = self._detection_ids(fault, good, mask)
                 if detection:
                     first_bit = (detection & -detection).bit_length() - 1
                     pattern_index = pattern_offset + simulated + first_bit
@@ -195,16 +318,22 @@ class FaultSimulator:
                 else:
                     still_active.append(fault)
             active = still_active
-            simulated += block.num_patterns
+            simulated += num
             result.coverage_curve.append((pattern_offset + simulated, fault_list.coverage()))
+        result.patterns_simulated = simulated
         return result
 
     def detects(self, pattern: Mapping[str, int], fault: StuckAtFault) -> bool:
         """True when the single ``pattern`` detects ``fault`` (used to verify ATPG)."""
-        good = self.simulator.simulate_block(
-            {net: (1 if pattern.get(net, 0) else 0) for net in self.circuit.stimulus_nets()}, 1
-        )
-        return bool(self.detection_mask(fault, good, 1))
+        kernel = self.kernel
+        good = self._good
+        stimulus = {
+            net: (1 if pattern.get(net, 0) else 0)
+            for net in self.circuit.stimulus_nets()
+        }
+        kernel.set_stimulus(good, stimulus, 1)
+        kernel.evaluate(good, 1)
+        return bool(self._detection_ids(fault, good, 1))
 
     # ------------------------------------------------------------------ #
     # Fault-effect profiling (drives the paper's test-point insertion)
@@ -245,26 +374,36 @@ class FaultSimulator:
                 for gate in self.circuit.combinational_gates()
                 if gate.name not in self._observe_set
             ]
-        candidate_set = set(candidate_nets)
+        kernel = self.kernel
+        net_id = kernel.net_id
+        is_candidate = bytearray(kernel.num_nets)
+        for net in candidate_nets:
+            is_candidate[net_id[net]] = 1
+        net_names = kernel.net_names
         profile: dict[str, dict[StuckAtFault, int]] = {}
         fault_seq = list(faults)
         stimulus_nets = self.circuit.stimulus_nets()
+        good = self._good
         for block in iter_blocks(patterns, block_size=block_size, nets=stimulus_nets):
-            good = self.simulator.simulate_block(block.assignments, block.num_patterns)
-            mask = mask_for(block.num_patterns)
+            num = block.num_patterns
+            mask = mask_for(num)
+            kernel.set_stimulus(good, block.assignments, mask)
+            kernel.evaluate(good, mask)
+            self.gate_evals += kernel.num_gates
             for fault in fault_seq:
-                override_net, faulty_value = self._faulty_site_value(fault, good, mask)
-                if faulty_value == good[override_net]:
+                site_id, faulty_word = self._faulty_site_value_ids(fault, good, mask)
+                if faulty_word == good[site_id]:
                     continue
-                cone, _ = self._cone_and_observed(override_net)
-                faulty = self.simulator.resimulate_cone(
-                    good, {override_net: faulty_value}, cone, block.num_patterns
-                )
-                for net in cone:
-                    if net not in candidate_set:
+                plan, _ = self._site_plan(site_id)
+                scratch = kernel.resimulate_plan(plan, good, faulty_word, mask)
+                self.gate_evals += len(plan.ops)
+                # scratch holds the forced site word too, so the site and the
+                # recomputed cone nets share one accumulation loop.
+                for nid in (*plan.computed, site_id):
+                    if not is_candidate[nid]:
                         continue
-                    diff = (faulty.get(net, good[net]) ^ good[net]) & mask
+                    diff = (scratch[nid] ^ good[nid]) & mask
                     if diff:
-                        profile.setdefault(net, {})
-                        profile[net][fault] = profile[net].get(fault, 0) + bin(diff).count("1")
+                        bucket = profile.setdefault(net_names[nid], {})
+                        bucket[fault] = bucket.get(fault, 0) + diff.bit_count()
         return profile

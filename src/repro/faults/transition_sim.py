@@ -14,6 +14,12 @@ first capture pulse* create transitions at scan flip-flop outputs, and the
 This module derives ``V2`` from ``V1`` for an arbitrary per-domain capture
 order (so the staggered multi-domain capture of Fig. 2 is modelled faithfully)
 and reuses the stuck-at PPSFP engine for the observability part.
+
+Like the stuck-at engine, the simulator runs on the compiled integer-indexed
+kernel: launch/capture good values are flat ``list[int]`` tables, fault sites
+are pre-resolved to net IDs, and observability checks go through
+:meth:`~repro.faults.fault_sim.FaultSimulator.detection_mask_ids` so no
+name-keyed dict is built per block.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ def derive_capture_patterns(
     launch_patterns: Sequence[Mapping[str, int]],
     pulse_order: Optional[Sequence[Sequence[str]]] = None,
     hold_cells: Optional[Sequence[str]] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> list[dict[str, int]]:
     """Compute the capture-cycle stimulus for each launch pattern.
 
@@ -62,25 +69,44 @@ def derive_capture_patterns(
         later group sees the already-updated state of an earlier group (this
         is where cross-domain logic differs from the simultaneous case).
     """
-    simulator = PackedSimulator(circuit)
+    kernel = PackedSimulator(circuit).kernel
     if pulse_order is None:
         pulse_order = [circuit.clock_domains()]
     held = set(hold_cells or ())
-    domain_of = {flop.name: flop.clock_domain for flop in circuit.flops()}
-    flop_data = {flop.name: flop.inputs[0] for flop in circuit.flops()}
+    net_id = kernel.net_id
+    # Per pulse group: (flop Q net ID, flop D net ID) pairs updated by the pulse.
+    group_updates: list[list[tuple[int, int]]] = []
+    for group in pulse_order:
+        group_set = set(group)
+        group_updates.append(
+            [
+                (net_id[flop.name], net_id[flop.inputs[0]])
+                for flop in circuit.flops()
+                if flop.clock_domain in group_set and flop.name not in held
+            ]
+        )
     results: list[dict[str, int]] = []
     stimulus_nets = circuit.stimulus_nets()
-    for block in iter_blocks(launch_patterns, nets=stimulus_nets):
-        current = dict(block.assignments)
-        for group in pulse_order:
-            group_set = set(group)
-            values = simulator.simulate_block(current, block.num_patterns)
-            for flop_name, domain in domain_of.items():
-                if domain in group_set and flop_name not in held:
-                    current[flop_name] = values[flop_data[flop_name]]
-        for index in range(block.num_patterns):
-            pattern = {net: (current.get(net, 0) >> index) & 1 for net in stimulus_nets}
-            results.append(pattern)
+    stimulus_ids = [net_id[net] for net in stimulus_nets]
+    table = kernel.make_table()
+    for block in iter_blocks(launch_patterns, block_size=block_size, nets=stimulus_nets):
+        num = block.num_patterns
+        mask = mask_for(num)
+        kernel.set_stimulus(table, block.assignments, mask)
+        for updates in group_updates:
+            kernel.evaluate(table, mask)
+            # Snapshot the captured D values before applying them, so chained
+            # flops within one pulse group capture the pre-pulse state.
+            captured = [(q_id, table[d_id]) for q_id, d_id in updates]
+            for q_id, word in captured:
+                table[q_id] = word
+        for index in range(num):
+            results.append(
+                {
+                    net: (table[nid] >> index) & 1
+                    for net, nid in zip(stimulus_nets, stimulus_ids)
+                }
+            )
     return results
 
 
@@ -132,19 +158,28 @@ class TransitionFaultSimulator:
         result = TransitionSimulationResult(fault_list, len(launch_patterns))
         active = [f for f in fault_list.undetected() if isinstance(f, TransitionFault)]
         simulated = 0
+        kernel = self.simulator.kernel
+        net_id = kernel.net_id
+        site_ids = {
+            fault: net_id[fault.faulted_net(self.circuit)] for fault in active
+        }
+        good_launch = kernel.make_table()
+        good_capture = kernel.make_table()
         stimulus_nets = self.circuit.stimulus_nets()
         launch_blocks = iter_blocks(launch_patterns, block_size=block_size, nets=stimulus_nets)
         capture_blocks = iter_blocks(capture_patterns, block_size=block_size, nets=stimulus_nets)
         for launch_block, capture_block in zip(launch_blocks, capture_blocks):
             num = launch_block.num_patterns
             mask = mask_for(num)
-            good_launch = self.simulator.simulate_block(launch_block.assignments, num)
-            good_capture = self.simulator.simulate_block(capture_block.assignments, num)
+            kernel.set_stimulus(good_launch, launch_block.assignments, mask)
+            kernel.evaluate(good_launch, mask)
+            kernel.set_stimulus(good_capture, capture_block.assignments, mask)
+            kernel.evaluate(good_capture, mask)
             still_active: list[TransitionFault] = []
             for fault in active:
-                site_net = fault.faulted_net(self.circuit)
-                launch_value = good_launch[site_net]
-                capture_value = good_capture[site_net]
+                site_id = site_ids[fault]
+                launch_value = good_launch[site_id]
+                capture_value = good_capture[site_id]
                 if fault.slow_to_rise:
                     activation = (~launch_value & capture_value) & mask
                 else:
@@ -152,7 +187,7 @@ class TransitionFaultSimulator:
                 if not activation:
                     still_active.append(fault)
                     continue
-                observation = self.stuck_engine.detection_mask(
+                observation = self.stuck_engine.detection_mask_ids(
                     fault.equivalent_stuck_at(), good_capture, num
                 )
                 detection = activation & observation

@@ -282,6 +282,94 @@ def evaluate_packed3(
     raise GateEvaluationError(f"cannot combinationally evaluate gate type {gate_type.name}")
 
 
+# --------------------------------------------------------------------------- #
+# Integer opcodes for the compiled simulation kernel
+# --------------------------------------------------------------------------- #
+# The compiled kernel (:mod:`repro.simulation.kernel`) lowers every gate into
+# a small-integer opcode so its interpreter loop branches on ints instead of
+# enum identities, and so 2-input gates (the overwhelming majority in
+# generated netlists) take a specialised path with no operand loop.
+OP_AND = 0
+OP_NAND = 1
+OP_OR = 2
+OP_NOR = 3
+OP_XOR = 4
+OP_XNOR = 5
+OP_NOT = 6
+OP_BUF = 7
+OP_MUX = 8
+OP_CONST0 = 9
+OP_CONST1 = 10
+OP_AND2 = 11
+OP_NAND2 = 12
+OP_OR2 = 13
+OP_NOR2 = 14
+OP_XOR2 = 15
+OP_XNOR2 = 16
+
+_GENERIC_OPCODES: dict[GateType, int] = {
+    GateType.AND: OP_AND,
+    GateType.NAND: OP_NAND,
+    GateType.OR: OP_OR,
+    GateType.NOR: OP_NOR,
+    GateType.XOR: OP_XOR,
+    GateType.XNOR: OP_XNOR,
+    GateType.NOT: OP_NOT,
+    GateType.BUF: OP_BUF,
+    GateType.MUX: OP_MUX,
+    GateType.CONST0: OP_CONST0,
+    GateType.CONST1: OP_CONST1,
+}
+
+_BINARY_OPCODES: dict[GateType, int] = {
+    GateType.AND: OP_AND2,
+    GateType.NAND: OP_NAND2,
+    GateType.OR: OP_OR2,
+    GateType.NOR: OP_NOR2,
+    GateType.XOR: OP_XOR2,
+    GateType.XNOR: OP_XNOR2,
+}
+
+
+#: Opcode -> the GateType it evaluates (specialised opcodes map to their base type).
+OPCODE_GATE_TYPES: dict[int, GateType] = {
+    op: gate_type for gate_type, op in _GENERIC_OPCODES.items()
+}
+OPCODE_GATE_TYPES.update(
+    {op: gate_type for gate_type, op in _BINARY_OPCODES.items()}
+)
+
+
+def gate_opcode(gate_type: GateType, num_inputs: int) -> int:
+    """Kernel opcode for a gate, validating the operand count at compile time.
+
+    The arity rules match :func:`evaluate_packed` exactly, so a circuit that
+    compiles also evaluates, and one that cannot be evaluated fails fast at
+    kernel-construction time instead of mid-simulation.
+    """
+    if gate_type is GateType.MUX:
+        if num_inputs != 3:
+            raise GateEvaluationError(f"MUX requires exactly 3 inputs, got {num_inputs}")
+        return OP_MUX
+    if gate_type in (GateType.CONST0, GateType.CONST1):
+        return _GENERIC_OPCODES[gate_type]
+    if gate_type in (GateType.NOT, GateType.BUF):
+        if num_inputs < 1:
+            raise GateEvaluationError(
+                f"{gate_type.name} requires at least 1 input(s), got {num_inputs}"
+            )
+        return _GENERIC_OPCODES[gate_type]
+    if gate_type in _GENERIC_OPCODES:
+        if num_inputs < 1:
+            raise GateEvaluationError(
+                f"{gate_type.name} requires at least 1 input(s), got {num_inputs}"
+            )
+        if num_inputs == 2:
+            return _BINARY_OPCODES[gate_type]
+        return _GENERIC_OPCODES[gate_type]
+    raise GateEvaluationError(f"cannot combinationally evaluate gate type {gate_type.name}")
+
+
 #: Mapping from the names used in .bench files (and a few aliases) to GateType.
 GATE_NAME_ALIASES: dict[str, GateType] = {
     "and": GateType.AND,

@@ -6,7 +6,12 @@ Two simulators are provided:
   workhorse underneath fault simulation, random-pattern coverage estimation
   and signature computation.  Flop outputs are treated as pseudo primary
   inputs (the full-scan view), so the caller supplies their values alongside
-  the primary inputs.
+  the primary inputs.  Since the compiled-kernel refactor this class is a
+  thin *name-keyed adapter* over :class:`~repro.simulation.kernel.CompiledKernel`:
+  the actual evaluation runs over flat integer-indexed lists, and callers that
+  care about throughput (the fault simulators) talk to ``.kernel`` directly in
+  ID space.  The dict-in / dict-out API below is unchanged from the pre-kernel
+  implementation.
 * :class:`XPropagationSimulator` -- three-valued (0/1/X), pattern-parallel.
   Used by the X-source analysis in :mod:`repro.scan.x_blocking` and by ATPG
   to check which faults a partially-specified pattern already covers.
@@ -17,34 +22,39 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from ..netlist.circuit import Circuit
-from ..netlist.gates import GateType, PackedValue3, evaluate_packed, evaluate_packed3
+from ..netlist.gates import (
+    OPCODE_GATE_TYPES as _OPCODE_GATE_TYPES,
+    GateType,
+    PackedValue3,
+    evaluate_packed,
+    evaluate_packed3,
+)
+from .kernel import CompiledKernel, StrictStimulusError
 from .packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
 
 
 class PackedSimulator:
     """Two-valued, pattern-parallel combinational simulator.
 
-    The simulator pre-computes a flat evaluation schedule (topological order of
-    the combinational gates) once per circuit, then evaluates whole pattern
-    blocks with one pass of bitwise operations per gate.
+    The constructor compiles the circuit into a
+    :class:`~repro.simulation.kernel.CompiledKernel` (interned net IDs, flat
+    opcode schedule); whole pattern blocks of any width are then evaluated
+    with one pass of bitwise operations per gate over an integer-indexed
+    value table.
     """
 
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
+        #: The compiled integer-indexed kernel; fault simulators use it directly.
+        self.kernel = CompiledKernel(circuit)
         self._stimulus = set(circuit.stimulus_nets())
-        # Pre-compile the evaluation schedule: (name, gate_type, inputs tuple).
-        self._schedule: list[tuple[str, GateType, tuple[str, ...]]] = []
-        for name in circuit.topological_order():
-            gate = circuit.gate(name)
-            if gate.is_primary_input or gate.is_flop:
-                continue
-            self._schedule.append((name, gate.gate_type, tuple(gate.inputs)))
+        self._values = self.kernel.make_table()
 
     # ------------------------------------------------------------------ #
     # Block-level interface
     # ------------------------------------------------------------------ #
     def simulate_block(
-        self, stimulus: Mapping[str, int], num_patterns: int
+        self, stimulus: Mapping[str, int], num_patterns: int, strict: bool = False
     ) -> dict[str, int]:
         """Simulate one packed block.
 
@@ -55,6 +65,11 @@ class PackedSimulator:
             inputs).  Nets not supplied default to all-zero.
         num_patterns:
             Number of valid pattern bits in the block.
+        strict:
+            When true, a stimulus net missing from ``stimulus`` or a key that
+            is not a stimulus net (e.g. a misspelled name, which would
+            otherwise be silently ignored) raises
+            :class:`~repro.simulation.kernel.StrictStimulusError`.
 
         Returns
         -------
@@ -64,14 +79,11 @@ class PackedSimulator:
             comparison.
         """
         mask = mask_for(num_patterns)
-        values: dict[str, int] = {}
-        for net in self._stimulus:
-            values[net] = stimulus.get(net, 0) & mask
-        for name, gate_type, inputs in self._schedule:
-            values[name] = evaluate_packed(
-                gate_type, [values[net] for net in inputs], mask
-            )
-        return values
+        kernel = self.kernel
+        values = self._values
+        kernel.set_stimulus(values, stimulus, mask, strict=strict)
+        kernel.evaluate(values, mask)
+        return dict(zip(kernel.net_names, values))
 
     def resimulate_cone(
         self,
@@ -82,16 +94,20 @@ class PackedSimulator:
     ) -> dict[str, int]:
         """Re-evaluate only the gates inside ``cone`` with some nets overridden.
 
-        This is the inner loop of single-fault propagation: ``base_values`` is
-        the fault-free simulation result, ``overrides`` pins the fault site(s)
-        to their faulty value, and only the fanout ``cone`` of the fault site
-        is recomputed.  Values of nets outside the cone are read from
-        ``base_values``.
+        This is the name-keyed compatibility form of single-fault propagation:
+        ``base_values`` is the fault-free simulation result, ``overrides`` pins
+        the fault site(s) to their faulty value, and only the fanout ``cone``
+        of the fault site is recomputed.  Values of nets outside the cone are
+        read from ``base_values``.  (The fault simulators use the faster
+        pre-compiled per-site :class:`~repro.simulation.kernel.ConePlan` path
+        on ``.kernel`` instead.)
 
         Returns the packed values of the nets inside the cone (plus the
         overridden nets).
         """
         mask = mask_for(num_patterns)
+        kernel = self.kernel
+        net_names = kernel.net_names
         local: dict[str, int] = {net: value & mask for net, value in overrides.items()}
 
         def value_of(net: str) -> int:
@@ -99,10 +115,13 @@ class PackedSimulator:
                 return local[net]
             return base_values[net]
 
-        for name, gate_type, inputs in self._schedule:
+        for op, out, ins in zip(kernel.ops, kernel.outs, kernel.operands):
+            name = net_names[out]
             if name not in cone or name in local:
                 continue
-            local[name] = evaluate_packed(gate_type, [value_of(n) for n in inputs], mask)
+            local[name] = evaluate_packed(
+                _OPCODE_GATE_TYPES[op], [value_of(net_names[i]) for i in ins], mask
+            )
         return local
 
     # ------------------------------------------------------------------ #

@@ -3,8 +3,14 @@
 The simulators in this package are *pattern-parallel*: the values of one net
 for up to ``block_size`` test patterns are packed into a single Python integer
 (bit *i* belongs to pattern *i*).  Python's arbitrary-precision integers make
-the block size a free parameter; 64 is a good default because the per-block
-bookkeeping stays small while bitwise operations remain cheap.
+the block size a first-class, fully configurable parameter: 64 keeps words in
+one machine limb, while 256 or 1024 amortise the compiled kernel's
+interpreter loop over 4-16x more patterns per pass and are the better
+throughput choice for fault-simulation campaigns (see
+``benchmarks/bench_fault_sim.py``).  Results are block-size invariant bit for
+bit; ``DEFAULT_BLOCK_SIZE`` below is only the default, and every simulator,
+the flow config (``LogicBistConfig.block_size``) and the streamed STUMPS
+pattern generator accept any positive width.
 
 This module provides the conversion helpers between the two representations:
 

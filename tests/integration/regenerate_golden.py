@@ -1,0 +1,128 @@
+"""Golden-file definition + regeneration for the end-to-end flow regression.
+
+``tests/integration/test_golden_flow.py`` pins the full ``core/flow.py`` BIST
+flow -- coverage figures, per-domain MISR signatures, test-point and top-up
+pattern counts -- for two fixed-seed generated cores against the JSON golden
+file ``tests/integration/golden/flow_golden.json``.
+
+The golden values are *behavioural invariants*: they must survive refactors
+(the compiled-kernel rewrite reproduced them bit for bit) and only change when
+the flow's semantics intentionally change.  When that happens, regenerate with
+
+    PYTHONPATH=src python tests/integration/regenerate_golden.py
+
+review the diff of the JSON file, and commit it together with the change that
+explains it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import LogicBistConfig, LogicBistFlow
+from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "flow_golden.json"
+
+#: Floats are rounded to this many decimals before comparison, so the golden
+#: file stays readable while still pinning behaviour far below any real drift.
+FLOAT_DECIMALS = 12
+
+
+def golden_cases() -> dict[str, tuple[SyntheticCoreConfig, LogicBistConfig]]:
+    """The two fixed-seed cores and their flow configurations."""
+    alpha_core = SyntheticCoreConfig(
+        name="golden_alpha",
+        clock_domains=("clk1", "clk2"),
+        num_inputs=10,
+        num_outputs=6,
+        register_width=8,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(8,),
+        decode_cone_width=6,
+        cross_domain_links=1,
+        x_sources=1,
+        seed=2005,
+    )
+    alpha_config = LogicBistConfig(
+        total_scan_chains=4,
+        observation_point_budget=4,
+        tpi_profile_patterns=64,
+        random_patterns=192,
+        signature_patterns=16,
+        clock_frequencies_mhz={"clk1": 250.0, "clk2": 125.0},
+        topup_backtrack_limit=60,
+    )
+    beta_core = SyntheticCoreConfig(
+        name="golden_beta",
+        clock_domains=("clkA", "clkB", "clkC"),
+        num_inputs=12,
+        num_outputs=6,
+        register_width=6,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(7,),
+        decode_cone_width=5,
+        cross_domain_links=2,
+        seed=1997,
+    )
+    beta_config = LogicBistConfig(
+        total_scan_chains=6,
+        observation_point_budget=3,
+        tpi_profile_patterns=48,
+        random_patterns=128,
+        signature_patterns=12,
+        clock_frequencies_mhz={"clkA": 330.0, "clkB": 250.0, "clkC": 200.0},
+        topup_backtrack_limit=60,
+    )
+    return {
+        "golden_alpha": (alpha_core, alpha_config),
+        "golden_beta": (beta_core, beta_config),
+    }
+
+
+def run_case(core_config: SyntheticCoreConfig, config: LogicBistConfig) -> dict:
+    """Run the flow once and extract the pinned measurements."""
+    core = generate_synthetic_core(core_config)
+    result = LogicBistFlow(config).run(core.circuit, core_name=core_config.name)
+    return {
+        "gate_count": result.gate_count,
+        "flop_count": result.flop_count,
+        "scan_chain_count": result.scan_chain_count,
+        "clock_domain_count": result.clock_domain_count,
+        "prpg_count": result.prpg_count,
+        "misr_count": result.misr_count,
+        "test_point_count": result.test_point_count,
+        "total_faults": result.total_faults,
+        "random_pattern_count": result.random_pattern_count,
+        "fault_coverage_random": round(result.fault_coverage_random, FLOAT_DECIMALS),
+        "top_up_pattern_count": result.top_up_pattern_count,
+        "fault_coverage_final": round(result.fault_coverage_final, FLOAT_DECIMALS),
+        "signatures": {domain: sig for domain, sig in sorted(result.signatures.items())},
+        "coverage_curve_tail": [
+            [patterns, round(coverage, FLOAT_DECIMALS)]
+            for patterns, coverage in result.coverage_curve[-3:]
+        ],
+    }
+
+
+def compute_golden() -> dict:
+    return {
+        name: run_case(core_config, flow_config)
+        for name, (core_config, flow_config) in golden_cases().items()
+    }
+
+
+def main() -> None:
+    golden = compute_golden()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
