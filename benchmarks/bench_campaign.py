@@ -1,0 +1,239 @@
+"""Benchmark: sharded campaign fault-simulation throughput vs the serial kernel.
+
+Measures PPSFP stuck-at fault simulation on the scaled Core Y stand-in three
+ways:
+
+* **serial** -- :meth:`FaultSimulator.simulate_blocks`, the oracle path,
+* **sharded, sequential** -- the 4-fault-shard campaign plan executed one
+  task at a time in-process, recording each shard's own compute seconds;
+  ``serial / max(shard)`` is the *projected* 4-worker speedup, i.e. the
+  speedup the shard plan delivers when every shard really gets its own CPU
+  (it folds in the duplicated fault-free simulation and per-task overhead,
+  but no multiprocessing dispatch cost),
+* **sharded, 4-worker pool** -- :func:`run_sharded_fault_sim` on a real
+  ``multiprocessing`` pool, recording the end-to-end wall clock.
+
+Both numbers land in ``benchmarks/BENCH_campaign.json`` next to the host's
+CPU count, because they answer different questions: the wall speedup is what
+*this* machine delivers (meaningless on the single-CPU CI container, where
+four workers time-share one core), while the projected speedup is the
+machine-independent quality of the shard plan -- the acceptance bar is
+``>= 2.5x`` at 4 workers.  Every run also re-asserts bit-identity of the
+merged results against the serial engine, so the benchmark doubles as an
+equivalence check at full workload scale.
+
+Run as a script (writes the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+
+or through pytest:
+
+    PYTHONPATH=src pytest benchmarks/bench_campaign.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.campaign import (
+    FaultShardTask,
+    ShardPayload,
+    execute_tasks,
+    plan_shard_tasks,
+    run_sharded_fault_sim,
+    with_offsets,
+)
+from repro.cores import core_y_recipe
+from repro.faults import FaultSimulator, collapse_stuck_at
+from repro.simulation import iter_blocks
+
+from conftest import print_rows, write_bench_json
+
+#: Patterns per engine run (every engine simulates this same workload).
+#: Large enough that each worker's fixed cost (kernel build + its share of
+#: cone-plan compilation) amortizes the way it does in a real 20K-pattern
+#: campaign.
+PATTERNS = 4096
+BLOCK_SIZE = 256
+WORKERS = 4
+#: Acceptance bar for the projected 4-worker fault-sim speedup.
+TARGET_SPEEDUP = 2.5
+
+
+def _build_workload():
+    recipe = core_y_recipe()
+    circuit = recipe.build().circuit
+    rng = random.Random(20050307)
+    stimulus = circuit.stimulus_nets()
+    patterns = [
+        {net: rng.randint(0, 1) for net in stimulus} for _ in range(PATTERNS)
+    ]
+    blocks = list(iter_blocks(patterns, block_size=BLOCK_SIZE, nets=stimulus))
+    return recipe, circuit, blocks
+
+
+def _fault_snapshot(fault_list):
+    return {
+        str(fault): (
+            fault_list.record(fault).status.name,
+            fault_list.record(fault).first_detection,
+        )
+        for fault in fault_list.faults()
+    }
+
+
+#: Timed sections run this many times; the minimum is recorded (the standard
+#: noise-rejection practice -- scheduler interference only ever adds time).
+REPEATS = 2
+
+
+def _run_serial(circuit, blocks):
+    seconds = []
+    for _ in range(REPEATS):
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        engine = FaultSimulator(circuit)
+        start = time.perf_counter()
+        engine.simulate_blocks(fault_list, blocks)
+        seconds.append(time.perf_counter() - start)
+    return min(seconds), fault_list
+
+
+def _run_sharded_sequential(circuit, blocks, num_shards):
+    """Execute the shard plan one task at a time, timing each shard alone.
+
+    Each task runs under its own scenario key in a separate ``execute_tasks``
+    call, so every shard compiles its own engine -- exactly what a real pool
+    worker pays -- and its ``seconds`` is an honest single-CPU measurement
+    unpolluted by time-slicing against concurrent workers.
+    """
+    fault_list = collapse_stuck_at(circuit).to_fault_list()
+    faults = tuple(fault_list.undetected())
+    state = FaultSimulator(circuit).shard_state(faults)
+    offset_blocks = with_offsets(blocks, 0)
+    # The production planning path (site-local keyed round-robin), so the
+    # benchmark measures exactly the plan the pool runs.
+    tasks = plan_shard_tasks(
+        FaultShardTask, "bench", circuit, faults, len(offset_blocks), num_shards, 1
+    )
+    payload = ShardPayload(state, tuple(offset_blocks))
+    start = time.perf_counter()
+    shard_seconds = []
+    for task in tasks:
+        # execute_tasks drops the cached engine after every call, so each
+        # repeat pays the full worker cost (kernel + cone-plan compilation).
+        per_repeat = [
+            execute_tasks(
+                [task], payloads={task.scenario_key: payload}, num_workers=1
+            )[0].seconds
+            for _ in range(REPEATS)
+        ]
+        shard_seconds.append(min(per_repeat))
+    wall = time.perf_counter() - start
+    return wall, shard_seconds
+
+
+def _run_sharded_pool(circuit, blocks, num_workers):
+    seconds = []
+    for _ in range(REPEATS):
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        start = time.perf_counter()
+        run_sharded_fault_sim(
+            circuit,
+            fault_list,
+            blocks,
+            num_workers=num_workers,
+            fault_shards=num_workers,
+        )
+        seconds.append(time.perf_counter() - start)
+    return min(seconds), fault_list
+
+
+def run() -> dict:
+    recipe, circuit, blocks = _build_workload()
+    fault_count = len(collapse_stuck_at(circuit).representatives)
+
+    serial_seconds, serial_list = _run_serial(circuit, blocks)
+    _, shard_seconds = _run_sharded_sequential(circuit, blocks, WORKERS)
+    sequential_seconds = sum(shard_seconds)
+    pool_seconds, pool_list = _run_sharded_pool(circuit, blocks, WORKERS)
+
+    # The benchmark doubles as a full-scale equivalence check.
+    serial_snapshot = _fault_snapshot(serial_list)
+    pool_snapshot = _fault_snapshot(pool_list)
+    assert pool_snapshot == serial_snapshot, "sharded campaign diverged from serial"
+    coverage = serial_list.coverage()
+
+    projected_speedup = serial_seconds / max(shard_seconds)
+    wall_speedup = serial_seconds / pool_seconds
+    sharding_overhead = sequential_seconds / serial_seconds
+
+    runs = [
+        {
+            "mode": "serial kernel",
+            "seconds": round(serial_seconds, 4),
+            "patterns_per_sec": round(PATTERNS / serial_seconds, 1),
+        },
+        {
+            "mode": f"{WORKERS} shards, sequential",
+            "seconds": round(sequential_seconds, 4),
+            "patterns_per_sec": round(PATTERNS / sequential_seconds, 1),
+        },
+        {
+            "mode": f"{WORKERS} shards, {WORKERS}-worker pool",
+            "seconds": round(pool_seconds, 4),
+            "patterns_per_sec": round(PATTERNS / pool_seconds, 1),
+        },
+    ]
+
+    payload = {
+        "core": recipe.name,
+        "gates": circuit.gate_count(),
+        "flops": circuit.flop_count(),
+        "collapsed_faults": fault_count,
+        "patterns": PATTERNS,
+        "block_size": BLOCK_SIZE,
+        "workers": WORKERS,
+        "coverage": round(coverage, 12),
+        "cpus_available": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "runs": runs,
+        "shard_seconds": [round(s, 4) for s in shard_seconds],
+        "sharding_overhead_vs_serial": round(sharding_overhead, 3),
+        "speedup_projected_4w": round(projected_speedup, 2),
+        "speedup_wall_4w": round(wall_speedup, 2),
+        "bit_identical_to_serial": True,
+        "target_speedup": TARGET_SPEEDUP,
+        "note": (
+            "speedup_projected_4w = serial / max(per-shard compute): the "
+            "shard-plan speedup with one real CPU per worker; speedup_wall_4w "
+            "is what this host measured and is ~1x on a single-CPU container"
+        ),
+    }
+    path = write_bench_json("campaign", payload)
+    print_rows(f"Campaign fault-simulation throughput -- {recipe.name}", runs)
+    print(
+        f"projected {WORKERS}-worker speedup: {projected_speedup:.2f}x "
+        f"(target >= {TARGET_SPEEDUP}x), wall on {payload['cpus_available']} "
+        f"CPU(s): {wall_speedup:.2f}x, shard balance {min(shard_seconds):.3f}"
+        f"-{max(shard_seconds):.3f}s -> {path.name}"
+    )
+    return payload
+
+
+def test_campaign_speedup_recorded():
+    """Regression guard: the shard plan keeps its >= 2.5x projected speedup
+    (and bit-identity) on record; wall clock is additionally enforced when
+    the host actually has the CPUs."""
+    payload = run()
+    assert payload["bit_identical_to_serial"]
+    assert payload["speedup_projected_4w"] >= TARGET_SPEEDUP
+    if payload["cpus_available"] >= WORKERS:
+        assert payload["speedup_wall_4w"] >= 2.0
+
+
+if __name__ == "__main__":
+    payload = run()
+    raise SystemExit(0 if payload["speedup_projected_4w"] >= TARGET_SPEEDUP else 1)

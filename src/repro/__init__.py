@@ -12,7 +12,9 @@ The package is organised as one subpackage per subsystem (see DESIGN.md):
 * :mod:`repro.bist` -- PRPG, phase shifter, MISR, STUMPS, controller,
 * :mod:`repro.timing` -- clock domains, clock gating, double-capture at-speed timing,
 * :mod:`repro.core` -- the end-to-end logic BIST flow and reporting,
-* :mod:`repro.cores` -- synthetic CPU-like IP cores and benchmark circuits.
+* :mod:`repro.cores` -- synthetic CPU-like IP cores and benchmark circuits,
+* :mod:`repro.campaign` -- sharded multi-process fault-simulation campaigns
+  over many (core, config) scenarios, bit-identical to the serial kernel.
 
 The most common entry point is :class:`repro.core.LogicBistFlow`.
 """

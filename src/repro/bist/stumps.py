@@ -184,6 +184,27 @@ class StumpsDomain:
             self.misr.compact(self.compactor.compact(slice_bits))
         return self.misr.state
 
+    def fold_responses(self, responses: Sequence[Mapping[str, int]]) -> int:
+        """Fold a whole sequence of captured responses into the MISR.
+
+        This is the per-domain signature shard of the campaign runner: every
+        clock domain's MISR only ever reads its own chains' cells, so one
+        worker per domain folding its filtered response stream reproduces the
+        serial multi-domain unload bit for bit.  Returns the final MISR state.
+        """
+        for captured in responses:
+            self.compact_response(captured)
+        return self.misr.state
+
+    def cells(self) -> list[str]:
+        """All scan-cell names of this domain, chain by chain.
+
+        The campaign runner uses this to filter captured responses down to
+        the cells a domain's MISR can actually see before shipping them to a
+        signature shard worker.
+        """
+        return [cell for chain in self.chains for cell in chain.cells]
+
     @property
     def signature(self) -> int:
         """Current MISR signature for this domain."""
@@ -278,6 +299,22 @@ class StumpsArchitecture:
                 assignments.update(domain.generate_packed_load(num))
             yield PatternBlock(assignments, num)
             remaining -= num
+
+    def packed_session(
+        self, count: int, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Iterator[tuple[int, PatternBlock]]:
+        """Stream a whole BIST session as ``(global pattern offset, block)`` pairs.
+
+        The sharded campaign path consumes this form: the offsets make every
+        block self-describing, so blocks can be partitioned across pattern
+        shards while first-detection indices stay globally meaningful.
+        Pattern-for-pattern identical to :meth:`generate_packed_blocks` (it
+        is the same PRPG walk, merely enumerated).
+        """
+        offset = 0
+        for block in self.generate_packed_blocks(count, block_size=block_size):
+            yield offset, block
+            offset += block.num_patterns
 
     def compact_response(self, captured: Mapping[str, int]) -> dict[str, int]:
         """Fold one captured response into every domain's MISR; returns the states."""

@@ -1,0 +1,73 @@
+"""Sharded multi-process fault-simulation campaigns (S11).
+
+Public API:
+
+* :class:`~repro.campaign.runner.CampaignRunner` /
+  :class:`~repro.campaign.runner.CampaignScenario` -- fan many
+  (core, :class:`~repro.core.config.LogicBistConfig`) scenario pairs out
+  over one ``multiprocessing`` worker pool,
+* :func:`~repro.campaign.runner.run_sharded_fault_sim` /
+  :func:`~repro.campaign.runner.run_sharded_transition_sim` -- sharded
+  drop-ins for the serial simulators (what ``LogicBistFlow`` drives when
+  ``LogicBistConfig.campaign_workers >= 2``),
+* the shard planners in :mod:`repro.campaign.sharding` and the
+  order-independent mergers in :mod:`repro.campaign.results`.
+
+The serial compiled-kernel path remains the default and the bit-exactness
+oracle: merged campaign results (detection records, coverage curves, MISR
+signatures) are bit-identical to it across shard counts, block sizes,
+shard-assignment permutations and worker counts -- ``tests/campaign``
+asserts all of this with a randomized differential harness.
+"""
+
+from .results import (
+    CampaignResult,
+    ScenarioResult,
+    ShardOutcome,
+    SignatureOutcome,
+    build_simulation_result,
+    merge_first_detections,
+)
+from .runner import (
+    CampaignRunner,
+    CampaignScenario,
+    FaultShardTask,
+    ShardPayload,
+    SignatureShardTask,
+    TransitionShardTask,
+    execute_tasks,
+    plan_shard_tasks,
+    run_sharded_fault_sim,
+    run_sharded_transition_sim,
+    with_offsets,
+)
+from .sharding import (
+    contiguous_shards,
+    keyed_round_robin_shards,
+    plan_grid,
+    round_robin_shards,
+)
+
+__all__ = [
+    "CampaignResult",
+    "ScenarioResult",
+    "ShardOutcome",
+    "SignatureOutcome",
+    "build_simulation_result",
+    "merge_first_detections",
+    "CampaignRunner",
+    "CampaignScenario",
+    "FaultShardTask",
+    "ShardPayload",
+    "SignatureShardTask",
+    "TransitionShardTask",
+    "execute_tasks",
+    "plan_shard_tasks",
+    "run_sharded_fault_sim",
+    "run_sharded_transition_sim",
+    "with_offsets",
+    "contiguous_shards",
+    "keyed_round_robin_shards",
+    "plan_grid",
+    "round_robin_shards",
+]

@@ -1,0 +1,225 @@
+"""Order-independent merging of per-shard campaign outcomes.
+
+Every shard task reports, for each of its faults, the global index of the
+first pattern (within the shard's pattern range) that detects the fault.
+Because per-fault detection depends only on the fault-free values and the
+fault itself -- never on other faults -- the serial result is recovered
+exactly by
+
+1. taking the **minimum** first-detection index per fault over all shards
+   (a commutative, associative reduction: shard order and worker count
+   cannot change it), and
+2. rebuilding the coverage curve / per-pattern detection credits from the
+   merged indices and the serial block boundaries.
+
+Step 2 reproduces the serial :class:`~repro.faults.fault_sim.FaultSimulationResult`
+bit for bit: the serial engine samples ``fault_list.coverage()`` after every
+block, and a fault contributes to that sample iff its first detection falls
+before the block boundary -- which is precisely what the merged indices
+encode.  The same integer counts divide to the same floats, so even the
+curve's floating-point values are identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..faults.fault_list import FaultList
+from ..faults.fault_sim import FaultSimulationResult
+from ..faults.models import FaultStatus
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one fault-simulation shard task reports back to the merger.
+
+    Attributes
+    ----------
+    scenario_key:
+        Which scenario of the campaign this shard belongs to.
+    shard_id:
+        Position of the task in the scenario's shard plan (diagnostic only;
+        the merge never depends on it).
+    first_detections:
+        Mapping fault index (into the scenario's canonical fault ordering)
+        -> global index of the first detecting pattern in this shard's range.
+    gate_evals:
+        Gate (re-)evaluations performed by the shard, for throughput
+        accounting.
+    seconds:
+        Wall-clock compute time inside the worker (excludes task pickling).
+    """
+
+    scenario_key: str
+    shard_id: int
+    first_detections: dict[int, int]
+    gate_evals: int = 0
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class SignatureOutcome:
+    """Final MISR state of one clock domain, folded by a signature shard."""
+
+    scenario_key: str
+    domain: str
+    signature: int
+
+
+def merge_first_detections(
+    outcomes: Iterable[ShardOutcome],
+) -> dict[int, int]:
+    """Min-merge per-fault first detections across shards (order-independent)."""
+    merged: dict[int, int] = {}
+    for outcome in outcomes:
+        for fault_index, pattern_index in outcome.first_detections.items():
+            current = merged.get(fault_index)
+            if current is None or pattern_index < current:
+                merged[fault_index] = pattern_index
+    return merged
+
+
+def build_simulation_result(
+    fault_list: FaultList,
+    faults: Sequence[object],
+    merged: Mapping[int, int],
+    block_boundaries: Sequence[int],
+    pattern_offset: int = 0,
+) -> FaultSimulationResult:
+    """Materialise the serial-equivalent result from merged detections.
+
+    Parameters
+    ----------
+    fault_list:
+        The campaign's fault list; detected faults are marked in place with
+        their merged global first-detection index (exactly once each, as the
+        serial engine does under fault dropping).
+    faults:
+        Canonical fault ordering the merged indices refer to.
+    merged:
+        Fault index -> global first-detection pattern index.
+    block_boundaries:
+        Cumulative pattern counts after each serial block (e.g. ``[256, 512]``
+        for two 256-pattern blocks); these are the serial coverage-curve
+        sample points.
+    pattern_offset:
+        Global index of the first pattern of the campaign (mirrors the
+        serial ``simulate(..., pattern_offset=...)`` parameter).
+    """
+    total_patterns = block_boundaries[-1] if block_boundaries else 0
+    detections_per_pattern = [0] * total_patterns
+    # Mark in canonical fault order so FaultList record contents (and any
+    # iteration-order-dependent consumer) match the serial engine.
+    ordered = sorted(merged.items())
+    for fault_index, pattern_index in ordered:
+        fault_list.mark_detected(faults[fault_index], pattern_index)
+        relative = pattern_index - pattern_offset
+        detections_per_pattern[relative] += 1
+
+    result = FaultSimulationResult(fault_list, total_patterns)
+    result.detections_per_pattern = detections_per_pattern
+    cumulative = 0
+    for boundary in block_boundaries:
+        cumulative = boundary
+        # coverage() recounts the fault list, which at this point already
+        # holds *all* merged detections -- but the serial curve sample after
+        # block k only counts detections at pattern indices < boundary.
+        # Count those explicitly against the same denominator.
+        detected = sum(
+            1
+            for record_fault in fault_list.faults()
+            if _detected_before(fault_list, record_fault, pattern_offset + boundary)
+        )
+        total = len(fault_list)
+        coverage = 1.0 if total == 0 else detected / total
+        result.coverage_curve.append((pattern_offset + cumulative, coverage))
+    return result
+
+
+def _detected_before(fault_list: FaultList, fault: object, boundary: int) -> bool:
+    """Did the serial engine see this fault as detected before ``boundary``?
+
+    Faults credited outside the campaign (e.g. the chain-flush test, index
+    -1, or an earlier phase) count at every boundary, exactly as they would
+    in the serial curve.
+    """
+    record = fault_list.record(fault)
+    if record.status is not FaultStatus.DETECTED:
+        return False
+    first = record.first_detection
+    return first is None or first < boundary
+
+
+# --------------------------------------------------------------------- #
+# Scenario / campaign reports
+# --------------------------------------------------------------------- #
+@dataclass
+class ScenarioResult:
+    """Merged, canonical outcome of one (core, config) campaign scenario."""
+
+    name: str
+    core_name: str
+    total_faults: int
+    patterns_simulated: int
+    coverage: float
+    coverage_curve: list[tuple[int, float]]
+    #: ``str(fault)`` -> global first-detection pattern index (-1 = chain flush).
+    first_detections: dict[str, int]
+    #: Per-clock-domain MISR signatures (empty when signatures are disabled).
+    signatures: dict[str, int] = field(default_factory=dict)
+    #: Diagnostics (excluded from the canonical report bytes).
+    num_shards: int = 1
+    num_workers: int = 1
+    gate_evals: int = 0
+    seconds: float = 0.0
+    fault_list: Optional[FaultList] = None
+
+    def canonical_dict(self) -> dict:
+        """Deterministic content-only view (no timings, no worker counts)."""
+        return {
+            "name": self.name,
+            "core": self.core_name,
+            "total_faults": self.total_faults,
+            "patterns_simulated": self.patterns_simulated,
+            "coverage": self.coverage,
+            "coverage_curve": [list(point) for point in self.coverage_curve],
+            "first_detections": dict(sorted(self.first_detections.items())),
+            "signatures": dict(sorted(self.signatures.items())),
+        }
+
+    def report_bytes(self) -> bytes:
+        """Canonical byte-exact report: equal results <=> equal bytes.
+
+        Shard order, shard count and worker count must not leak into this
+        serialisation -- the regression suite compares these bytes across
+        permuted shard assignments and worker counts.
+        """
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        ).encode()
+
+
+@dataclass
+class CampaignResult:
+    """Merged outcome of a whole multi-scenario campaign."""
+
+    scenarios: dict[str, ScenarioResult]
+    num_workers: int = 1
+    seconds: float = 0.0
+
+    def __getitem__(self, name: str) -> ScenarioResult:
+        return self.scenarios[name]
+
+    def canonical_dict(self) -> dict:
+        return {
+            name: result.canonical_dict()
+            for name, result in sorted(self.scenarios.items())
+        }
+
+    def report_bytes(self) -> bytes:
+        """Canonical byte-exact report across every scenario."""
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        ).encode()

@@ -1,0 +1,708 @@
+"""Sharded multi-process fault-simulation campaign runner.
+
+The runner fans a fault-simulation campaign out across ``multiprocessing``
+workers along the axes planned by :mod:`repro.campaign.sharding`:
+
+* **fault shards** of the collapsed fault list (site-local keyed round-robin:
+  faults sharing a fault site stay in one shard, so every site's fanout-cone
+  plan is compiled by exactly one worker),
+* **pattern shards** of the packed STUMPS block stream (contiguous runs),
+* **signature shards**, one per clock domain (each domain's MISR only reads
+  its own chains, so domains fold independently),
+* and, at the top level, many **(core, LogicBistConfig) scenario pairs**
+  whose tasks all drain through one worker pool.
+
+Serialization is per *worker*, not per task: each scenario's
+:class:`ShardPayload` (the pickleable shard state from
+:mod:`repro.faults.fault_sim` / :mod:`repro.faults.transition_sim` plus the
+packed block stream) is shipped once to every worker through the pool
+initializer, and the tasks themselves carry only index tuples.  Workers
+compile the kernel once per (scenario, engine) pair and cache it.
+
+Results come back as per-fault first-detection indices and are min-merged by
+:mod:`repro.campaign.results` -- a reduction that is independent of shard
+order and worker count, which is what makes the merged coverage curves,
+detection records and MISR signatures **bit-identical** to the serial
+compiled-kernel path (the serial engine remains the default and the oracle;
+``tests/campaign`` asserts the equivalence across shard counts, block sizes
+and permuted shard assignments).
+
+With ``num_workers <= 1`` every task runs in-process through the very same
+code path -- useful both as the deterministic fallback and for measuring
+per-shard compute time without multiprocessing noise.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..bist.stumps import StumpsArchitecture, StumpsDomain
+from ..core.config import LogicBistConfig
+from ..core.flow import (
+    build_stumps,
+    credit_chain_flush,
+    derive_signature_responses,
+    expand_leading_patterns,
+    fresh_fault_list,
+    insert_test_points,
+)
+from ..core.bist_ready import BistReadyCore, prepare_scan_core
+from ..faults.fault_list import FaultList
+from ..faults.fault_sim import FaultSimShardState, FaultSimulationResult, FaultSimulator
+from ..faults.models import StuckAtFault, TransitionFault
+from ..faults.transition_sim import (
+    TransitionSimShardState,
+    TransitionSimulationResult,
+)
+from ..netlist.circuit import Circuit
+from ..netlist.library import CellLibrary
+from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks
+from .results import (
+    CampaignResult,
+    ScenarioResult,
+    ShardOutcome,
+    SignatureOutcome,
+    build_simulation_result,
+    merge_first_detections,
+)
+from .sharding import plan_grid
+
+#: Blocks may be given bare or as (global pattern offset, block) pairs.
+OffsetBlocks = Sequence[Union[PatternBlock, tuple[int, PatternBlock]]]
+
+
+# --------------------------------------------------------------------- #
+# Shard payloads and task records (everything here must pickle cleanly)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardPayload:
+    """One scenario's shared shard inputs, shipped once per worker.
+
+    ``state`` is the pickleable compiled-kernel shard state (circuit,
+    observation nets, canonical fault ordering); ``blocks`` is the full
+    ordered stream the tasks index into -- ``(offset, PatternBlock)`` pairs
+    for stuck-at campaigns, ``(offset, launch, capture)`` triples for
+    transition campaigns.
+    """
+
+    state: Union[FaultSimShardState, TransitionSimShardState]
+    blocks: tuple
+
+
+@dataclass(frozen=True)
+class FaultShardTask:
+    """One stuck-at shard: fault indices scanned over a block-index run."""
+
+    scenario_key: str
+    shard_id: int
+    fault_indices: tuple[int, ...]
+    block_indices: tuple[int, ...]
+
+    #: Engine kind the worker builds/caches for this task.
+    kind = "stuck"
+
+
+@dataclass(frozen=True)
+class TransitionShardTask:
+    """One transition shard over aligned (launch, capture) block pairs."""
+
+    scenario_key: str
+    shard_id: int
+    fault_indices: tuple[int, ...]
+    block_indices: tuple[int, ...]
+
+    kind = "transition"
+
+
+@dataclass(frozen=True)
+class SignatureShardTask:
+    """One clock domain's MISR fold over its filtered response stream.
+
+    Self-contained (no payload lookup): there is exactly one task per
+    domain, so embedding the domain and its responses *is* the
+    once-per-worker form.
+    """
+
+    scenario_key: str
+    domain: str
+    stumps_domain: StumpsDomain
+    responses: tuple[dict[str, int], ...]
+
+
+ShardTask = Union[FaultShardTask, TransitionShardTask, SignatureShardTask]
+
+#: Per-process payload registry, seeded by the pool initializer (workers) or
+#: by ``execute_tasks`` itself (in-process path).
+_PAYLOADS: dict[str, ShardPayload] = {}
+
+#: Per-process cache of compiled engines, keyed by (scenario key, engine kind).
+#: Fork/spawn children start empty; tasks of the same scenario landing on the
+#: same worker recompile nothing.
+_ENGINE_CACHE: dict[tuple[str, str], object] = {}
+
+#: Monotonic nonce making every campaign invocation's scenario keys unique, so
+#: a cached engine or payload can never be confused across calls (two
+#: campaigns may reuse the same human-readable scenario name).
+_KEY_COUNTER = itertools.count()
+
+
+def _unique_key(prefix: str) -> str:
+    return f"{prefix}@{os.getpid()}.{next(_KEY_COUNTER)}"
+
+
+def _seed_payloads(payloads: dict[str, ShardPayload]) -> None:
+    """Pool-worker initializer: receive every scenario's payload exactly once."""
+    _PAYLOADS.update(payloads)
+
+
+def _cached_engine(scenario_key: str, kind: str, state) -> object:
+    cache_key = (scenario_key, kind)
+    engine = _ENGINE_CACHE.get(cache_key)
+    if engine is None:
+        engine = state.build_simulator()
+        _ENGINE_CACHE[cache_key] = engine
+    return engine
+
+
+def _execute_task(task: ShardTask):
+    """Run one shard task (in a worker process or in-process)."""
+    if isinstance(task, SignatureShardTask):
+        signature = task.stumps_domain.fold_responses(task.responses)
+        return SignatureOutcome(task.scenario_key, task.domain, signature)
+
+    payload = _PAYLOADS[task.scenario_key]
+    # The timer covers engine construction too: a worker's first task of a
+    # scenario really pays kernel compilation, and the recorded per-shard
+    # seconds must reflect that full cost.
+    start = time.perf_counter()
+    engine = _cached_engine(task.scenario_key, task.kind, payload.state)
+    # The stuck-at engine counts its own gate evaluations; the transition
+    # engine delegates them to its embedded stuck-at observability engine.
+    counter = engine if task.kind == "stuck" else engine.stuck_engine
+    faults = [payload.state.faults[index] for index in task.fault_indices]
+    blocks = [payload.blocks[index] for index in task.block_indices]
+    evals_before = counter.gate_evals
+    found = engine.first_detections(faults, blocks)
+    seconds = time.perf_counter() - start
+    index_of = {payload.state.faults[index]: index for index in task.fault_indices}
+    return ShardOutcome(
+        scenario_key=task.scenario_key,
+        shard_id=task.shard_id,
+        first_detections={
+            index_of[fault]: pattern for fault, pattern in found.items()
+        },
+        gate_evals=counter.gate_evals - evals_before,
+        seconds=seconds,
+    )
+
+
+def _make_context(mp_context):
+    if mp_context is not None:
+        return mp_context
+    # fork is the cheap option where available (Linux); elsewhere fall back
+    # to the platform default.  Payloads reach workers through the pool
+    # initializer either way.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def execute_tasks(
+    tasks: Sequence[ShardTask],
+    payloads: Optional[Mapping[str, ShardPayload]] = None,
+    num_workers: int = 1,
+    mp_context=None,
+) -> list:
+    """Run shard tasks, in-process (``num_workers <= 1``) or on a worker pool.
+
+    ``payloads`` maps scenario keys to the shared inputs the fault/transition
+    tasks index into (signature tasks are self-contained).  On the pool path
+    the payload dict is serialized once per worker via the pool initializer;
+    tasks themselves carry only index tuples.
+
+    Task outcomes are returned in task order, but nothing downstream depends
+    on it: the merge reductions are order-independent by construction.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    payloads = dict(payloads or {})
+    if num_workers <= 1:
+        _PAYLOADS.update(payloads)
+        try:
+            return [_execute_task(task) for task in tasks]
+        finally:
+            # Payloads and engines only exist to be shared between tasks of
+            # this call; scenario keys are unique per invocation, so entries
+            # would otherwise accumulate forever.
+            for key in payloads:
+                _PAYLOADS.pop(key, None)
+                _ENGINE_CACHE.pop((key, "stuck"), None)
+                _ENGINE_CACHE.pop((key, "transition"), None)
+    ctx = _make_context(mp_context)
+    with ctx.Pool(
+        processes=min(num_workers, len(tasks)),
+        initializer=_seed_payloads,
+        initargs=(payloads,),
+    ) as pool:
+        return pool.map(_execute_task, tasks, chunksize=1)
+
+
+# --------------------------------------------------------------------- #
+# Shard planning helpers
+# --------------------------------------------------------------------- #
+def _site_keys(circuit: Circuit, faults: Sequence[object]) -> list[str]:
+    """Resolved fault-site net per fault (the shard-locality key).
+
+    Stem and combinational input-branch faults of a gate share the gate's
+    own fanout-cone plan; a branch fault on a flop's D pin resimulates the
+    D-driver's site instead.  Keying fault shards by this net keeps every
+    site's cone-plan compilation inside a single worker.
+    """
+    keys: list[str] = []
+    for fault in faults:
+        if fault.is_stem:
+            keys.append(fault.gate)
+            continue
+        gate = circuit.gate(fault.gate)
+        if gate.is_flop:
+            keys.append(gate.inputs[fault.pin])
+        else:
+            keys.append(fault.gate)
+    return keys
+
+
+def plan_shard_tasks(
+    task_cls,
+    scenario_key: str,
+    circuit: Circuit,
+    faults: Sequence[object],
+    num_blocks: int,
+    fault_shards: int,
+    pattern_shards: int,
+) -> list[ShardTask]:
+    """The one task-construction path shared by every campaign entry point."""
+    return [
+        task_cls(
+            scenario_key=scenario_key,
+            shard_id=shard_id,
+            fault_indices=fault_group,
+            block_indices=block_group,
+        )
+        for shard_id, (fault_group, block_group) in enumerate(
+            plan_grid(
+                len(faults),
+                num_blocks,
+                fault_shards,
+                pattern_shards,
+                fault_keys=_site_keys(circuit, faults),
+            )
+        )
+    ]
+
+
+def with_offsets(
+    blocks: OffsetBlocks, pattern_offset: int
+) -> list[tuple[int, PatternBlock]]:
+    """Normalise a block stream to contiguous (global offset, block) pairs."""
+    result: list[tuple[int, PatternBlock]] = []
+    cursor = pattern_offset
+    for entry in blocks:
+        if isinstance(entry, tuple):
+            offset, block = entry
+            if offset != cursor:
+                raise ValueError(
+                    f"non-contiguous block stream: expected offset {cursor}, got {offset}"
+                )
+        else:
+            block = entry
+        result.append((cursor, block))
+        cursor += block.num_patterns
+    return result
+
+
+def _boundaries(offset_blocks: Sequence[tuple[int, PatternBlock]]) -> list[int]:
+    """Cumulative pattern counts after each block (serial curve sample points)."""
+    boundaries: list[int] = []
+    cumulative = 0
+    for _, block in offset_blocks:
+        cumulative += block.num_patterns
+        boundaries.append(cumulative)
+    return boundaries
+
+
+# --------------------------------------------------------------------- #
+# Drop-in sharded fault simulation (what core/flow.py drives)
+# --------------------------------------------------------------------- #
+def run_sharded_fault_sim(
+    circuit: Circuit,
+    fault_list: FaultList,
+    blocks: OffsetBlocks,
+    observe_nets: Optional[Sequence[str]] = None,
+    num_workers: int = 1,
+    fault_shards: Optional[int] = None,
+    pattern_shards: int = 1,
+    pattern_offset: int = 0,
+    mp_context=None,
+    scenario_key: str = "fault-sim",
+) -> FaultSimulationResult:
+    """Sharded drop-in for :meth:`FaultSimulator.simulate_blocks`.
+
+    Shards the undetected stuck-at faults of ``fault_list`` (site-local
+    round-robin) and optionally the pattern blocks (contiguous runs) across
+    ``num_workers`` processes, then min-merges the per-shard first
+    detections.  The returned :class:`FaultSimulationResult` -- statuses,
+    first-detection indices, coverage curve, per-pattern detection credits
+    -- is bit-identical to the serial engine's (fault dropping enabled).
+    """
+    scenario_key = _unique_key(scenario_key)
+    offset_blocks = with_offsets(blocks, pattern_offset)
+    faults = tuple(
+        fault for fault in fault_list.undetected() if isinstance(fault, StuckAtFault)
+    )
+    if fault_shards is None:
+        fault_shards = max(1, num_workers)
+    state = FaultSimShardState(
+        circuit=circuit,
+        observe_nets=tuple(
+            observe_nets if observe_nets is not None else circuit.observation_nets()
+        ),
+        faults=faults,
+    )
+    tasks = plan_shard_tasks(
+        FaultShardTask,
+        scenario_key,
+        circuit,
+        faults,
+        len(offset_blocks),
+        fault_shards,
+        pattern_shards,
+    )
+    outcomes = execute_tasks(
+        tasks,
+        payloads={scenario_key: ShardPayload(state, tuple(offset_blocks))},
+        num_workers=num_workers,
+        mp_context=mp_context,
+    )
+    merged = merge_first_detections(outcomes)
+    result = build_simulation_result(
+        fault_list,
+        faults,
+        merged,
+        _boundaries(offset_blocks),
+        pattern_offset=pattern_offset,
+    )
+    return result
+
+
+def run_sharded_transition_sim(
+    circuit: Circuit,
+    fault_list: FaultList,
+    launch_patterns: Sequence[Mapping[str, int]],
+    capture_patterns: Sequence[Mapping[str, int]],
+    observe_nets: Optional[Sequence[str]] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    num_workers: int = 1,
+    fault_shards: Optional[int] = None,
+    pattern_shards: int = 1,
+    pattern_offset: int = 0,
+    mp_context=None,
+    scenario_key: str = "transition-sim",
+) -> TransitionSimulationResult:
+    """Sharded drop-in for :meth:`TransitionFaultSimulator.simulate_pairs`."""
+    if len(launch_patterns) != len(capture_patterns):
+        raise ValueError("launch and capture pattern lists must have equal length")
+    scenario_key = _unique_key(scenario_key)
+    stimulus_nets = circuit.stimulus_nets()
+    launch_blocks = list(
+        iter_blocks(launch_patterns, block_size=block_size, nets=stimulus_nets)
+    )
+    capture_blocks = list(
+        iter_blocks(capture_patterns, block_size=block_size, nets=stimulus_nets)
+    )
+    pair_blocks: list[tuple[int, PatternBlock, PatternBlock]] = []
+    cursor = pattern_offset
+    for launch_block, capture_block in zip(launch_blocks, capture_blocks):
+        pair_blocks.append((cursor, launch_block, capture_block))
+        cursor += launch_block.num_patterns
+    faults = tuple(
+        fault for fault in fault_list.undetected() if isinstance(fault, TransitionFault)
+    )
+    if fault_shards is None:
+        fault_shards = max(1, num_workers)
+    state = TransitionSimShardState(
+        circuit=circuit,
+        observe_nets=tuple(
+            observe_nets if observe_nets is not None else circuit.observation_nets()
+        ),
+        faults=faults,
+    )
+    tasks = plan_shard_tasks(
+        TransitionShardTask,
+        scenario_key,
+        circuit,
+        faults,
+        len(pair_blocks),
+        fault_shards,
+        pattern_shards,
+    )
+    outcomes = execute_tasks(
+        tasks,
+        payloads={scenario_key: ShardPayload(state, tuple(pair_blocks))},
+        num_workers=num_workers,
+        mp_context=mp_context,
+    )
+    merged = merge_first_detections(outcomes)
+    boundaries = _boundaries([(offset, launch) for offset, launch, _ in pair_blocks])
+    sim_result = build_simulation_result(
+        fault_list, faults, merged, boundaries, pattern_offset=pattern_offset
+    )
+    return TransitionSimulationResult(
+        fault_list,
+        pairs_simulated=len(launch_patterns),
+        coverage_curve=sim_result.coverage_curve,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Multi-scenario campaigns
+# --------------------------------------------------------------------- #
+@dataclass
+class CampaignScenario:
+    """One (core, config) pair of a campaign.
+
+    ``circuit`` is the raw IP-core netlist; the runner performs the same
+    BIST-ready preparation the flow does (scan insertion, test-point
+    insertion, per-domain STUMPS, chain-flush credit) before
+    fault-simulating the random-pattern session.
+    """
+
+    name: str
+    circuit: Circuit
+    config: LogicBistConfig = field(default_factory=LogicBistConfig)
+
+
+@dataclass
+class _PreparedScenario:
+    key: str
+    scenario: CampaignScenario
+    core: BistReadyCore
+    stumps: StumpsArchitecture
+    fault_list: FaultList
+    faults: tuple[StuckAtFault, ...]
+    boundaries: list[int]
+    num_shard_tasks: int
+
+
+class CampaignRunner:
+    """Fans many (core, config) scenarios out over one worker pool.
+
+    All scenarios' fault shards and signature shards are gathered into a
+    single task list and drained by one pool, so a campaign over
+    heterogeneous cores (the Bernardi-style multi-core SoC workload) keeps
+    every worker busy even while small scenarios finish early.
+
+    Known limit: per-scenario *preparation* (scan insertion, test-point
+    insertion -- whose ``fault_sim`` profiling is itself a serial fault
+    simulation -- and signature-response derivation) runs serially in the
+    parent before fan-out, so TPI-heavy campaigns are Amdahl-capped below
+    ``num_workers``; distributing preparation is an open roadmap item.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 1,
+        fault_shards: Optional[int] = None,
+        pattern_shards: int = 1,
+        mp_context=None,
+    ) -> None:
+        self.num_workers = num_workers
+        self.fault_shards = fault_shards if fault_shards is not None else max(1, num_workers)
+        self.pattern_shards = pattern_shards
+        self.mp_context = mp_context
+        self.library = CellLibrary()
+
+    # ------------------------------------------------------------------ #
+    def run(self, scenarios: Iterable[CampaignScenario]) -> CampaignResult:
+        """Run every scenario's random-pattern fault-sim + signature session."""
+        start = time.perf_counter()
+        scenarios = list(scenarios)
+        names = [scenario.name for scenario in scenarios]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate scenario names {duplicates!r}: results are keyed "
+                "by name, so every scenario needs a distinct one"
+            )
+        prepared: list[_PreparedScenario] = []
+        all_tasks: list[ShardTask] = []
+        payloads: dict[str, ShardPayload] = {}
+        for index, scenario in enumerate(scenarios):
+            prep, tasks, payload = self._prepare(
+                _unique_key(f"s{index}:{scenario.name}"), scenario
+            )
+            prepared.append(prep)
+            all_tasks.extend(tasks)
+            payloads[prep.key] = payload
+
+        outcomes = execute_tasks(
+            all_tasks,
+            payloads=payloads,
+            num_workers=self.num_workers,
+            mp_context=self.mp_context,
+        )
+
+        shard_outcomes: dict[str, list[ShardOutcome]] = {}
+        signatures: dict[str, dict[str, int]] = {}
+        for outcome in outcomes:
+            if isinstance(outcome, SignatureOutcome):
+                signatures.setdefault(outcome.scenario_key, {})[outcome.domain] = (
+                    outcome.signature
+                )
+            else:
+                shard_outcomes.setdefault(outcome.scenario_key, []).append(outcome)
+
+        results: dict[str, ScenarioResult] = {}
+        for prep in prepared:
+            results[prep.scenario.name] = self._merge_scenario(
+                prep,
+                shard_outcomes.get(prep.key, []),
+                signatures.get(prep.key, {}),
+            )
+        return CampaignResult(
+            scenarios=results,
+            num_workers=self.num_workers,
+            seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _prepare(
+        self, key: str, scenario: CampaignScenario
+    ) -> tuple[_PreparedScenario, list[ShardTask], ShardPayload]:
+        config = scenario.config
+        core = prepare_scan_core(scenario.circuit, config, self.library)
+        # Same preparation as the flow, phase for phase: test points are
+        # inserted (and become real scan cells) before STUMPS assembly, so a
+        # TPI-enabled config yields the same coverage here as in the flow.
+        insert_test_points(core, config)
+        stumps = build_stumps(core, config)
+        fault_list = fresh_fault_list(core.circuit, config)
+        credit_chain_flush(core, fault_list)
+        offset_blocks = list(
+            stumps.packed_session(config.random_patterns, block_size=config.block_size)
+        )
+        faults = tuple(
+            fault
+            for fault in fault_list.undetected()
+            if isinstance(fault, StuckAtFault)
+        )
+        state = FaultSimShardState(
+            circuit=core.circuit,
+            observe_nets=tuple(core.circuit.observation_nets()),
+            faults=faults,
+        )
+        tasks = plan_shard_tasks(
+            FaultShardTask,
+            key,
+            core.circuit,
+            faults,
+            len(offset_blocks),
+            self.fault_shards,
+            self.pattern_shards,
+        )
+        num_shard_tasks = len(tasks)
+        tasks.extend(self._signature_tasks(key, core, stumps, config, offset_blocks))
+        prep = _PreparedScenario(
+            key=key,
+            scenario=scenario,
+            core=core,
+            stumps=stumps,
+            fault_list=fault_list,
+            faults=faults,
+            boundaries=[
+                offset + block.num_patterns for offset, block in offset_blocks
+            ],
+            num_shard_tasks=num_shard_tasks,
+        )
+        return prep, tasks, ShardPayload(state, tuple(offset_blocks))
+
+    def _signature_tasks(
+        self,
+        key: str,
+        core: BistReadyCore,
+        stumps: StumpsArchitecture,
+        config: LogicBistConfig,
+        offset_blocks: Sequence[tuple[int, PatternBlock]],
+    ) -> list[SignatureShardTask]:
+        """One MISR-fold task per clock domain (the signature shard axis).
+
+        The double-capture response derivation runs here in the parent via
+        the flow's own :func:`derive_signature_responses` (one pass of the
+        compiled kernel over the leading signature slice); only the
+        per-domain folds -- which walk every chain cell for every unload
+        cycle -- are fanned out, each seeing exactly the cells its MISR can
+        observe.
+        """
+        if config.signature_patterns <= 0:
+            return []
+        count = min(config.signature_patterns, config.random_patterns)
+        patterns = expand_leading_patterns(
+            [block for _, block in offset_blocks], count
+        )
+        responses = derive_signature_responses(core.circuit, config, patterns)
+        tasks: list[SignatureShardTask] = []
+        for domain_name, domain in stumps.domains.items():
+            cells = domain.cells()
+            tasks.append(
+                SignatureShardTask(
+                    scenario_key=key,
+                    domain=domain_name,
+                    # Deep copy: a worker (or the in-process fallback) must
+                    # never advance the caller's MISR state.
+                    stumps_domain=copy.deepcopy(domain),
+                    responses=tuple(
+                        {cell: response.get(cell, 0) for cell in cells}
+                        for response in responses
+                    ),
+                )
+            )
+        return tasks
+
+    # ------------------------------------------------------------------ #
+    def _merge_scenario(
+        self,
+        prep: _PreparedScenario,
+        outcomes: list[ShardOutcome],
+        signatures: dict[str, int],
+    ) -> ScenarioResult:
+        merged = merge_first_detections(outcomes)
+        sim_result = build_simulation_result(
+            prep.fault_list, prep.faults, merged, prep.boundaries
+        )
+        fault_list = prep.fault_list
+        first_detections = {
+            str(fault): fault_list.record(fault).first_detection
+            for fault in fault_list.detected()
+            if fault_list.record(fault).first_detection is not None
+        }
+        return ScenarioResult(
+            name=prep.scenario.name,
+            core_name=prep.scenario.circuit.name,
+            total_faults=len(fault_list),
+            patterns_simulated=sim_result.patterns_simulated,
+            coverage=fault_list.coverage(),
+            coverage_curve=list(sim_result.coverage_curve),
+            first_detections=first_detections,
+            signatures=dict(sorted(signatures.items())),
+            num_shards=prep.num_shard_tasks,
+            num_workers=self.num_workers,
+            gate_evals=sum(outcome.gate_evals for outcome in outcomes),
+            seconds=sum(outcome.seconds for outcome in outcomes),
+            fault_list=fault_list,
+        )

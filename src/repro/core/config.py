@@ -94,3 +94,15 @@ class LogicBistConfig:
     #: (256 / 1024) amortise the compiled kernel's interpreter loop over more
     #: patterns per pass at the cost of wider bigint operands.
     block_size: int = DEFAULT_BLOCK_SIZE
+
+    # ------------------------------------------------------------------ #
+    # Sharded campaign execution
+    # ------------------------------------------------------------------ #
+    #: Worker processes for the random-phase fault simulation.  0 or 1 keeps
+    #: the serial compiled-kernel path (the default and the bit-exactness
+    #: oracle); >= 2 fans the collapsed fault list out across
+    #: ``multiprocessing`` workers via :mod:`repro.campaign` -- results are
+    #: bit-identical to the serial path by construction (and by test).
+    campaign_workers: int = 0
+    #: Fault shards for the campaign path (None = one shard per worker).
+    campaign_fault_shards: Optional[int] = None

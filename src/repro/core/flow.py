@@ -62,6 +62,161 @@ class PhaseTiming:
     seconds: float
 
 
+# --------------------------------------------------------------------- #
+# Structure builders (module-level so the sharded campaign runner can
+# assemble the exact same STUMPS / clock-tree structures the flow uses)
+# --------------------------------------------------------------------- #
+def build_clock_tree(circuit: Circuit, config: LogicBistConfig) -> ClockTreeModel:
+    """The flow's clock-tree model for ``circuit`` under ``config``."""
+    frequencies = {
+        domain: float(
+            config.clock_frequencies_mhz.get(domain, config.default_frequency_mhz)
+        )
+        for domain in circuit.clock_domains()
+    }
+    return make_clock_tree(
+        frequencies, intra_domain_skew_ns=config.intra_domain_skew_ns
+    )
+
+
+def build_stumps(core: BistReadyCore, config: LogicBistConfig) -> StumpsArchitecture:
+    """The flow's STUMPS architecture (one PRPG/MISR pair per clock domain)."""
+    domain_configs = []
+    for index, domain in enumerate(core.architecture.domains()):
+        chains = len(core.architecture.chains_in_domain(domain))
+        domain_configs.append(
+            StumpsDomainConfig(
+                domain=domain,
+                prpg_length=config.prpg_length,
+                prpg_seed=config.bist_seed + index + 1,
+                phase_shifter_seed=config.bist_seed + 100 + index,
+                compactor_outputs=(
+                    min(config.compacted_misr_length, chains)
+                    if config.use_space_compactor
+                    else None
+                ),
+                # The paper's MISRs are never shorter than the 19-bit PRPG
+                # (small domains get 19-bit MISRs, the big domain gets one
+                # as wide as its chain count); mirror that rule here.
+                misr_length=(
+                    config.compacted_misr_length
+                    if config.use_space_compactor
+                    else max(chains, config.prpg_length)
+                ),
+            )
+        )
+    return StumpsArchitecture(core.architecture, domain_configs)
+
+
+def insert_test_points(
+    core: BistReadyCore, config: LogicBistConfig
+) -> Optional[ObservationPointPlan]:
+    """The flow's test-point-insertion phase (phase 2), on a prepared core.
+
+    Mutates ``core`` in place (observation flops become real scan cells) and
+    returns the chosen plan, or ``None`` when TPI is disabled.  Module-level
+    so the campaign runner performs exactly the same BIST-ready preparation
+    the flow does.
+    """
+    if config.tpi_method == "none" or config.observation_point_budget <= 0:
+        return None
+    if config.tpi_method == "observability":
+        plan = ObservabilityGuidedTpi(
+            core.circuit, budget=config.observation_point_budget
+        ).select()
+    elif config.tpi_method == "fault_sim":
+        stumps = build_stumps(core, config)
+        patterns = stumps.generate_patterns(config.tpi_profile_patterns)
+        fault_list = fresh_fault_list(core.circuit, config)
+        simulator = FaultSimulator(core.circuit)
+        simulator.simulate(fault_list, patterns, block_size=config.block_size)
+        tpi = FaultSimGuidedObservationTpi(
+            core.circuit,
+            budget=config.observation_point_budget,
+            profile_patterns=min(config.tpi_profile_patterns, 128),
+        )
+        plan = tpi.select(fault_list, patterns)
+    else:
+        raise ValueError(f"unknown tpi_method {config.tpi_method!r}")
+    if plan.nets:
+        finalize_with_observation_points(core, plan, config)
+    else:
+        core.tpi_plan = plan
+    return plan
+
+
+def fresh_fault_list(circuit: Circuit, config: LogicBistConfig) -> FaultList:
+    """The flow's collapsed stuck-at fault universe under ``config``."""
+    collapsed = collapse_stuck_at(circuit)
+    faults = collapsed.representatives
+    if config.exclude_pad_faults:
+        faults = [
+            fault
+            for fault in faults
+            if not (
+                fault.is_stem
+                and circuit.gate(fault.gate).gate_type is GateType.INPUT
+            )
+        ]
+    return FaultList(faults)
+
+
+def expand_leading_patterns(blocks, count: int) -> list[dict]:
+    """Expand the leading ``count`` patterns of a packed block stream."""
+    patterns: list[dict] = []
+    for block in blocks:
+        if len(patterns) >= count:
+            break
+        take = min(block.num_patterns, count - len(patterns))
+        patterns.extend(block.pattern(index) for index in range(take))
+    return patterns
+
+
+def derive_signature_responses(
+    circuit: Circuit,
+    config: LogicBistConfig,
+    patterns: list[dict],
+    schedule: Optional[CaptureSchedule] = None,
+) -> list[dict[str, int]]:
+    """The captured responses of the double-capture window, per pattern.
+
+    Apply the staggered launch pulses, then the capture pulses, and read the
+    flop contents that would be shifted into the MISRs.  Input wrapper cells
+    capture the (statically driven) pad value at the launch pulse, which is
+    exactly how they contribute launch transitions for delay faults.  Shared
+    by the flow's signature phase and the campaign's per-domain signature
+    shards, so the two can never derive different response streams.
+    """
+    if schedule is None:
+        schedule = CaptureWindowScheduler(build_clock_tree(circuit, config)).schedule()
+    pulse_order = schedule.pulse_order
+    after_launch = derive_capture_patterns(circuit, patterns, pulse_order)
+    after_capture = derive_capture_patterns(circuit, after_launch, pulse_order)
+    flop_names = set(circuit.flop_names())
+    return [
+        {name: captured.get(name, 0) for name in flop_names}
+        for captured in after_capture
+    ]
+
+
+def credit_chain_flush(core: BistReadyCore, fault_list: FaultList) -> int:
+    """Credit the scan-chain flush (integrity) test.
+
+    Before any BIST pattern is applied, a standard chain flush test shifts
+    a known sequence through every chain; a stuck value on any scan cell
+    output corrupts everything passing through it, so output-stem faults
+    of scan cells are detected by that test.  Commercial flows count this
+    coverage, and so does the paper's tool.
+    """
+    flop_names = set(core.circuit.flop_names())
+    credited = 0
+    for fault in list(fault_list.undetected()):
+        if fault.is_stem and fault.gate in flop_names:
+            fault_list.mark_detected(fault, pattern_index=-1)
+            credited += 1
+    return credited
+
+
 @dataclass
 class LogicBistResult:
     """Everything the flow measured -- the superset of a Table 1 column."""
@@ -202,107 +357,23 @@ class LogicBistFlow:
     # Phase implementations
     # ------------------------------------------------------------------ #
     def _insert_test_points(self, core: BistReadyCore) -> Optional[ObservationPointPlan]:
-        config = self.config
-        if config.tpi_method == "none" or config.observation_point_budget <= 0:
-            return None
-        if config.tpi_method == "observability":
-            plan = ObservabilityGuidedTpi(
-                core.circuit, budget=config.observation_point_budget
-            ).select()
-        elif config.tpi_method == "fault_sim":
-            stumps = self._build_stumps(core)
-            patterns = self._scan_patterns(stumps, config.tpi_profile_patterns)
-            fault_list = self._fresh_fault_list(core.circuit)
-            simulator = FaultSimulator(core.circuit)
-            simulator.simulate(fault_list, patterns, block_size=config.block_size)
-            tpi = FaultSimGuidedObservationTpi(
-                core.circuit,
-                budget=config.observation_point_budget,
-                profile_patterns=min(config.tpi_profile_patterns, 128),
-            )
-            plan = tpi.select(fault_list, patterns)
-        else:
-            raise ValueError(f"unknown tpi_method {config.tpi_method!r}")
-        if plan.nets:
-            finalize_with_observation_points(core, plan, config)
-        else:
-            core.tpi_plan = plan
-        return plan
+        return insert_test_points(core, self.config)
 
     def _build_clock_tree(self, circuit: Circuit) -> ClockTreeModel:
-        config = self.config
-        frequencies = {
-            domain: float(
-                config.clock_frequencies_mhz.get(domain, config.default_frequency_mhz)
-            )
-            for domain in circuit.clock_domains()
-        }
-        return make_clock_tree(
-            frequencies, intra_domain_skew_ns=config.intra_domain_skew_ns
-        )
+        return build_clock_tree(circuit, self.config)
 
     def _build_stumps(self, core: BistReadyCore) -> StumpsArchitecture:
-        config = self.config
-        domain_configs = []
-        for index, domain in enumerate(core.architecture.domains()):
-            chains = len(core.architecture.chains_in_domain(domain))
-            domain_configs.append(
-                StumpsDomainConfig(
-                    domain=domain,
-                    prpg_length=config.prpg_length,
-                    prpg_seed=config.bist_seed + index + 1,
-                    phase_shifter_seed=config.bist_seed + 100 + index,
-                    compactor_outputs=(
-                        min(config.compacted_misr_length, chains)
-                        if config.use_space_compactor
-                        else None
-                    ),
-                    # The paper's MISRs are never shorter than the 19-bit PRPG
-                    # (small domains get 19-bit MISRs, the big domain gets one
-                    # as wide as its chain count); mirror that rule here.
-                    misr_length=(
-                        config.compacted_misr_length
-                        if config.use_space_compactor
-                        else max(chains, config.prpg_length)
-                    ),
-                )
-            )
-        return StumpsArchitecture(core.architecture, domain_configs)
+        return build_stumps(core, self.config)
 
     def _scan_patterns(self, stumps: StumpsArchitecture, count: int) -> list[dict[str, int]]:
         """Scan-load patterns from the PRPGs (primary-input pads held at 0)."""
         return stumps.generate_patterns(count)
 
     def _fresh_fault_list(self, circuit: Circuit) -> FaultList:
-        collapsed = collapse_stuck_at(circuit)
-        faults = collapsed.representatives
-        if self.config.exclude_pad_faults:
-            faults = [
-                fault
-                for fault in faults
-                if not (
-                    fault.is_stem
-                    and circuit.gate(fault.gate).gate_type is GateType.INPUT
-                )
-            ]
-        return FaultList(faults)
+        return fresh_fault_list(circuit, self.config)
 
     def _credit_chain_flush(self, core: BistReadyCore, fault_list: FaultList) -> int:
-        """Credit the scan-chain flush (integrity) test.
-
-        Before any BIST pattern is applied, a standard chain flush test shifts
-        a known sequence through every chain; a stuck value on any scan cell
-        output corrupts everything passing through it, so output-stem faults
-        of scan cells are detected by that test.  Commercial flows count this
-        coverage, and so does the paper's tool.
-        """
-        flop_names = set(core.circuit.flop_names())
-        credited = 0
-        for fault in list(fault_list.undetected()):
-            if fault.is_stem and fault.gate in flop_names:
-                fault_list.mark_detected(fault, pattern_index=-1)
-                credited += 1
-        return credited
+        return credit_chain_flush(core, fault_list)
 
     def _random_phase(
         self,
@@ -313,7 +384,6 @@ class LogicBistFlow:
         config = self.config
         fault_list = self._fresh_fault_list(core.circuit)
         self._credit_chain_flush(core, fault_list)
-        simulator = FaultSimulator(core.circuit)
         stumps.reset()
         # Stream the PRPG/phase-shifter output straight into packed blocks --
         # no per-pattern dicts are ever materialised on the random-pattern
@@ -324,14 +394,23 @@ class LogicBistFlow:
                 config.random_patterns, block_size=config.block_size
             )
         )
-        result = simulator.simulate_blocks(fault_list, blocks)
+        if config.campaign_workers >= 2:
+            # Sharded campaign path: fan the collapsed fault list out across
+            # worker processes.  Serial remains the default and the oracle;
+            # the merged result is bit-identical (tests/campaign asserts it).
+            from ..campaign.runner import run_sharded_fault_sim
+
+            result = run_sharded_fault_sim(
+                core.circuit,
+                fault_list,
+                blocks,
+                num_workers=config.campaign_workers,
+                fault_shards=config.campaign_fault_shards,
+            )
+        else:
+            result = FaultSimulator(core.circuit).simulate_blocks(fault_list, blocks)
         signature_count = min(config.signature_patterns, config.random_patterns)
-        patterns: list[dict[str, int]] = []
-        for block in blocks:
-            if len(patterns) >= signature_count:
-                break
-            take = min(block.num_patterns, signature_count - len(patterns))
-            patterns.extend(block.pattern(index) for index in range(take))
+        patterns = expand_leading_patterns(blocks, signature_count)
         signatures = self._signature_phase(core, stumps, schedule, patterns)
         return fault_list, result, signatures
 
@@ -346,20 +425,12 @@ class LogicBistFlow:
         if config.signature_patterns <= 0:
             return {}
         count = min(config.signature_patterns, len(patterns))
-        # The captured response of the double-capture window: apply the
-        # staggered launch pulses, then the capture pulses, and read the flop
-        # contents that would be shifted into the MISRs.  Input wrapper cells
-        # capture the (statically driven) pad value at the launch pulse, which
-        # is exactly how they contribute launch transitions for delay faults.
-        pulse_order = schedule.pulse_order
-        launch_patterns = patterns[:count]
-        after_launch = derive_capture_patterns(core.circuit, launch_patterns, pulse_order)
-        after_capture = derive_capture_patterns(core.circuit, after_launch, pulse_order)
+        responses = derive_signature_responses(
+            core.circuit, config, patterns[:count], schedule
+        )
         controller = BistController(total_patterns=count)
         controller.start()
-        flop_names = set(core.circuit.flop_names())
-        for captured in after_capture:
-            response = {name: captured.get(name, 0) for name in flop_names}
+        for response in responses:
             stumps.compact_response(response)
             controller.advance()
         controller.record_signatures(stumps.signatures())

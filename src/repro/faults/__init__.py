@@ -28,9 +28,15 @@ from .fault_list import (
     enumerate_transition_faults,
 )
 from .collapse import CollapsedFaults, collapse_stuck_at
-from .fault_sim import FaultSimulationResult, FaultSimulator
+from .fault_sim import (
+    FaultSimShardState,
+    FaultSimulationResult,
+    FaultSimulator,
+    check_strict_patterns,
+)
 from .transition_sim import (
     TransitionFaultSimulator,
+    TransitionSimShardState,
     TransitionSimulationResult,
     derive_capture_patterns,
 )
@@ -56,9 +62,12 @@ __all__ = [
     "enumerate_transition_faults",
     "CollapsedFaults",
     "collapse_stuck_at",
+    "FaultSimShardState",
     "FaultSimulationResult",
     "FaultSimulator",
+    "check_strict_patterns",
     "TransitionFaultSimulator",
+    "TransitionSimShardState",
     "TransitionSimulationResult",
     "derive_capture_patterns",
     "CoveragePoint",

@@ -51,6 +51,59 @@ _SITE_CONST = 0  # output stem or flop D-pin branch: forced constant word
 _SITE_GATE = 1  # combinational input-branch: re-evaluate the owning gate
 
 
+def check_strict_patterns(
+    circuit: Circuit,
+    patterns: Sequence[Mapping[str, int]],
+    require_complete: bool = False,
+    label: str = "pattern",
+) -> None:
+    """Validate a pattern list against the circuit's stimulus nets.
+
+    Raises :class:`~repro.simulation.kernel.StrictStimulusError` when a
+    pattern assigns a net that is not a stimulus net (the classic misspelled
+    name, which the packing step would otherwise silently drop to 0) or --
+    with ``require_complete`` -- when a stimulus net is missing from a
+    pattern (which would otherwise silently read as 0).
+    """
+    stimulus_nets = circuit.stimulus_nets()
+    allowed = set(stimulus_nets)
+    for index, pattern in enumerate(patterns):
+        unknown = [net for net in pattern if net not in allowed]
+        if unknown:
+            raise StrictStimulusError(
+                f"{label} {index} assigns non-stimulus nets "
+                f"{unknown[:5]!r}{'...' if len(unknown) > 5 else ''}"
+            )
+        if require_complete and len(pattern) < len(allowed):
+            missing = [net for net in stimulus_nets if net not in pattern]
+            if missing:
+                raise StrictStimulusError(
+                    f"{label} {index} is missing stimulus nets "
+                    f"{missing[:5]!r}{'...' if len(missing) > 5 else ''}"
+                )
+
+
+@dataclass(frozen=True)
+class FaultSimShardState:
+    """Pickleable description of one fault-simulation shard's compiled state.
+
+    A shard worker reconstructs the full compiled-kernel engine from this
+    record alone: the circuit (plain dataclasses all the way down), the
+    observation nets, and the *canonical fault ordering* of the campaign.
+    Shard tasks then reference faults by index into ``faults``, which keeps
+    the merge step (and the pickles) small and makes merged results
+    independent of shard order and worker count.
+    """
+
+    circuit: Circuit
+    observe_nets: tuple[str, ...]
+    faults: tuple[StuckAtFault, ...]
+
+    def build_simulator(self) -> "FaultSimulator":
+        """Compile a fresh :class:`FaultSimulator` for this shard state."""
+        return FaultSimulator(self.circuit, list(self.observe_nets))
+
+
 @dataclass
 class FaultSimulationResult:
     """Outcome of one fault-simulation campaign.
@@ -226,6 +279,35 @@ class FaultSimulator:
     # ------------------------------------------------------------------ #
     # Campaign-level simulation
     # ------------------------------------------------------------------ #
+    def _scan_block(
+        self,
+        active: list[StuckAtFault],
+        good: list[int],
+        mask: int,
+        drop_detected: bool = True,
+    ) -> tuple[list[tuple[StuckAtFault, int]], list[StuckAtFault]]:
+        """One PPSFP pass of all ``active`` faults over a simulated block.
+
+        Returns ``(detections, still_active)`` where each detection is
+        ``(fault, first detecting bit within the block)``.  This is the one
+        place the per-block detection logic lives: the serial campaign
+        (:meth:`simulate_blocks`) and the sharded scan
+        (:meth:`first_detections`) both run through it, so the serial oracle
+        and the shard primitive cannot drift apart.
+        """
+        detections: list[tuple[StuckAtFault, int]] = []
+        still_active: list[StuckAtFault] = []
+        for fault in active:
+            detection = self._detection_ids(fault, good, mask)
+            if detection:
+                first_bit = (detection & -detection).bit_length() - 1
+                detections.append((fault, first_bit))
+                if not drop_detected:
+                    still_active.append(fault)
+            else:
+                still_active.append(fault)
+        return detections, still_active
+
     def simulate(
         self,
         fault_list: FaultList,
@@ -260,14 +342,7 @@ class FaultSimulator:
             :class:`~repro.simulation.kernel.StrictStimulusError`.
         """
         if strict:
-            allowed = set(self.circuit.stimulus_nets())
-            for index, pattern in enumerate(patterns):
-                unknown = [net for net in pattern if net not in allowed]
-                if unknown:
-                    raise StrictStimulusError(
-                        f"pattern {index} assigns non-stimulus nets "
-                        f"{unknown[:5]!r}{'...' if len(unknown) > 5 else ''}"
-                    )
+            check_strict_patterns(self.circuit, patterns)
         stimulus_nets = self.circuit.stimulus_nets()
         blocks = iter_blocks(patterns, block_size=block_size, nets=stimulus_nets)
         return self.simulate_blocks(
@@ -305,23 +380,62 @@ class FaultSimulator:
             kernel.evaluate(good, mask)
             self.gate_evals += kernel.num_gates
             result.detections_per_pattern.extend([0] * num)
-            still_active: list[StuckAtFault] = []
-            for fault in active:
-                detection = self._detection_ids(fault, good, mask)
-                if detection:
-                    first_bit = (detection & -detection).bit_length() - 1
-                    pattern_index = pattern_offset + simulated + first_bit
-                    fault_list.mark_detected(fault, pattern_index)
-                    result.detections_per_pattern[simulated + first_bit] += 1
-                    if not drop_detected:
-                        still_active.append(fault)
-                else:
-                    still_active.append(fault)
-            active = still_active
+            detections, active = self._scan_block(active, good, mask, drop_detected)
+            for fault, first_bit in detections:
+                fault_list.mark_detected(fault, pattern_offset + simulated + first_bit)
+                result.detections_per_pattern[simulated + first_bit] += 1
             simulated += num
             result.coverage_curve.append((pattern_offset + simulated, fault_list.coverage()))
         result.patterns_simulated = simulated
         return result
+
+    # ------------------------------------------------------------------ #
+    # Sharded-campaign primitives
+    # ------------------------------------------------------------------ #
+    def shard_state(self, faults: Sequence[StuckAtFault]) -> FaultSimShardState:
+        """Pickleable shard state for campaign fan-out over ``faults``.
+
+        The returned record carries everything a worker process needs to
+        rebuild this simulator bit for bit (circuit, observation nets) plus
+        the canonical fault ordering that shard tasks index into.
+        """
+        return FaultSimShardState(
+            circuit=self.circuit,
+            observe_nets=tuple(self.observe_nets),
+            faults=tuple(faults),
+        )
+
+    def first_detections(
+        self,
+        faults: Sequence[StuckAtFault],
+        blocks: Iterable[tuple[int, PatternBlock]],
+    ) -> dict[StuckAtFault, int]:
+        """First-detection scan: the shard primitive of the campaign runner.
+
+        ``blocks`` is a stream of ``(global pattern offset, PatternBlock)``
+        pairs.  For every fault the *global index of the first detecting
+        pattern* within the stream is returned (faults never detected are
+        absent).  Detection of one fault never depends on any other fault --
+        fault dropping is a pure optimisation here -- so partitioning faults
+        and/or pattern blocks across shards and min-merging the returned
+        indices reproduces the serial result bit for bit.
+        """
+        detections: dict[StuckAtFault, int] = {}
+        active = list(faults)
+        kernel = self.kernel
+        good = self._good
+        for offset, block in blocks:
+            if not active:
+                break
+            num = block.num_patterns
+            mask = mask_for(num)
+            kernel.set_stimulus(good, block.assignments, mask)
+            kernel.evaluate(good, mask)
+            self.gate_evals += kernel.num_gates
+            found, active = self._scan_block(active, good, mask)
+            for fault, first_bit in found:
+                detections[fault] = offset + first_bit
+        return detections
 
     def detects(self, pattern: Mapping[str, int], fault: StuckAtFault) -> bool:
         """True when the single ``pattern`` detects ``fault`` (used to verify ATPG)."""

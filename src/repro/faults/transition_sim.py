@@ -29,9 +29,9 @@ from typing import Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit
 from ..simulation.comb_sim import PackedSimulator
-from ..simulation.packed import DEFAULT_BLOCK_SIZE, iter_blocks, mask_for
+from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
 from .fault_list import FaultList
-from .fault_sim import FaultSimulator
+from .fault_sim import FaultSimulator, check_strict_patterns
 from .models import TransitionFault
 
 
@@ -110,6 +110,25 @@ def derive_capture_patterns(
     return results
 
 
+@dataclass(frozen=True)
+class TransitionSimShardState:
+    """Pickleable shard state for campaign fan-out of transition-fault simulation.
+
+    Mirrors :class:`~repro.faults.fault_sim.FaultSimShardState`: a worker
+    process rebuilds the full launch-on-capture engine (compiled kernel plus
+    stuck-at observability machinery) from the circuit, the observation nets,
+    and the canonical fault ordering that shard tasks index into.
+    """
+
+    circuit: Circuit
+    observe_nets: tuple[str, ...]
+    faults: tuple[TransitionFault, ...]
+
+    def build_simulator(self) -> "TransitionFaultSimulator":
+        """Compile a fresh :class:`TransitionFaultSimulator` for this state."""
+        return TransitionFaultSimulator(self.circuit, list(self.observe_nets))
+
+
 @dataclass
 class TransitionSimulationResult:
     """Outcome of a transition-fault campaign."""
@@ -140,6 +159,51 @@ class TransitionFaultSimulator:
         """Add an observation point (shared with the stuck-at engine)."""
         self.stuck_engine.add_observation_net(net)
 
+    def _scan_pair_block(
+        self,
+        active: list[TransitionFault],
+        site_ids: Mapping[TransitionFault, int],
+        good_launch: list[int],
+        good_capture: list[int],
+        num: int,
+        drop_detected: bool = True,
+    ) -> tuple[list[tuple[TransitionFault, int]], list[TransitionFault]]:
+        """One launch/capture pass of all ``active`` faults over a block pair.
+
+        Returns ``(detections, still_active)`` with detections as
+        ``(fault, first detecting bit within the block)``.  Single home of
+        the activation/observation logic, shared by the serial pair
+        simulation (:meth:`simulate_pairs`) and the sharded scan
+        (:meth:`first_detections`) so oracle and shard primitive cannot
+        drift apart.
+        """
+        mask = mask_for(num)
+        detections: list[tuple[TransitionFault, int]] = []
+        still_active: list[TransitionFault] = []
+        for fault in active:
+            site_id = site_ids[fault]
+            launch_value = good_launch[site_id]
+            capture_value = good_capture[site_id]
+            if fault.slow_to_rise:
+                activation = (~launch_value & capture_value) & mask
+            else:
+                activation = (launch_value & ~capture_value) & mask
+            if not activation:
+                still_active.append(fault)
+                continue
+            observation = self.stuck_engine.detection_mask_ids(
+                fault.equivalent_stuck_at(), good_capture, num
+            )
+            detection = activation & observation
+            if detection:
+                first_bit = (detection & -detection).bit_length() - 1
+                detections.append((fault, first_bit))
+                if not drop_detected:
+                    still_active.append(fault)
+            else:
+                still_active.append(fault)
+        return detections, still_active
+
     def simulate_pairs(
         self,
         fault_list: FaultList,
@@ -148,13 +212,26 @@ class TransitionFaultSimulator:
         block_size: int = DEFAULT_BLOCK_SIZE,
         drop_detected: bool = True,
         pattern_offset: int = 0,
+        strict: bool = False,
     ) -> TransitionSimulationResult:
         """Simulate aligned launch/capture pattern pairs against transition faults.
 
         ``launch_patterns[i]`` and ``capture_patterns[i]`` form pair *i*.
+        With ``strict``, any launch or capture pattern that assigns a
+        non-stimulus net (a misspelled name) *or* omits a stimulus net --
+        either of which would otherwise silently read as 0 and fake a
+        transition -- raises
+        :class:`~repro.simulation.kernel.StrictStimulusError`.
         """
         if len(launch_patterns) != len(capture_patterns):
             raise ValueError("launch and capture pattern lists must have equal length")
+        if strict:
+            check_strict_patterns(
+                self.circuit, launch_patterns, require_complete=True, label="launch pattern"
+            )
+            check_strict_patterns(
+                self.circuit, capture_patterns, require_complete=True, label="capture pattern"
+            )
         result = TransitionSimulationResult(fault_list, len(launch_patterns))
         active = [f for f in fault_list.undetected() if isinstance(f, TransitionFault)]
         simulated = 0
@@ -175,30 +252,11 @@ class TransitionFaultSimulator:
             kernel.evaluate(good_launch, mask)
             kernel.set_stimulus(good_capture, capture_block.assignments, mask)
             kernel.evaluate(good_capture, mask)
-            still_active: list[TransitionFault] = []
-            for fault in active:
-                site_id = site_ids[fault]
-                launch_value = good_launch[site_id]
-                capture_value = good_capture[site_id]
-                if fault.slow_to_rise:
-                    activation = (~launch_value & capture_value) & mask
-                else:
-                    activation = (launch_value & ~capture_value) & mask
-                if not activation:
-                    still_active.append(fault)
-                    continue
-                observation = self.stuck_engine.detection_mask_ids(
-                    fault.equivalent_stuck_at(), good_capture, num
-                )
-                detection = activation & observation
-                if detection:
-                    first_bit = (detection & -detection).bit_length() - 1
-                    fault_list.mark_detected(fault, pattern_offset + simulated + first_bit)
-                    if not drop_detected:
-                        still_active.append(fault)
-                else:
-                    still_active.append(fault)
-            active = still_active
+            detections, active = self._scan_pair_block(
+                active, site_ids, good_launch, good_capture, num, drop_detected
+            )
+            for fault, first_bit in detections:
+                fault_list.mark_detected(fault, pattern_offset + simulated + first_bit)
             simulated += num
             result.coverage_curve.append((pattern_offset + simulated, fault_list.coverage()))
         return result
@@ -209,10 +267,76 @@ class TransitionFaultSimulator:
         launch_patterns: Sequence[Mapping[str, int]],
         pulse_order: Optional[Sequence[Sequence[str]]] = None,
         hold_cells: Optional[Sequence[str]] = None,
+        strict: bool = False,
         **kwargs: object,
     ) -> TransitionSimulationResult:
-        """Convenience: derive the capture patterns from the launch patterns, then simulate."""
+        """Convenience: derive the capture patterns from the launch patterns, then simulate.
+
+        ``strict`` is checked *before* deriving the capture patterns: a
+        misspelled or missing launch net would otherwise flow through
+        :func:`derive_capture_patterns` as a silent 0 and corrupt every
+        derived capture state.  Derived capture patterns are complete over
+        the stimulus nets by construction, so one validation pass over the
+        launch list suffices.
+        """
+        if strict:
+            check_strict_patterns(
+                self.circuit, launch_patterns, require_complete=True, label="launch pattern"
+            )
         capture_patterns = derive_capture_patterns(
             self.circuit, launch_patterns, pulse_order, hold_cells
         )
-        return self.simulate_pairs(fault_list, launch_patterns, capture_patterns, **kwargs)
+        return self.simulate_pairs(
+            fault_list, launch_patterns, capture_patterns, **kwargs
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sharded-campaign primitives
+    # ------------------------------------------------------------------ #
+    def shard_state(self, faults: Sequence[TransitionFault]) -> TransitionSimShardState:
+        """Pickleable shard state for campaign fan-out over ``faults``."""
+        return TransitionSimShardState(
+            circuit=self.circuit,
+            observe_nets=tuple(self.stuck_engine.observe_nets),
+            faults=tuple(faults),
+        )
+
+    def first_detections(
+        self,
+        faults: Sequence[TransitionFault],
+        pair_blocks: Sequence[tuple[int, PatternBlock, PatternBlock]],
+    ) -> dict[TransitionFault, int]:
+        """First-detection scan over packed launch/capture block pairs.
+
+        ``pair_blocks`` is a stream of ``(global pair offset, launch block,
+        capture block)`` triples.  Per-fault results are independent of every
+        other fault, so fault/pattern sharding plus min-merge reproduces the
+        serial pair simulation bit for bit (the shard primitive of the
+        campaign runner).
+        """
+        detections: dict[TransitionFault, int] = {}
+        active = list(faults)
+        kernel = self.simulator.kernel
+        net_id = kernel.net_id
+        site_ids = {
+            fault: net_id[fault.faulted_net(self.circuit)] for fault in active
+        }
+        good_launch = kernel.make_table()
+        good_capture = kernel.make_table()
+        for offset, launch_block, capture_block in pair_blocks:
+            if not active:
+                break
+            if launch_block.num_patterns != capture_block.num_patterns:
+                raise ValueError("launch and capture blocks must pair up 1:1")
+            num = launch_block.num_patterns
+            mask = mask_for(num)
+            kernel.set_stimulus(good_launch, launch_block.assignments, mask)
+            kernel.evaluate(good_launch, mask)
+            kernel.set_stimulus(good_capture, capture_block.assignments, mask)
+            kernel.evaluate(good_capture, mask)
+            found, active = self._scan_pair_block(
+                active, site_ids, good_launch, good_capture, num
+            )
+            for fault, first_bit in found:
+                detections[fault] = offset + first_bit
+        return detections

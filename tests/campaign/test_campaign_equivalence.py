@@ -1,0 +1,321 @@
+"""Randomized differential harness: sharded campaign vs the serial kernel.
+
+The campaign subsystem's whole claim is *bit-identity*: sharding the
+collapsed fault list and the packed pattern stream across workers, then
+min-merging, must reproduce the serial compiled-kernel results exactly --
+detection statuses, first-detection indices, coverage curves (including
+their floating-point values), per-pattern detection credits, and per-domain
+MISR signatures.  This suite fuzzes random circuits from
+:mod:`repro.cores.generator` across shard counts {1, 2, 4, 7} x block sizes
+{64, 256} and asserts exactly that, plus the multiprocessing pool path and
+the flow integration (``LogicBistConfig.campaign_workers``).
+"""
+
+import random
+
+import pytest
+
+from repro.bist import StumpsArchitecture
+from repro.campaign import (
+    CampaignRunner,
+    CampaignScenario,
+    run_sharded_fault_sim,
+    run_sharded_transition_sim,
+)
+from repro.core import LogicBistConfig, LogicBistFlow
+from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
+from repro.faults import (
+    FaultList,
+    FaultSimulator,
+    TransitionFaultSimulator,
+    collapse_stuck_at,
+    derive_capture_patterns,
+)
+from repro.scan import build_scan_chains
+from repro.simulation import iter_blocks
+
+SHARD_COUNTS = (1, 2, 4, 7)
+BLOCK_SIZES = (64, 256)
+
+
+def make_core(seed: int, domains: int = 2):
+    """A randomized small multi-domain core (fresh structure per seed)."""
+    config = SyntheticCoreConfig(
+        name=f"campaign_core_{seed}",
+        clock_domains=tuple(f"clk{i + 1}" for i in range(domains)),
+        num_inputs=8,
+        num_outputs=5,
+        register_width=6,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(6,),
+        decode_cone_width=5,
+        cross_domain_links=1,
+        seed=seed,
+    )
+    return generate_synthetic_core(config).circuit
+
+
+def random_patterns(circuit, count: int, seed: int):
+    rng = random.Random(seed)
+    nets = circuit.stimulus_nets()
+    return [{net: rng.randint(0, 1) for net in nets} for _ in range(count)]
+
+
+def serial_reference(circuit, patterns, block_size):
+    """The serial oracle: fault list + result from the plain kernel engine."""
+    fault_list = collapse_stuck_at(circuit).to_fault_list()
+    blocks = list(
+        iter_blocks(patterns, block_size=block_size, nets=circuit.stimulus_nets())
+    )
+    result = FaultSimulator(circuit).simulate_blocks(fault_list, blocks)
+    return fault_list, result, blocks
+
+
+def assert_fault_lists_identical(reference: FaultList, candidate: FaultList):
+    assert len(reference) == len(candidate)
+    for fault in reference.faults():
+        ref = reference.record(fault)
+        got = candidate.record(fault)
+        assert got.status is ref.status, str(fault)
+        assert got.first_detection == ref.first_detection, str(fault)
+        assert got.detection_count == ref.detection_count, str(fault)
+
+
+class TestShardedFaultSimEquivalence:
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    @pytest.mark.parametrize("fault_shards", SHARD_COUNTS)
+    def test_fault_sharding_bit_identical(self, fault_shards, block_size):
+        circuit = make_core(11)
+        patterns = random_patterns(circuit, 3 * block_size + 29, 5)
+        ref_list, ref_result, blocks = serial_reference(circuit, patterns, block_size)
+
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        result = run_sharded_fault_sim(
+            circuit, fault_list, blocks, fault_shards=fault_shards
+        )
+        assert result.patterns_simulated == ref_result.patterns_simulated
+        assert result.coverage_curve == ref_result.coverage_curve
+        assert result.detections_per_pattern == ref_result.detections_per_pattern
+        assert result.coverage == ref_result.coverage
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_cores_across_shard_grid(self, seed):
+        """Fresh random structure per seed, swept over the full shard grid."""
+        circuit = make_core(seed, domains=1 + seed % 3)
+        patterns = random_patterns(circuit, 150, seed + 40)
+        ref_list, ref_result, blocks = serial_reference(circuit, patterns, 64)
+        for fault_shards in SHARD_COUNTS:
+            for pattern_shards in (1, 2):
+                fault_list = collapse_stuck_at(circuit).to_fault_list()
+                result = run_sharded_fault_sim(
+                    circuit,
+                    fault_list,
+                    blocks,
+                    fault_shards=fault_shards,
+                    pattern_shards=pattern_shards,
+                )
+                assert result.coverage_curve == ref_result.coverage_curve, (
+                    f"curve drift at shards={fault_shards}x{pattern_shards}"
+                )
+                assert_fault_lists_identical(ref_list, fault_list)
+
+    def test_pattern_sharding_preserves_first_detection(self):
+        """A fault seen by several pattern shards keeps its earliest index."""
+        circuit = make_core(21)
+        patterns = random_patterns(circuit, 128, 9)
+        ref_list, _, blocks = serial_reference(circuit, patterns, 32)
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        run_sharded_fault_sim(
+            circuit, fault_list, blocks, fault_shards=1, pattern_shards=4
+        )
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    def test_pattern_offset_respected(self):
+        circuit = make_core(5)
+        patterns = random_patterns(circuit, 96, 17)
+        blocks = list(
+            iter_blocks(patterns, block_size=64, nets=circuit.stimulus_nets())
+        )
+        ref_list = collapse_stuck_at(circuit).to_fault_list()
+        ref_result = FaultSimulator(circuit).simulate_blocks(
+            ref_list, blocks, pattern_offset=1000
+        )
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        result = run_sharded_fault_sim(
+            circuit, fault_list, blocks, fault_shards=3, pattern_offset=1000
+        )
+        assert result.coverage_curve == ref_result.coverage_curve
+        assert result.detections_per_pattern == ref_result.detections_per_pattern
+        assert_fault_lists_identical(ref_list, fault_list)
+
+
+@pytest.mark.multiprocess
+class TestMultiprocessPool:
+    def test_pool_matches_serial_bit_for_bit(self):
+        """The real multiprocessing path (2 workers) vs the serial kernel."""
+        circuit = make_core(31)
+        patterns = random_patterns(circuit, 130, 3)
+        ref_list, ref_result, blocks = serial_reference(circuit, patterns, 64)
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        result = run_sharded_fault_sim(
+            circuit,
+            fault_list,
+            blocks,
+            num_workers=2,
+            fault_shards=4,
+            pattern_shards=2,
+        )
+        assert result.coverage_curve == ref_result.coverage_curve
+        assert result.detections_per_pattern == ref_result.detections_per_pattern
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    def test_campaign_runner_pool_matches_in_process(self):
+        circuit = make_core(8)
+        config = LogicBistConfig(
+            total_scan_chains=4,
+            tpi_method="none",
+            observation_point_budget=0,
+            random_patterns=96,
+            signature_patterns=8,
+        )
+        scenario = CampaignScenario("pool-core", circuit, config)
+        serial = CampaignRunner(num_workers=1, fault_shards=4).run([scenario])
+        pooled = CampaignRunner(num_workers=2, fault_shards=4).run([scenario])
+        assert serial.report_bytes() == pooled.report_bytes()
+
+
+class TestSignatureSharding:
+    def test_per_domain_fold_matches_full_architecture(self):
+        """Folding each domain in isolation == the serial multi-domain unload."""
+        circuit = make_core(13, domains=3)
+        architecture = build_scan_chains(circuit, total_chains=6)
+        rng = random.Random(99)
+        flops = circuit.flop_names()
+        responses = [
+            {name: rng.randint(0, 1) for name in flops} for _ in range(24)
+        ]
+
+        serial = StumpsArchitecture(architecture, seed=5)
+        for response in responses:
+            serial.compact_response(response)
+        expected = serial.signatures()
+
+        sharded = StumpsArchitecture(architecture, seed=5)
+        actual = {}
+        for name, domain in sharded.domains.items():
+            cells = domain.cells()
+            filtered = [
+                {cell: response.get(cell, 0) for cell in cells}
+                for response in responses
+            ]
+            actual[name] = domain.fold_responses(filtered)
+        assert actual == expected
+
+    def test_campaign_signatures_match_flow(self):
+        """Campaign scenario signatures == the serial flow's signature phase."""
+        circuit = make_core(29)
+        config = LogicBistConfig(
+            total_scan_chains=4,
+            tpi_method="none",
+            observation_point_budget=0,
+            random_patterns=64,
+            signature_patterns=12,
+            topup_max_faults=0,
+        )
+        campaign = CampaignRunner(num_workers=1, fault_shards=3).run(
+            [CampaignScenario("flow-parity", circuit, config)]
+        )
+        flow_result = LogicBistFlow(config).run(circuit)
+        scenario = campaign["flow-parity"]
+        assert scenario.signatures == dict(sorted(flow_result.signatures.items()))
+        assert scenario.coverage == flow_result.fault_coverage_random
+        assert scenario.coverage_curve == flow_result.coverage_curve
+
+    def test_campaign_matches_flow_with_tpi_enabled(self):
+        """TPI-enabled configs (the library default) get the flow's coverage.
+
+        Regression: the runner used to skip the test-point-insertion phase
+        entirely, silently reporting far lower coverage than the flow for
+        the same (circuit, config) pair.
+        """
+        circuit = make_core(37)
+        config = LogicBistConfig(
+            total_scan_chains=4,
+            tpi_method="fault_sim",
+            observation_point_budget=4,
+            tpi_profile_patterns=48,
+            random_patterns=64,
+            signature_patterns=12,
+            topup_max_faults=0,
+        )
+        campaign = CampaignRunner(num_workers=1, fault_shards=3).run(
+            [CampaignScenario("tpi-parity", circuit, config)]
+        )
+        flow_result = LogicBistFlow(config).run(circuit)
+        scenario = campaign["tpi-parity"]
+        assert flow_result.test_point_count > 0  # TPI really fired
+        assert scenario.coverage == flow_result.fault_coverage_random
+        assert scenario.coverage_curve == flow_result.coverage_curve
+        assert scenario.signatures == dict(sorted(flow_result.signatures.items()))
+
+
+class TestShardedTransitionSim:
+    @pytest.mark.parametrize("fault_shards", (1, 3, 7))
+    def test_transition_sharding_bit_identical(self, fault_shards):
+        circuit = make_core(17)
+        launch = random_patterns(circuit, 72, 23)
+        capture = derive_capture_patterns(circuit, launch)
+
+        ref_list = FaultList.transition(circuit)
+        ref_result = TransitionFaultSimulator(circuit).simulate_pairs(
+            ref_list, launch, capture, block_size=32
+        )
+
+        fault_list = FaultList.transition(circuit)
+        result = run_sharded_transition_sim(
+            circuit,
+            fault_list,
+            launch,
+            capture,
+            block_size=32,
+            fault_shards=fault_shards,
+            pattern_shards=2,
+        )
+        assert result.pairs_simulated == ref_result.pairs_simulated
+        assert result.coverage_curve == ref_result.coverage_curve
+        assert result.coverage == ref_result.coverage
+        assert_fault_lists_identical(ref_list, fault_list)
+
+
+@pytest.mark.multiprocess
+class TestFlowIntegration:
+    def test_flow_campaign_workers_bit_identical_to_serial(self):
+        """The flow's sharded random phase reproduces the serial flow exactly."""
+        circuit = make_core(2005)
+        base = dict(
+            total_scan_chains=4,
+            observation_point_budget=4,
+            tpi_profile_patterns=48,
+            random_patterns=128,
+            signature_patterns=12,
+            topup_backtrack_limit=60,
+        )
+        serial = LogicBistFlow(LogicBistConfig(**base)).run(circuit)
+        sharded = LogicBistFlow(
+            LogicBistConfig(**base, campaign_workers=2, campaign_fault_shards=4)
+        ).run(circuit)
+        assert sharded.fault_coverage_random == serial.fault_coverage_random
+        assert sharded.coverage_curve == serial.coverage_curve
+        assert sharded.signatures == serial.signatures
+        assert sharded.fault_coverage_final == serial.fault_coverage_final
+        assert sharded.top_up_pattern_count == serial.top_up_pattern_count
+        ref_list = serial.fault_list
+        got_list = sharded.fault_list
+        for fault in ref_list.faults():
+            assert (
+                got_list.record(fault).first_detection
+                == ref_list.record(fault).first_detection
+            ), str(fault)

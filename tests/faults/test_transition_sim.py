@@ -11,7 +11,7 @@ from repro.faults import (
     derive_capture_patterns,
 )
 from repro.netlist import CircuitBuilder
-from repro.simulation import SequentialSimulator
+from repro.simulation import SequentialSimulator, StrictStimulusError
 
 
 def shift_register_circuit():
@@ -117,6 +117,58 @@ class TestTransitionDetection:
         result = sim.simulate_with_derived_capture(fault_list, launch)
         assert 0.0 < result.coverage <= 1.0
         assert result.coverage_curve[-1][0] == 32
+
+    def test_strict_rejects_misspelled_launch_net(self):
+        """Regression: a misspelled launch net used to silently read as 0.
+
+        Before the strict hook, ``ff0_typo`` was simply dropped by the
+        packing step, the real ``ff0`` defaulted to 0, and the pair
+        simulation 'passed' on corrupted launch state.  Strict mode must
+        refuse instead.
+        """
+        circuit = shift_register_circuit()
+        sim = TransitionFaultSimulator(circuit)
+        fault_list = FaultList.transition(circuit)
+        launch = [{"d": 1, "ff0_typo": 1, "ff1": 0}]
+        with pytest.raises(StrictStimulusError, match="launch pattern 0"):
+            sim.simulate_with_derived_capture(fault_list, launch, strict=True)
+        # Non-strict keeps the historical (silently zero-filled) behaviour.
+        result = sim.simulate_with_derived_capture(fault_list, launch)
+        assert result.pairs_simulated == 1
+
+    def test_strict_rejects_missing_launch_net(self):
+        circuit = shift_register_circuit()
+        sim = TransitionFaultSimulator(circuit)
+        launch = [{"d": 1, "ff0": 0}]  # ff1 missing -> would read 0
+        with pytest.raises(StrictStimulusError, match="missing stimulus nets"):
+            sim.simulate_with_derived_capture(FaultList.transition(circuit), launch, strict=True)
+
+    def test_strict_rejects_misspelled_capture_net(self):
+        circuit = shift_register_circuit()
+        sim = TransitionFaultSimulator(circuit)
+        launch = [{"d": 1, "ff0": 0, "ff1": 0}]
+        capture = [{"d": 1, "ff0": 1, "ff1": 0, "no_such_net": 1}]
+        with pytest.raises(StrictStimulusError, match="capture pattern 0"):
+            sim.simulate_pairs(
+                FaultList.transition(circuit), launch, capture, strict=True
+            )
+
+    def test_strict_accepts_complete_derived_pairs(self):
+        """Well-formed launch patterns pass strict end to end (derived capture
+        patterns are complete by construction)."""
+        circuit = shift_register_circuit()
+        sim = TransitionFaultSimulator(circuit)
+        fault_list = FaultList.transition(circuit)
+        launch = [{"d": 1, "ff0": 0, "ff1": 0}, {"d": 0, "ff0": 1, "ff1": 1}]
+        strict_result = sim.simulate_with_derived_capture(
+            fault_list, launch, strict=True
+        )
+        relaxed_list = FaultList.transition(circuit)
+        relaxed_result = TransitionFaultSimulator(circuit).simulate_with_derived_capture(
+            relaxed_list, launch
+        )
+        assert strict_result.coverage == relaxed_result.coverage
+        assert strict_result.coverage_curve == relaxed_result.coverage_curve
 
     def test_coverage_increases_with_more_pairs(self):
         circuit = two_domain_circuit()

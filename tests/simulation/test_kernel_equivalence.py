@@ -209,6 +209,94 @@ class TestFaultSimulatorEquivalence:
                 assert detected, f"{fault} profiled at {net} but never detectable"
 
 
+class TestRandomizedDifferentialFuzz:
+    """Property-style fuzzing: *randomized generator configurations*.
+
+    The fixed ``make_core`` shape above always exercises the same structural
+    mix; this class additionally randomizes the generator knobs themselves
+    (domain count, widths, depths, X sources) per seed, so every run checks
+    kernel-vs-reference bit-identity on a structurally fresh netlist family
+    -- the harness the sharded campaign work leans on.
+    """
+
+    def fuzz_core(self, seed: int):
+        rng = random.Random(1000 + seed)
+        domains = tuple(f"clk{i + 1}" for i in range(rng.randint(1, 3)))
+        config = SyntheticCoreConfig(
+            name=f"fuzz_core_{seed}",
+            clock_domains=domains,
+            num_inputs=rng.randint(6, 14),
+            num_outputs=rng.randint(3, 8),
+            register_width=rng.randint(4, 8),
+            pipeline_stages=rng.randint(1, 2),
+            adder_slices=rng.randint(1, 2),
+            adder_width=rng.randint(3, 6),
+            comparator_widths=tuple(
+                rng.randint(4, 8) for _ in range(rng.randint(1, 2))
+            ),
+            decode_cone_width=rng.randint(2, 7),
+            cross_domain_links=rng.randint(0, 2) if len(domains) > 1 else 0,
+            x_sources=rng.randint(0, 1),
+            seed=seed,
+        )
+        return generate_synthetic_core(config).circuit
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fuzzed_detection_masks_and_curves_bit_identical(self, seed):
+        """Kernel vs reference: statuses, first detections, curves -- fuzzed."""
+        circuit = self.fuzz_core(seed)
+        rng = random.Random(2000 + seed)
+        block_size = rng.choice(BLOCK_SIZES)
+        patterns = random_patterns(circuit, rng.randint(40, 120), 3000 + seed)
+
+        fl_ref = collapse_stuck_at(circuit).to_fault_list()
+        reference = ReferenceFaultSimulator(circuit)
+        _, curve_ref = reference.simulate(fl_ref, patterns, block_size=block_size)
+
+        fl_new = collapse_stuck_at(circuit).to_fault_list()
+        result = FaultSimulator(circuit).simulate(
+            fl_new, patterns, block_size=block_size
+        )
+
+        assert result.coverage_curve == curve_ref
+        assert fl_new.coverage() == fl_ref.coverage()
+        for fault in fl_ref.faults():
+            ref_record = fl_ref.record(fault)
+            new_record = fl_new.record(fault)
+            assert new_record.status is ref_record.status, str(fault)
+            assert new_record.first_detection == ref_record.first_detection, str(fault)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fuzzed_value_tables_bit_identical(self, seed):
+        """Full fault-free value tables agree on fuzzed structures."""
+        circuit = self.fuzz_core(10 + seed)
+        reference = ReferencePackedSimulator(circuit)
+        compiled = PackedSimulator(circuit)
+        rng = random.Random(500 + seed)
+        block_size = rng.choice((1, 17, 64, 256))
+        patterns = random_patterns(circuit, block_size + rng.randint(1, 30), seed)
+        nets = circuit.stimulus_nets()
+        for block in iter_blocks(patterns, block_size=block_size, nets=nets):
+            expected = reference.simulate_block(block.assignments, block.num_patterns)
+            actual = compiled.simulate_block(block.assignments, block.num_patterns)
+            assert actual == expected
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fuzzed_detection_masks_per_fault(self, seed):
+        """Per-fault packed detection masks agree fault by fault (no dropping)."""
+        circuit = self.fuzz_core(20 + seed)
+        patterns = random_patterns(circuit, 48, 700 + seed)
+        nets = circuit.stimulus_nets()
+        (block,) = list(iter_blocks(patterns, block_size=64, nets=nets))
+        reference = ReferenceFaultSimulator(circuit)
+        simulator = FaultSimulator(circuit)
+        good = reference.simulator.simulate_block(block.assignments, block.num_patterns)
+        for fault in collapse_stuck_at(circuit).representatives:
+            expected = reference.detection_mask(fault, good, block.num_patterns)
+            actual = simulator.detection_mask(fault, good, block.num_patterns)
+            assert actual == expected, str(fault)
+
+
 class TestStrictStimulusMode:
     def test_strict_raises_on_missing_stimulus_net(self):
         circuit = make_core(6)
