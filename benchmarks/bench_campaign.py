@@ -196,6 +196,7 @@ def run() -> dict:
         "block_size": BLOCK_SIZE,
         "workers": WORKERS,
         "coverage": round(coverage, 12),
+        "cpu_count": os.cpu_count(),
         "cpus_available": len(os.sched_getaffinity(0))
         if hasattr(os, "sched_getaffinity")
         else os.cpu_count(),
@@ -225,12 +226,16 @@ def run() -> dict:
 
 def test_campaign_speedup_recorded():
     """Regression guard: the shard plan keeps its >= 2.5x projected speedup
-    (and bit-identity) on record; wall clock is additionally enforced when
-    the host actually has the CPUs."""
+    (and bit-identity) on record.  The wall-clock speedup is only asserted
+    (or meaningfully reportable) when the host exposes >= 4 cores: the
+    recorded wall number on the single-CPU CI container is four workers
+    time-sharing one core and says nothing about the shard plan."""
     payload = run()
     assert payload["bit_identical_to_serial"]
     assert payload["speedup_projected_4w"] >= TARGET_SPEEDUP
-    if payload["cpus_available"] >= WORKERS:
+    if (payload["cpus_available"] or 0) >= WORKERS and (
+        payload["cpu_count"] or 0
+    ) >= WORKERS:
         assert payload["speedup_wall_4w"] >= 2.0
 
 

@@ -18,6 +18,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    # The core library is dependency-free (the "python" simulation backend
+    # is pure stdlib); NumPy only powers the opt-in "numpy" bit-plane
+    # backend, so it ships as an optional extra.
+    install_requires=[],
+    extras_require={
+        "fast": ["numpy"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
 )

@@ -76,6 +76,22 @@ class _LfsrBase:
         """Advance ``cycles`` clocks, returning the serial output bit stream."""
         return [self.step() for _ in range(cycles)]
 
+    def drain_output_word(self, count: int) -> int:
+        """Advance ``count`` clocks; return the output stream as one packed word.
+
+        Bit *t* of the result is the serial output of step ``t + 1`` -- the
+        packed form of :meth:`run`.  The generic implementation simply steps;
+        :class:`FibonacciLfsr` overrides it with a chunked linear-recurrence
+        form that produces up to ``length - max_tap`` bits per Python
+        operation (the fast path of the streamed ndarray pattern
+        generation), with the identical final state.
+        """
+        word = 0
+        for index in range(count):
+            if self.step():
+                word |= 1 << index
+        return word
+
     def states(self, cycles: int) -> Iterator[int]:
         """Yield the state value after each of ``cycles`` steps."""
         for _ in range(cycles):
@@ -124,6 +140,37 @@ class FibonacciLfsr(_LfsrBase):
             feedback ^= (self.state >> exponent) & 1
         self.state = (self.state >> 1) | (feedback << (self.length - 1))
         return output
+
+    def drain_output_word(self, count: int) -> int:
+        """Chunked form of the generic :meth:`_LfsrBase.drain_output_word`.
+
+        A Fibonacci LFSR's stages are a sliding window over its output
+        stream ``s``: stage *i* after *n* steps equals ``s[n + i]``, with
+        ``s[0 .. length)`` being the current state bits and the linear
+        recurrence ``s[n] = s[n - L] ^ XOR(s[n - L + e] for tap stages e)``.
+        That lets ``L - max_tap`` new bits be produced per Python bigint
+        operation instead of one per :meth:`step` call.  Output word and
+        final state are bit-identical to stepping (asserted by the
+        streaming equivalence tests).
+        """
+        if count <= 0:
+            return 0
+        length = self.length
+        taps = self._tap_stages
+        chunk = length - (max(taps) if taps else 0)
+        stream = self.state  # bits [0, length): the current stage values
+        produced = length
+        total = count + length
+        while produced < total:
+            take = min(chunk, total - produced)
+            base = produced - length
+            feedback = stream >> base
+            for exponent in taps:
+                feedback ^= stream >> (base + exponent)
+            stream |= (feedback & ((1 << take) - 1)) << produced
+            produced += take
+        self.state = (stream >> count) & self._mask
+        return stream & ((1 << count) - 1)
 
 
 class GaloisLfsr(_LfsrBase):

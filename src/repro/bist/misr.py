@@ -60,16 +60,27 @@ class Misr:
             raise ValueError(
                 f"{len(response_bits)} response bits exceed MISR length {self.length}"
             )
+        injected = 0
+        for index, bit in enumerate(response_bits):
+            if bit:
+                injected |= 1 << index
+        return self.compact_word(injected)
+
+    def compact_word(self, injected: int) -> int:
+        """Absorb one pre-packed response slice (bit *i* = MISR input *i*).
+
+        The single home of the MISR update -- :meth:`compact` merely packs
+        its bit list into a word first -- so the scalar unload path and the
+        vectorised fold (which builds the injected words with ndarray
+        gathers, see :meth:`repro.bist.stumps.StumpsDomain.fold_responses`)
+        cannot drift apart.
+        """
         # LFSR step (Galois) ...
         lsb = self.state & 1
         self.state >>= 1
         if lsb:
             self.state ^= self._tap_mask | (1 << (self.length - 1))
         # ... plus the parallel response injection.
-        injected = 0
-        for index, bit in enumerate(response_bits):
-            if bit:
-                injected |= 1 << index
         self.state = (self.state ^ injected) & self._mask
         return self.state
 

@@ -28,8 +28,14 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Sequence
 
 from ..scan.chains import ScanChainArchitecture
+from ..simulation.numpy_backend import (
+    NUMPY_BACKEND,
+    PYTHON_BACKEND,
+    np as _np,
+    resolve_backend,
+)
 from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock
-from .lfsr import Prpg
+from .lfsr import FibonacciLfsr, Prpg
 from .misr import Misr
 from .phase_shifter import PhaseShifter, identity_phase_shifter
 from .space import SpaceCompactor, SpaceExpander, identity_compactor
@@ -93,6 +99,10 @@ class StumpsDomain:
         )
         misr_length = max(2, misr_length)
         self.misr = Misr(misr_length)
+        #: Cached per-shift-window cell coordinate maps (numpy generation).
+        self._cell_maps: dict[int, tuple] = {}
+        #: Cached vectorised-unload structures (numpy MISR fold).
+        self._fold_map: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # Pattern generation (shift window emulation)
@@ -124,7 +134,10 @@ class StumpsDomain:
         return load
 
     def generate_packed_load(
-        self, num_patterns: int, shift_cycles: Optional[int] = None
+        self,
+        num_patterns: int,
+        shift_cycles: Optional[int] = None,
+        backend: str = PYTHON_BACKEND,
     ) -> dict[str, int]:
         """Emulate ``num_patterns`` consecutive shift windows, packed per cell.
 
@@ -134,8 +147,27 @@ class StumpsDomain:
         :meth:`generate_load`, but the per-pattern dicts are never built: the
         phase-shifter output is kept as one integer per shift cycle (bit *c* =
         chain *c*) and scattered straight into the per-cell words.
+
+        With ``backend="numpy"`` the whole window is generated on ndarray
+        bit planes instead: the PRPG output stream is drained in chunked
+        bigint form, the phase-shifter XORs become array slices (Fibonacci;
+        for a Galois PRPG the tap parities are vectorised popcounts over the
+        state sequence), and the per-cell scatter becomes one fancy-indexed
+        gather plus ``np.packbits``.  The returned words -- and the PRPG
+        state afterwards -- are bit-identical to the python backend; rarely
+        vectorisable structures (a configured space expander, an over-wide
+        Galois PRPG) transparently fall back to the python loop.
         """
         cycles = shift_cycles if shift_cycles is not None else self.max_chain_length
+        if (
+            resolve_backend(backend) == NUMPY_BACKEND
+            and self.expander is None
+            and num_patterns > 0
+            and cycles > 0
+        ):
+            planes = self._generate_packed_load_numpy(num_patterns, cycles)
+            if planes is not None:
+                return planes
         words: dict[str, int] = {
             cell: 0 for chain in self.chains for cell in chain.cells
         }
@@ -164,6 +196,112 @@ class StumpsDomain:
         return words
 
     # ------------------------------------------------------------------ #
+    # ndarray bit-plane pattern generation (the "numpy" backend)
+    # ------------------------------------------------------------------ #
+    def _cell_map(self, cycles: int):
+        """Cached (cell names, source-cycle array, chain array, zero cells).
+
+        Maps every scan cell to the phase-shifter (cycle, chain) coordinate
+        its loaded value comes from; cells deeper than the shift window fall
+        off the end and always load 0.
+        """
+        cached = self._cell_maps.get(cycles)
+        if cached is None:
+            names: list[str] = []
+            sources: list[int] = []
+            chains: list[int] = []
+            zero_cells: list[str] = []
+            for chain_index, chain in enumerate(self.chains):
+                for position, cell in enumerate(chain.cells):
+                    source_cycle = cycles - 1 - position
+                    if source_cycle < 0:
+                        zero_cells.append(cell)
+                    else:
+                        names.append(cell)
+                        sources.append(source_cycle)
+                        chains.append(chain_index)
+            cached = (
+                names,
+                _np.array(sources, dtype=_np.intp),
+                _np.array(chains, dtype=_np.intp),
+                zero_cells,
+            )
+            self._cell_maps[cycles] = cached
+        return cached
+
+    def _channel_bit_matrix(self, total_cycles: int):
+        """Phase-shifter output bits for ``total_cycles`` consecutive shift
+        cycles as a ``(total_cycles, chain_count)`` uint8 matrix -- or
+        ``None`` when this PRPG shape has no vectorised form.
+
+        On success the PRPG has advanced by exactly ``total_cycles`` steps;
+        a ``None`` return leaves it untouched (the caller's python fallback
+        performs the stepping itself).
+        """
+        lfsr = self.prpg.lfsr
+        length = lfsr.length
+        if isinstance(lfsr, FibonacciLfsr):
+            # Stage i after n steps is output-stream bit n + i, so draining
+            # the stream once turns every phase-shifter tap XOR into a slice
+            # XOR over the unpacked stream bits.
+            drained = lfsr.drain_output_word(total_cycles)
+            stream_word = drained | (lfsr.state << total_cycles)
+            stream = _np.unpackbits(
+                _np.frombuffer(
+                    stream_word.to_bytes((total_cycles + length + 7) // 8, "little"),
+                    dtype=_np.uint8,
+                ),
+                bitorder="little",
+            )[: total_cycles + length]
+            channels = _np.empty(
+                (total_cycles, self.chain_count), dtype=_np.uint8
+            )
+            # Channel c at 0-based cycle g reads the state after g + 1 steps:
+            # XOR of stream[g + 1 + tap] over its taps.
+            for channel, taps in enumerate(self.phase_shifter.channel_taps):
+                first = taps[0] + 1
+                acc = stream[first : first + total_cycles].copy()
+                for tap in taps[1:]:
+                    acc ^= stream[tap + 1 : tap + 1 + total_cycles]
+                channels[:, channel] = acc
+            return channels
+        if length > 64 or not hasattr(_np, "bitwise_count"):
+            return None
+        # Galois form: stages are not stream windows, so collect the state
+        # sequence and vectorise the per-channel tap parities instead.
+        prpg = self.prpg
+        states = _np.fromiter(
+            (prpg.next_state_int() for _ in range(total_cycles)),
+            dtype=_np.uint64,
+            count=total_cycles,
+        )
+        tap_masks = _np.array(self.phase_shifter._tap_masks, dtype=_np.uint64)
+        return (
+            _np.bitwise_count(states[:, None] & tap_masks[None, :]) & 1
+        ).astype(_np.uint8)
+
+    def _generate_packed_load_numpy(
+        self, num_patterns: int, cycles: int
+    ) -> Optional[dict[str, int]]:
+        """ndarray bit-plane form of :meth:`generate_packed_load`."""
+        channels = self._channel_bit_matrix(num_patterns * cycles)
+        if channels is None:
+            return None
+        names, source_cycles, chain_indices, zero_cells = self._cell_map(cycles)
+        words = {cell: 0 for cell in zero_cells}
+        if names:
+            per_pattern = channels.reshape(num_patterns, cycles, self.chain_count)
+            bits = per_pattern[:, source_cycles, chain_indices]
+            packed = _np.packbits(bits, axis=0, bitorder="little").T
+            row_bytes = packed.tobytes()
+            stride = packed.shape[1]
+            for index, cell in enumerate(names):
+                words[cell] = int.from_bytes(
+                    row_bytes[index * stride : (index + 1) * stride], "little"
+                )
+        return words
+
+    # ------------------------------------------------------------------ #
     # Response compaction (unload window emulation)
     # ------------------------------------------------------------------ #
     def compact_response(self, captured: Mapping[str, int]) -> int:
@@ -184,17 +322,78 @@ class StumpsDomain:
             self.misr.compact(self.compactor.compact(slice_bits))
         return self.misr.state
 
-    def fold_responses(self, responses: Sequence[Mapping[str, int]]) -> int:
+    def fold_responses(
+        self,
+        responses: Sequence[Mapping[str, int]],
+        backend: str = PYTHON_BACKEND,
+    ) -> int:
         """Fold a whole sequence of captured responses into the MISR.
 
         This is the per-domain signature shard of the campaign runner: every
         clock domain's MISR only ever reads its own chains' cells, so one
         worker per domain folding its filtered response stream reproduces the
         serial multi-domain unload bit for bit.  Returns the final MISR state.
+
+        ``backend="numpy"`` vectorises the unload emulation: the per-cycle
+        scan-out slices of every response are gathered with one fancy index,
+        XOR-folded through the space compactor and packed into injected MISR
+        words in bulk; only the (inherently sequential) MISR steps remain a
+        Python loop, through the same :meth:`~repro.bist.misr.Misr.compact_word`
+        update the scalar path uses.  Falls back to the python loop when the
+        compactor has more than 62 outputs (the bulk fold shifts int64
+        words, and shift 63 would hit the sign bit).
         """
+        if (
+            resolve_backend(backend) == NUMPY_BACKEND
+            and len(responses) > 0
+            and self.compactor.num_outputs <= 62
+        ):
+            misr = self.misr
+            for injected in self._injected_words_numpy(responses):
+                misr.compact_word(injected)
+            return misr.state
         for captured in responses:
             self.compact_response(captured)
         return self.misr.state
+
+    def _injected_words_numpy(self, responses: Sequence[Mapping[str, int]]):
+        """Per-(response, unload cycle) injected MISR words, vectorised.
+
+        Bit-identical to :meth:`compact_response`'s slice building: cell
+        values are read chain by chain (missing cells as 0), positions past
+        a chain's length contribute 0, and the space compactor's XOR fold
+        onto output ``chain_index %% num_outputs`` is applied via shifted
+        XOR reduction.
+        """
+        fold_map = self._fold_map
+        if fold_map is None:
+            cells = self.cells()
+            column_of = {cell: i for i, cell in enumerate(cells)}
+            gather = _np.full(
+                (self.max_chain_length, self.chain_count), len(cells), dtype=_np.intp
+            )
+            for cycle in range(self.max_chain_length):
+                for chain_index, chain in enumerate(self.chains):
+                    position = chain.length - 1 - cycle
+                    if position >= 0:
+                        gather[cycle, chain_index] = column_of[chain.cells[position]]
+            shifts = _np.array(
+                [
+                    self.compactor.group_of(chain_index)
+                    for chain_index in range(self.chain_count)
+                ],
+                dtype=_np.int64,
+            )
+            fold_map = (cells, gather, shifts)
+            self._fold_map = fold_map
+        cells, gather, shifts = fold_map
+        bits = _np.zeros((len(responses), len(cells) + 1), dtype=_np.int64)
+        for row, captured in enumerate(responses):
+            get = captured.get
+            bits[row, : len(cells)] = [int(get(cell, 0)) & 1 for cell in cells]
+        slices = bits[:, gather]  # (responses, cycles, chains)
+        injected = _np.bitwise_xor.reduce(slices << shifts[None, None, :], axis=2)
+        return [int(word) for word in injected.ravel()]
 
     def cells(self) -> list[str]:
         """All scan-cell names of this domain, chain by chain.
@@ -277,7 +476,10 @@ class StumpsArchitecture:
         return [self.generate_pattern() for _ in range(count)]
 
     def generate_packed_blocks(
-        self, count: int, block_size: int = DEFAULT_BLOCK_SIZE
+        self,
+        count: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        backend: str = PYTHON_BACKEND,
     ) -> Iterator[PatternBlock]:
         """Stream ``count`` scan-load patterns as packed blocks.
 
@@ -287,21 +489,27 @@ class StumpsArchitecture:
         :class:`~repro.simulation.packed.PatternBlock` instances of at most
         ``block_size`` patterns.  Pattern-for-pattern identical to
         :meth:`generate_patterns` from the same PRPG state -- the streamed and
-        list forms are interchangeable.
+        list forms are interchangeable.  ``backend="numpy"`` selects the
+        ndarray bit-plane generation path per domain (byte-identical blocks,
+        identical PRPG walk; see :meth:`StumpsDomain.generate_packed_load`).
         """
         if block_size <= 0:
             raise ValueError("block_size must be positive")
+        resolve_backend(backend)
         remaining = count
         while remaining > 0:
             num = min(block_size, remaining)
             assignments: dict[str, int] = {}
             for domain in self.domains.values():
-                assignments.update(domain.generate_packed_load(num))
+                assignments.update(domain.generate_packed_load(num, backend=backend))
             yield PatternBlock(assignments, num)
             remaining -= num
 
     def packed_session(
-        self, count: int, block_size: int = DEFAULT_BLOCK_SIZE
+        self,
+        count: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        backend: str = PYTHON_BACKEND,
     ) -> Iterator[tuple[int, PatternBlock]]:
         """Stream a whole BIST session as ``(global pattern offset, block)`` pairs.
 
@@ -312,7 +520,9 @@ class StumpsArchitecture:
         is the same PRPG walk, merely enumerated).
         """
         offset = 0
-        for block in self.generate_packed_blocks(count, block_size=block_size):
+        for block in self.generate_packed_blocks(
+            count, block_size=block_size, backend=backend
+        ):
             yield offset, block
             offset += block.num_patterns
 

@@ -133,6 +133,8 @@ class SignatureShardTask:
     domain: str
     stumps_domain: StumpsDomain
     responses: tuple[dict[str, int], ...]
+    #: Execution backend for the fold ("python" or "numpy").
+    sim_backend: str = "python"
 
 
 ShardTask = Union[FaultShardTask, TransitionShardTask, SignatureShardTask]
@@ -173,7 +175,9 @@ def _cached_engine(scenario_key: str, kind: str, state) -> object:
 def _execute_task(task: ShardTask):
     """Run one shard task (in a worker process or in-process)."""
     if isinstance(task, SignatureShardTask):
-        signature = task.stumps_domain.fold_responses(task.responses)
+        signature = task.stumps_domain.fold_responses(
+            task.responses, backend=task.sim_backend
+        )
         return SignatureOutcome(task.scenario_key, task.domain, signature)
 
     payload = _PAYLOADS[task.scenario_key]
@@ -351,6 +355,7 @@ def run_sharded_fault_sim(
     pattern_offset: int = 0,
     mp_context=None,
     scenario_key: str = "fault-sim",
+    sim_backend: str = "python",
 ) -> FaultSimulationResult:
     """Sharded drop-in for :meth:`FaultSimulator.simulate_blocks`.
 
@@ -360,6 +365,8 @@ def run_sharded_fault_sim(
     detections.  The returned :class:`FaultSimulationResult` -- statuses,
     first-detection indices, coverage curve, per-pattern detection credits
     -- is bit-identical to the serial engine's (fault dropping enabled).
+    ``sim_backend`` selects the execution backend every shard worker
+    compiles ("python" or "numpy"); merged results are backend-invariant.
     """
     scenario_key = _unique_key(scenario_key)
     offset_blocks = with_offsets(blocks, pattern_offset)
@@ -374,6 +381,7 @@ def run_sharded_fault_sim(
             observe_nets if observe_nets is not None else circuit.observation_nets()
         ),
         faults=faults,
+        sim_backend=sim_backend,
     )
     tasks = plan_shard_tasks(
         FaultShardTask,
@@ -414,6 +422,7 @@ def run_sharded_transition_sim(
     pattern_offset: int = 0,
     mp_context=None,
     scenario_key: str = "transition-sim",
+    sim_backend: str = "python",
 ) -> TransitionSimulationResult:
     """Sharded drop-in for :meth:`TransitionFaultSimulator.simulate_pairs`."""
     if len(launch_patterns) != len(capture_patterns):
@@ -442,6 +451,7 @@ def run_sharded_transition_sim(
             observe_nets if observe_nets is not None else circuit.observation_nets()
         ),
         faults=faults,
+        sim_backend=sim_backend,
     )
     tasks = plan_shard_tasks(
         TransitionShardTask,
@@ -595,7 +605,11 @@ class CampaignRunner:
         fault_list = fresh_fault_list(core.circuit, config)
         credit_chain_flush(core, fault_list)
         offset_blocks = list(
-            stumps.packed_session(config.random_patterns, block_size=config.block_size)
+            stumps.packed_session(
+                config.random_patterns,
+                block_size=config.block_size,
+                backend=config.sim_backend,
+            )
         )
         faults = tuple(
             fault
@@ -606,6 +620,7 @@ class CampaignRunner:
             circuit=core.circuit,
             observe_nets=tuple(core.circuit.observation_nets()),
             faults=faults,
+            sim_backend=config.sim_backend,
         )
         tasks = plan_shard_tasks(
             FaultShardTask,
@@ -670,6 +685,7 @@ class CampaignRunner:
                         {cell: response.get(cell, 0) for cell in cells}
                         for response in responses
                     ),
+                    sim_backend=config.sim_backend,
                 )
             )
         return tasks

@@ -94,6 +94,17 @@ class LogicBistConfig:
     #: (256 / 1024) amortise the compiled kernel's interpreter loop over more
     #: patterns per pass at the cost of wider bigint operands.
     block_size: int = DEFAULT_BLOCK_SIZE
+    #: Simulation execution backend: ``"python"`` (default; bigint
+    #: interpreter, always available, the bit-exactness oracle) or
+    #: ``"numpy"`` (uint64 bit-plane arrays with level-batched gate
+    #: evaluation and a fault-vectorised PPSFP scan -- several times faster
+    #: on fault-simulation campaigns, results bit-identical; requires the
+    #: optional NumPy dependency, ``pip install "repro[fast]"``, and raises
+    #: a clear error when it is absent).  Applies to the TPI profiling
+    #: simulation, the random-pattern phase (streamed pattern generation
+    #: included), the transition-coverage measurement and -- via the shard
+    #: payloads -- every campaign worker.
+    sim_backend: str = "python"
 
     # ------------------------------------------------------------------ #
     # Sharded campaign execution

@@ -128,7 +128,7 @@ def insert_test_points(
         stumps = build_stumps(core, config)
         patterns = stumps.generate_patterns(config.tpi_profile_patterns)
         fault_list = fresh_fault_list(core.circuit, config)
-        simulator = FaultSimulator(core.circuit)
+        simulator = FaultSimulator(core.circuit, backend=config.sim_backend)
         simulator.simulate(fault_list, patterns, block_size=config.block_size)
         tpi = FaultSimGuidedObservationTpi(
             core.circuit,
@@ -391,7 +391,9 @@ class LogicBistFlow:
         # expanded back into scalar patterns afterwards.
         blocks = list(
             stumps.generate_packed_blocks(
-                config.random_patterns, block_size=config.block_size
+                config.random_patterns,
+                block_size=config.block_size,
+                backend=config.sim_backend,
             )
         )
         if config.campaign_workers >= 2:
@@ -406,9 +408,12 @@ class LogicBistFlow:
                 blocks,
                 num_workers=config.campaign_workers,
                 fault_shards=config.campaign_fault_shards,
+                sim_backend=config.sim_backend,
             )
         else:
-            result = FaultSimulator(core.circuit).simulate_blocks(fault_list, blocks)
+            result = FaultSimulator(
+                core.circuit, backend=config.sim_backend
+            ).simulate_blocks(fault_list, blocks)
         signature_count = min(config.signature_patterns, config.random_patterns)
         patterns = expand_leading_patterns(blocks, signature_count)
         signatures = self._signature_phase(core, stumps, schedule, patterns)
@@ -465,7 +470,7 @@ class LogicBistFlow:
         stumps.reset()
         launch_patterns = self._scan_patterns(stumps, config.transition_patterns)
         fault_list = FaultList.transition(core.circuit)
-        simulator = TransitionFaultSimulator(core.circuit)
+        simulator = TransitionFaultSimulator(core.circuit, backend=config.sim_backend)
         result = simulator.simulate_with_derived_capture(
             fault_list, launch_patterns, pulse_order=schedule.pulse_order
         )

@@ -42,6 +42,17 @@ from ..netlist.circuit import Circuit
 from ..netlist.gates import evaluate_packed
 from ..simulation.comb_sim import PackedSimulator
 from ..simulation.kernel import StrictStimulusError
+from ..simulation.numpy_backend import (
+    NUMPY_BACKEND,
+    PYTHON_BACKEND,
+    FaultScanKernel,
+    ScanFault,
+    numpy_kernel_for,
+    plane_to_word,
+    resolve_backend,
+    scan_kernel_for,
+    words_for,
+)
 from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
 from .fault_list import FaultList
 from .models import StuckAtFault
@@ -98,10 +109,14 @@ class FaultSimShardState:
     circuit: Circuit
     observe_nets: tuple[str, ...]
     faults: tuple[StuckAtFault, ...]
+    #: Execution backend the shard worker compiles ("python" or "numpy").
+    sim_backend: str = PYTHON_BACKEND
 
     def build_simulator(self) -> "FaultSimulator":
         """Compile a fresh :class:`FaultSimulator` for this shard state."""
-        return FaultSimulator(self.circuit, list(self.observe_nets))
+        return FaultSimulator(
+            self.circuit, list(self.observe_nets), backend=self.sim_backend
+        )
 
 
 @dataclass
@@ -131,16 +146,74 @@ class FaultSimulationResult:
         return self.fault_list.coverage()
 
 
+class _NumpyFaultScan:
+    """Compiled fault-vectorised scan state for one canonical fault order.
+
+    Thin faults-layer shim over
+    :class:`~repro.simulation.numpy_backend.FaultScanKernel`: it translates
+    the engine's pre-resolved site records and cone plans into backend
+    :class:`~repro.simulation.numpy_backend.ScanFault` descriptions (one per
+    fault, positionally -- duplicate faults are legal) and owns the per-width
+    bit-plane tables the scans run over.
+    """
+
+    def __init__(self, engine: "FaultSimulator", faults: tuple) -> None:
+        self.faults = faults
+        self.np_kernel = numpy_kernel_for(engine.kernel)
+
+        def build() -> FaultScanKernel:
+            scan_faults = []
+            for fault in faults:
+                spec = engine._fault_spec(fault)
+                plan, observed_ids = engine._site_plan(spec[1])
+                if spec[0] == _SITE_CONST:
+                    scan_faults.append(
+                        ScanFault(spec[1], plan, observed_ids, const_value=spec[2])
+                    )
+                else:
+                    _, site_id, value, gate_type, input_ids, pin = spec
+                    scan_faults.append(
+                        ScanFault(
+                            site_id,
+                            plan,
+                            observed_ids,
+                            gate_type=gate_type,
+                            operand_ids=input_ids,
+                            pin=pin,
+                            value=value,
+                        )
+                    )
+            return FaultScanKernel(self.np_kernel, scan_faults)
+
+        self.scan = scan_kernel_for(
+            self.np_kernel, (faults, tuple(engine.observe_nets)), build
+        )
+
+    def table_for(self, num_words: int):
+        """The scan's good-rows + fault-slot-rows table for one width."""
+        return self.scan.table_for(num_words)
+
+
 class FaultSimulator:
-    """PPSFP stuck-at fault simulator with fault dropping (compiled-kernel engine)."""
+    """PPSFP stuck-at fault simulator with fault dropping (compiled-kernel engine).
+
+    ``backend`` selects how the campaign-level loops execute: ``"python"``
+    (default; per-fault bigint cone resimulation, the oracle) or ``"numpy"``
+    (the fault-vectorised bit-plane scan of
+    :mod:`repro.simulation.numpy_backend`).  Detection masks, statuses,
+    first-detection indices and coverage curves are bit-identical across
+    backends; only throughput differs.
+    """
 
     def __init__(
         self,
         circuit: Circuit,
         observe_nets: Optional[Sequence[str]] = None,
+        backend: str = PYTHON_BACKEND,
     ) -> None:
         self.circuit = circuit
-        self.simulator = PackedSimulator(circuit)
+        self.backend = resolve_backend(backend)
+        self.simulator = PackedSimulator(circuit, backend=backend)
         self.kernel = self.simulator.kernel
         self.observe_nets = (
             list(observe_nets) if observe_nets is not None else circuit.observation_nets()
@@ -152,6 +225,8 @@ class FaultSimulator:
         self._fault_specs: dict[StuckAtFault, tuple] = {}
         # Reusable good-value table (one slot per interned net).
         self._good = self.kernel.make_table()
+        # Most-recently compiled numpy scan state: (fault tuple, scan).
+        self._np_scan: Optional[tuple[tuple, _NumpyFaultScan]] = None
         #: Aggregate count of gate (re-)evaluations, for throughput reporting.
         self.gate_evals = 0
 
@@ -166,6 +241,7 @@ class FaultSimulator:
             self.observe_nets.append(net)
             self._observe_set.add(net)
             self._site_cache.clear()
+            self._np_scan = None
 
     # ------------------------------------------------------------------ #
     # Fault injection helpers (ID space)
@@ -308,6 +384,20 @@ class FaultSimulator:
                 still_active.append(fault)
         return detections, still_active
 
+    def _numpy_scan(self, faults: tuple) -> _NumpyFaultScan:
+        """Compiled vectorised scan for a canonical fault order (1-deep cache).
+
+        The per-site cone lowerings are cached on the shared numpy kernel, so
+        recompiling for a different fault order (the ATPG top-up after the
+        random phase) only pays the cheap per-fault assembly.
+        """
+        cached = self._np_scan
+        if cached is not None and cached[0] == faults:
+            return cached[1]
+        scan = _NumpyFaultScan(self, faults)
+        self._np_scan = (faults, scan)
+        return scan
+
     def simulate(
         self,
         fault_list: FaultList,
@@ -368,6 +458,10 @@ class FaultSimulator:
         block's assignments default to the all-zero word, exactly as in the
         pattern-list path.
         """
+        if self.backend == NUMPY_BACKEND:
+            return self._simulate_blocks_numpy(
+                fault_list, blocks, drop_detected, pattern_offset
+            )
         result = FaultSimulationResult(fault_list, 0)
         active = list(fault_list.undetected())
         simulated = 0
@@ -389,6 +483,85 @@ class FaultSimulator:
         result.patterns_simulated = simulated
         return result
 
+    def _np_block_pass(
+        self, scan_state: _NumpyFaultScan, block: PatternBlock, active: list[int]
+    ) -> tuple[dict, int]:
+        """One numpy-backend block: load, forward-evaluate, scan the actives.
+
+        The single home of the per-block numpy execution, shared by the
+        serial campaign (:meth:`_simulate_blocks_numpy`) and the shard
+        primitive (:meth:`_first_detections_numpy`) exactly like
+        :meth:`_scan_block` is for the python backend -- so oracle and shard
+        primitive cannot drift apart.  Returns ``(detection rows by
+        canonical position, block pattern count)``.  The fault-free pass
+        always runs (the python backend does too, and its gate-evaluation
+        accounting must match); the fault scan is skipped when nothing is
+        active.
+        """
+        num = block.num_patterns
+        mask = mask_for(num)
+        num_words = words_for(num)
+        scan = scan_state.scan
+        np_kernel = scan_state.np_kernel
+        table = scan.table_for(num_words)
+        mask_plane = np_kernel.mask_plane(mask, num_words)
+        np_kernel.set_stimulus(table, block.assignments, mask, num_words)
+        np_kernel.evaluate(table, mask_plane)
+        self.gate_evals += self.kernel.num_gates
+        if not active:
+            return {}, num
+        rows, resim_evals = scan.scan_positions(table, mask_plane, num_words, active)
+        self.gate_evals += resim_evals
+        return rows, num
+
+    def _simulate_blocks_numpy(
+        self,
+        fault_list: FaultList,
+        blocks: Iterable[PatternBlock],
+        drop_detected: bool,
+        pattern_offset: int,
+    ) -> FaultSimulationResult:
+        """The ``"numpy"`` backend form of :meth:`simulate_blocks`.
+
+        Identical bookkeeping, but every block runs through
+        :meth:`_np_block_pass` (level-batched bit-plane forward simulation
+        plus the fault-vectorised union-cone scan) instead of per-fault
+        bigint cone resimulation.  The active set is tracked as positions
+        into the compiled canonical fault order.
+        """
+        result = FaultSimulationResult(fault_list, 0)
+        faults = tuple(fault_list.undetected())
+        scan_state = self._numpy_scan(faults)
+        scan = scan_state.scan
+        active = list(range(len(faults)))
+        scan.ensure_live(active)
+        simulated = 0
+        for block in blocks:
+            rows, num = self._np_block_pass(scan_state, block, active)
+            result.detections_per_pattern.extend([0] * num)
+            still_active: list[int] = []
+            for position in active:
+                row = rows.get(position)
+                if row is None:
+                    still_active.append(position)
+                    continue
+                word = plane_to_word(row)
+                first_bit = (word & -word).bit_length() - 1
+                fault_list.mark_detected(
+                    faults[position], pattern_offset + simulated + first_bit
+                )
+                result.detections_per_pattern[simulated + first_bit] += 1
+                if not drop_detected:
+                    still_active.append(position)
+            active = still_active
+            scan.maybe_prune(active)
+            simulated += num
+            result.coverage_curve.append(
+                (pattern_offset + simulated, fault_list.coverage())
+            )
+        result.patterns_simulated = simulated
+        return result
+
     # ------------------------------------------------------------------ #
     # Sharded-campaign primitives
     # ------------------------------------------------------------------ #
@@ -396,13 +569,15 @@ class FaultSimulator:
         """Pickleable shard state for campaign fan-out over ``faults``.
 
         The returned record carries everything a worker process needs to
-        rebuild this simulator bit for bit (circuit, observation nets) plus
-        the canonical fault ordering that shard tasks index into.
+        rebuild this simulator bit for bit (circuit, observation nets,
+        execution backend) plus the canonical fault ordering that shard
+        tasks index into.
         """
         return FaultSimShardState(
             circuit=self.circuit,
             observe_nets=tuple(self.observe_nets),
             faults=tuple(faults),
+            sim_backend=self.backend,
         )
 
     def first_detections(
@@ -420,6 +595,8 @@ class FaultSimulator:
         and/or pattern blocks across shards and min-merging the returned
         indices reproduces the serial result bit for bit.
         """
+        if self.backend == NUMPY_BACKEND:
+            return self._first_detections_numpy(faults, blocks)
         detections: dict[StuckAtFault, int] = {}
         active = list(faults)
         kernel = self.kernel
@@ -435,6 +612,36 @@ class FaultSimulator:
             found, active = self._scan_block(active, good, mask)
             for fault, first_bit in found:
                 detections[fault] = offset + first_bit
+        return detections
+
+    def _first_detections_numpy(
+        self,
+        faults: Sequence[StuckAtFault],
+        blocks: Iterable[tuple[int, PatternBlock]],
+    ) -> dict[StuckAtFault, int]:
+        """The ``"numpy"`` backend form of :meth:`first_detections`."""
+        detections: dict[StuckAtFault, int] = {}
+        fault_order = tuple(faults)
+        scan_state = self._numpy_scan(fault_order)
+        scan = scan_state.scan
+        active = list(range(len(fault_order)))
+        scan.ensure_live(active)
+        for offset, block in blocks:
+            if not active:
+                break
+            rows, _num = self._np_block_pass(scan_state, block, active)
+            still_active: list[int] = []
+            for position in active:
+                row = rows.get(position)
+                if row is None:
+                    still_active.append(position)
+                    continue
+                word = plane_to_word(row)
+                detections[fault_order[position]] = (
+                    offset + (word & -word).bit_length() - 1
+                )
+            active = still_active
+            scan.maybe_prune(active)
         return detections
 
     def detects(self, pattern: Mapping[str, int], fault: StuckAtFault) -> bool:

@@ -29,6 +29,13 @@ from typing import Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit
 from ..simulation.comb_sim import PackedSimulator
+from ..simulation.numpy_backend import (
+    NUMPY_BACKEND,
+    PYTHON_BACKEND,
+    np as _np,
+    plane_to_word,
+    words_for,
+)
 from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
 from .fault_list import FaultList
 from .fault_sim import FaultSimulator, check_strict_patterns
@@ -123,10 +130,14 @@ class TransitionSimShardState:
     circuit: Circuit
     observe_nets: tuple[str, ...]
     faults: tuple[TransitionFault, ...]
+    #: Execution backend the shard worker compiles ("python" or "numpy").
+    sim_backend: str = PYTHON_BACKEND
 
     def build_simulator(self) -> "TransitionFaultSimulator":
         """Compile a fresh :class:`TransitionFaultSimulator` for this state."""
-        return TransitionFaultSimulator(self.circuit, list(self.observe_nets))
+        return TransitionFaultSimulator(
+            self.circuit, list(self.observe_nets), backend=self.sim_backend
+        )
 
 
 @dataclass
@@ -143,21 +154,163 @@ class TransitionSimulationResult:
         return self.fault_list.coverage()
 
 
+class _NumpyPairScan:
+    """Compiled launch/capture scan state for one canonical transition order.
+
+    Activation is vectorised across faults (one gather of the launch and
+    capture site rows plus a select on the slow-to-rise mask); observability
+    reuses the stuck-at engine's fault-vectorised scan over the equivalent
+    stuck-at faults, compiled positionally so duplicate equivalents are
+    harmless.
+    """
+
+    def __init__(self, simulator: "TransitionFaultSimulator", faults: tuple) -> None:
+        stuck = simulator.stuck_engine
+        self.faults = faults
+        self.stuck_scan = stuck._numpy_scan(
+            tuple(fault.equivalent_stuck_at() for fault in faults)
+        )
+        self.np_kernel = self.stuck_scan.np_kernel
+        net_id = stuck.kernel.net_id
+        circuit = simulator.circuit
+        self.site_ids = _np.fromiter(
+            (net_id[fault.faulted_net(circuit)] for fault in faults),
+            dtype=_np.intp,
+            count=len(faults),
+        )
+        self.slow_to_rise = _np.fromiter(
+            (fault.slow_to_rise for fault in faults),
+            dtype=bool,
+            count=len(faults),
+        )
+        self._launch_tables: dict[int, object] = {}
+
+    def launch_table_for(self, num_words: int):
+        """The (cached) launch-value bit-plane table for one width."""
+        table = self._launch_tables.get(num_words)
+        if table is None:
+            table = self.np_kernel.make_table(num_words)
+            self._launch_tables[num_words] = table
+        return table
+
+    def activation_planes(self, launch_table, capture_table, mask_plane):
+        """Per-fault activation rows: launch/capture transition at the site."""
+        launch = launch_table[self.site_ids]
+        capture = capture_table[self.site_ids]
+        rise = ~launch & capture
+        fall = launch & ~capture
+        return _np.where(self.slow_to_rise[:, None], rise, fall) & mask_plane
+
+
 class TransitionFaultSimulator:
-    """Launch-on-capture transition fault simulator built on the stuck-at engine."""
+    """Launch-on-capture transition fault simulator built on the stuck-at engine.
+
+    ``backend`` mirrors :class:`~repro.faults.fault_sim.FaultSimulator`:
+    ``"python"`` (default oracle) or ``"numpy"`` (vectorised activation plus
+    the fault-vectorised stuck-at observability scan); detection results are
+    bit-identical across backends.
+    """
 
     def __init__(
         self,
         circuit: Circuit,
         observe_nets: Optional[Sequence[str]] = None,
+        backend: str = PYTHON_BACKEND,
     ) -> None:
         self.circuit = circuit
-        self.stuck_engine = FaultSimulator(circuit, observe_nets)
+        self.stuck_engine = FaultSimulator(circuit, observe_nets, backend=backend)
+        self.backend = self.stuck_engine.backend
         self.simulator = self.stuck_engine.simulator
+        # Most-recently compiled numpy pair-scan state: (fault tuple, scan).
+        self._np_pair_scan: Optional[tuple[tuple, _NumpyPairScan]] = None
 
     def add_observation_net(self, net: str) -> None:
         """Add an observation point (shared with the stuck-at engine)."""
         self.stuck_engine.add_observation_net(net)
+        self._np_pair_scan = None
+
+    def _numpy_pair_scan(self, faults: tuple) -> _NumpyPairScan:
+        cached = self._np_pair_scan
+        if cached is not None and cached[0] == faults:
+            return cached[1]
+        scan = _NumpyPairScan(self, faults)
+        self._np_pair_scan = (faults, scan)
+        return scan
+
+    def _np_pair_pass(
+        self,
+        scan: _NumpyPairScan,
+        launch_block: PatternBlock,
+        capture_block: PatternBlock,
+    ):
+        """Load and forward-evaluate one launch/capture block pair.
+
+        The single home of the numpy pair-block setup, shared by the serial
+        pair simulation and the shard primitive (mirroring the python
+        backend's `_scan_pair_block` discipline).  The capture values land in
+        the stuck scan's table (good rows + cone slots), the launch values in
+        a plain net-rows table.
+        """
+        num = launch_block.num_patterns
+        mask = mask_for(num)
+        num_words = words_for(num)
+        np_kernel = scan.np_kernel
+        mask_plane = np_kernel.mask_plane(mask, num_words)
+        capture_table = scan.stuck_scan.table_for(num_words)
+        np_kernel.set_stimulus(capture_table, capture_block.assignments, mask, num_words)
+        np_kernel.evaluate(capture_table, mask_plane)
+        launch_table = scan.launch_table_for(num_words)
+        np_kernel.set_stimulus(launch_table, launch_block.assignments, mask, num_words)
+        np_kernel.evaluate(launch_table, mask_plane)
+        return launch_table, capture_table, mask_plane, num_words
+
+    def _scan_pair_block_numpy(
+        self,
+        scan: _NumpyPairScan,
+        active: list[int],
+        launch_table,
+        capture_table,
+        mask_plane,
+        num_words: int,
+        drop_detected: bool = True,
+    ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Positional ``"numpy"`` form of :meth:`_scan_pair_block`.
+
+        ``capture_table`` is the stuck scan state's table (capture-cycle good
+        rows followed by the cone slot rows); activation rows are computed
+        for the whole canonical order, faults with a live transition feed the
+        vectorised stuck-at observability scan, and the per-fault detection
+        masks (activation AND observation) are bit-identical to the python
+        pair scan.
+        """
+        activation = scan.activation_planes(launch_table, capture_table, mask_plane)
+        activated = activation.any(axis=1)
+        candidates = [position for position in active if activated[position]]
+        if candidates:
+            rows, resim_evals = scan.stuck_scan.scan.scan_positions(
+                capture_table, mask_plane, num_words, candidates
+            )
+            self.stuck_engine.gate_evals += resim_evals
+        else:
+            rows = {}
+        detections: list[tuple[int, int]] = []
+        still_active: list[int] = []
+        for position in active:
+            if not activated[position]:
+                still_active.append(position)
+                continue
+            row = rows.get(position)
+            detection = (
+                plane_to_word(activation[position] & row) if row is not None else 0
+            )
+            if detection:
+                first_bit = (detection & -detection).bit_length() - 1
+                detections.append((position, first_bit))
+                if not drop_detected:
+                    still_active.append(position)
+            else:
+                still_active.append(position)
+        return detections, still_active
 
     def _scan_pair_block(
         self,
@@ -235,6 +388,37 @@ class TransitionFaultSimulator:
         result = TransitionSimulationResult(fault_list, len(launch_patterns))
         active = [f for f in fault_list.undetected() if isinstance(f, TransitionFault)]
         simulated = 0
+        stimulus_nets = self.circuit.stimulus_nets()
+        launch_blocks = iter_blocks(launch_patterns, block_size=block_size, nets=stimulus_nets)
+        capture_blocks = iter_blocks(capture_patterns, block_size=block_size, nets=stimulus_nets)
+        if self.backend == NUMPY_BACKEND:
+            faults = tuple(active)
+            scan = self._numpy_pair_scan(faults)
+            positions = list(range(len(faults)))
+            scan.stuck_scan.scan.ensure_live(positions)
+            for launch_block, capture_block in zip(launch_blocks, capture_blocks):
+                num = launch_block.num_patterns
+                launch_table, capture_table, mask_plane, num_words = (
+                    self._np_pair_pass(scan, launch_block, capture_block)
+                )
+                detections_np, positions = self._scan_pair_block_numpy(
+                    scan,
+                    positions,
+                    launch_table,
+                    capture_table,
+                    mask_plane,
+                    num_words,
+                    drop_detected,
+                )
+                for position, first_bit in detections_np:
+                    fault_list.mark_detected(
+                        faults[position], pattern_offset + simulated + first_bit
+                    )
+                simulated += num
+                result.coverage_curve.append(
+                    (pattern_offset + simulated, fault_list.coverage())
+                )
+            return result
         kernel = self.simulator.kernel
         net_id = kernel.net_id
         site_ids = {
@@ -242,9 +426,6 @@ class TransitionFaultSimulator:
         }
         good_launch = kernel.make_table()
         good_capture = kernel.make_table()
-        stimulus_nets = self.circuit.stimulus_nets()
-        launch_blocks = iter_blocks(launch_patterns, block_size=block_size, nets=stimulus_nets)
-        capture_blocks = iter_blocks(capture_patterns, block_size=block_size, nets=stimulus_nets)
         for launch_block, capture_block in zip(launch_blocks, capture_blocks):
             num = launch_block.num_patterns
             mask = mask_for(num)
@@ -299,6 +480,7 @@ class TransitionFaultSimulator:
             circuit=self.circuit,
             observe_nets=tuple(self.stuck_engine.observe_nets),
             faults=tuple(faults),
+            sim_backend=self.backend,
         )
 
     def first_detections(
@@ -315,6 +497,25 @@ class TransitionFaultSimulator:
         campaign runner).
         """
         detections: dict[TransitionFault, int] = {}
+        if self.backend == NUMPY_BACKEND:
+            fault_order = tuple(faults)
+            scan = self._numpy_pair_scan(fault_order)
+            positions = list(range(len(fault_order)))
+            scan.stuck_scan.scan.ensure_live(positions)
+            for offset, launch_block, capture_block in pair_blocks:
+                if not positions:
+                    break
+                if launch_block.num_patterns != capture_block.num_patterns:
+                    raise ValueError("launch and capture blocks must pair up 1:1")
+                launch_table, capture_table, mask_plane, num_words = (
+                    self._np_pair_pass(scan, launch_block, capture_block)
+                )
+                found_np, positions = self._scan_pair_block_numpy(
+                    scan, positions, launch_table, capture_table, mask_plane, num_words
+                )
+                for position, first_bit in found_np:
+                    detections[fault_order[position]] = offset + first_bit
+            return detections
         active = list(faults)
         kernel = self.simulator.kernel
         net_id = kernel.net_id

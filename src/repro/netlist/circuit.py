@@ -88,6 +88,11 @@ class Circuit:
         self._fanout: dict[str, list[str]] = {}
         self._levels: dict[str, int] = {}
         self._topo_order: list[str] = []
+        #: Monotonic structural revision; bumped on every mutation.  Compiled
+        #: artifacts (e.g. the shared simulation kernels) key their caches on
+        #: ``(circuit, revision)`` so a mutated circuit is never served a
+        #: stale compilation.
+        self._revision = 0
 
     # ------------------------------------------------------------------ #
     # Construction / mutation
@@ -162,6 +167,12 @@ class Circuit:
 
     def _invalidate(self) -> None:
         self._cache_valid = False
+        self._revision += 1
+
+    @property
+    def revision(self) -> int:
+        """Structural revision counter (see ``_revision``)."""
+        return self._revision
 
     # ------------------------------------------------------------------ #
     # Queries

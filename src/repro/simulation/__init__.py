@@ -31,7 +31,15 @@ from .packed import (
     pack_patterns,
     unpack_words,
 )
-from .kernel import CompiledKernel, ConePlan, StrictStimulusError
+from .kernel import CompiledKernel, ConePlan, StrictStimulusError, shared_kernel
+from .numpy_backend import (
+    BACKENDS,
+    HAVE_NUMPY,
+    NUMPY_BACKEND,
+    PYTHON_BACKEND,
+    SimBackendError,
+    resolve_backend,
+)
 from .comb_sim import PackedSimulator, XPropagationSimulator
 from .reference import ReferenceFaultSimulator, ReferencePackedSimulator
 from .sequential import SequentialSimulator
@@ -48,6 +56,13 @@ __all__ = [
     "CompiledKernel",
     "ConePlan",
     "StrictStimulusError",
+    "shared_kernel",
+    "BACKENDS",
+    "HAVE_NUMPY",
+    "NUMPY_BACKEND",
+    "PYTHON_BACKEND",
+    "SimBackendError",
+    "resolve_backend",
     "PackedSimulator",
     "XPropagationSimulator",
     "ReferencePackedSimulator",

@@ -29,7 +29,15 @@ from ..netlist.gates import (
     evaluate_packed,
     evaluate_packed3,
 )
-from .kernel import CompiledKernel, StrictStimulusError
+from .kernel import StrictStimulusError, shared_kernel
+from .numpy_backend import (
+    NUMPY_BACKEND,
+    PYTHON_BACKEND,
+    numpy_kernel_for,
+    resolve_backend,
+    table_to_words,
+    words_for,
+)
 from .packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
 
 
@@ -38,17 +46,28 @@ class PackedSimulator:
 
     The constructor compiles the circuit into a
     :class:`~repro.simulation.kernel.CompiledKernel` (interned net IDs, flat
-    opcode schedule); whole pattern blocks of any width are then evaluated
-    with one pass of bitwise operations per gate over an integer-indexed
-    value table.
+    opcode schedule, shared per process via
+    :func:`~repro.simulation.kernel.shared_kernel`); whole pattern blocks of
+    any width are then evaluated with one pass of bitwise operations per gate
+    over an integer-indexed value table.
+
+    ``backend`` selects the execution strategy for :meth:`simulate_block`:
+    ``"python"`` (default, the bigint interpreter and bit-exactness oracle)
+    or ``"numpy"`` (level-batched uint64 bit planes, see
+    :mod:`repro.simulation.numpy_backend`); results are bit-identical.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, backend: str = PYTHON_BACKEND) -> None:
         self.circuit = circuit
+        self.backend = resolve_backend(backend)
         #: The compiled integer-indexed kernel; fault simulators use it directly.
-        self.kernel = CompiledKernel(circuit)
+        self.kernel = shared_kernel(circuit)
         self._stimulus = set(circuit.stimulus_nets())
         self._values = self.kernel.make_table()
+        self._np_kernel = (
+            numpy_kernel_for(self.kernel) if self.backend == NUMPY_BACKEND else None
+        )
+        self._np_tables: dict[int, object] = {}
 
     # ------------------------------------------------------------------ #
     # Block-level interface
@@ -80,6 +99,17 @@ class PackedSimulator:
         """
         mask = mask_for(num_patterns)
         kernel = self.kernel
+        if self._np_kernel is not None:
+            num_words = words_for(num_patterns)
+            table = self._np_tables.get(num_words)
+            if table is None:
+                table = self._np_kernel.make_table(num_words)
+                self._np_tables[num_words] = table
+            self._np_kernel.set_stimulus(table, stimulus, mask, num_words, strict=strict)
+            self._np_kernel.evaluate(table, self._np_kernel.mask_plane(mask, num_words))
+            values = self._values
+            table_to_words(table, values, kernel.num_nets)
+            return dict(zip(kernel.net_names, values))
         values = self._values
         kernel.set_stimulus(values, stimulus, mask, strict=strict)
         kernel.evaluate(values, mask)

@@ -22,6 +22,22 @@ fault-free base values, and the recomputed net IDs.  Re-simulating a cone is
 then: copy the frontier words into the scratch table, force the site word,
 and run the plan's flat lists.
 
+The kernel compile is *backend-neutral*: the interning tables, the flat
+schedule, the per-net topological levels (``net_levels``) and the cached
+:class:`ConePlan` records describe the circuit, not an execution strategy.
+The bigint interpreter below (:func:`_evaluate_lists`) is the default
+``"python"`` execution backend; :mod:`repro.simulation.numpy_backend` lowers
+the very same compiled form into level-batched ndarray index arrays for the
+``"numpy"`` backend.  Because one compile feeds both, the two backends cannot
+disagree about circuit structure.
+
+Kernels are expensive to build (interning plus, lazily, one fanout-cone plan
+per fault site), and the flow plus ATPG top-up routinely simulate the same
+circuit back to back.  :func:`shared_kernel` therefore keeps a per-process
+cache keyed by ``(circuit identity, structural revision)`` -- the in-process
+mirror of the campaign runner's per-worker engine cache -- so cone plans are
+compiled at most once per circuit revision per process.
+
 The kernel knows nothing about net names beyond the interning tables; the
 name-keyed public API lives in the adapter layer
 (:class:`~repro.simulation.comb_sim.PackedSimulator`).
@@ -29,6 +45,7 @@ name-keyed public API lives in the adapter layer
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -174,6 +191,10 @@ class CompiledKernel:
         #: Net name -> dense integer ID.
         self.net_id: dict[str, int] = {name: i for i, name in enumerate(order)}
         self.num_nets = len(order)
+        levels = circuit.levels()
+        #: Net ID -> combinational level (backend-neutral: the numpy backend
+        #: groups the flat schedule into per-(level, opcode) batches with it).
+        self.net_levels: list[int] = [levels[name] for name in order]
 
         stimulus = circuit.stimulus_nets()
         self.stimulus_names: list[str] = list(stimulus)
@@ -224,17 +245,21 @@ class CompiledKernel:
         :class:`StrictStimulusError`.
         """
         if strict:
-            missing = [name for name in self.stimulus_names if name not in stimulus]
-            unknown = [name for name in stimulus if name not in self._stimulus_set]
-            if missing or unknown:
-                raise StrictStimulusError(
-                    f"strict stimulus check failed: missing nets {missing[:5]!r}"
-                    f"{'...' if len(missing) > 5 else ''}, "
-                    f"unknown nets {unknown[:5]!r}{'...' if len(unknown) > 5 else ''}"
-                )
+            self.check_strict_stimulus(stimulus)
         get = stimulus.get
         for sid, name in zip(self.stimulus_ids, self.stimulus_names):
             values[sid] = get(name, 0) & mask
+
+    def check_strict_stimulus(self, stimulus: Mapping[str, int]) -> None:
+        """Strict-mode validation shared by every execution backend."""
+        missing = [name for name in self.stimulus_names if name not in stimulus]
+        unknown = [name for name in stimulus if name not in self._stimulus_set]
+        if missing or unknown:
+            raise StrictStimulusError(
+                f"strict stimulus check failed: missing nets {missing[:5]!r}"
+                f"{'...' if len(missing) > 5 else ''}, "
+                f"unknown nets {unknown[:5]!r}{'...' if len(unknown) > 5 else ''}"
+            )
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -282,3 +307,39 @@ class CompiledKernel:
         scratch[plan.site_id] = faulty_word
         _evaluate_lists(plan.ops, plan.outs, plan.operands, scratch, mask)
         return scratch
+
+
+# --------------------------------------------------------------------------- #
+# Per-process shared-kernel cache
+# --------------------------------------------------------------------------- #
+#: Circuit -> (structural revision at compile time, compiled kernel).  The
+#: weak keys let circuits (and with them their kernels and cone plans) be
+#: garbage-collected normally; a mutated circuit misses on the revision and
+#: is recompiled.
+_SHARED_KERNELS: "weakref.WeakKeyDictionary[Circuit, tuple[int, CompiledKernel]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_kernel(circuit: Circuit) -> CompiledKernel:
+    """The per-process compiled kernel for ``circuit`` (compile-once cache).
+
+    Keyed by circuit identity *and* structural revision: simulating the same
+    circuit from several engine instances (the flow's random phase followed
+    by ATPG top-up, or repeated campaign scenarios in one worker) shares one
+    kernel -- and therefore one set of lazily compiled fanout-cone plans --
+    while any netlist mutation (test-point insertion, scan stitching)
+    transparently forces a fresh compile.
+
+    Sharing is safe because the kernel itself is immutable apart from two
+    single-threaded caches: the cone-plan dict (append-only) and the scratch
+    table, whose contract already requires callers to consume results before
+    the next kernel call.
+    """
+    cached = _SHARED_KERNELS.get(circuit)
+    revision = circuit.revision
+    if cached is not None and cached[0] == revision:
+        return cached[1]
+    kernel = CompiledKernel(circuit)
+    _SHARED_KERNELS[circuit] = (revision, kernel)
+    return kernel

@@ -1,0 +1,893 @@
+"""NumPy bit-plane execution backend for the compiled simulation kernel.
+
+The default ``"python"`` backend interprets the compiled kernel's flat
+schedule one gate at a time over Python bigints (one arbitrary-precision word
+per net).  This module provides the opt-in ``"numpy"`` backend: the value
+table becomes a 2-D ``uint64`` *bit-plane* array of shape
+``(num_rows, words_per_block)`` -- row *i* is net *i*'s packed pattern bits,
+64 patterns per word, little-endian words so that row ``r`` and the bigint
+``int.from_bytes(r.tobytes(), "little")`` are the same value -- and the
+per-gate interpreter collapses into **per-(topological-level, opcode)
+batches**: at compile time the flat schedule is grouped by level and opcode
+into operand/output index arrays, and each batch is evaluated with a single
+gather -> bulk bitwise op -> scatter.  Python-loop iterations drop from
+``num_gates`` to ``num_levels x num_opcodes``.
+
+Two execution structures are compiled from one backend-neutral
+:class:`~repro.simulation.kernel.CompiledKernel`:
+
+* :class:`NumpyKernel` -- the full forward pass (fault-free simulation) as
+  level batches, plus bit-plane stimulus loading.
+* :class:`FaultScanKernel` -- the PPSFP fault scan vectorised **across
+  faults**: every active fault's pre-compiled
+  :class:`~repro.simulation.kernel.ConePlan` is assigned a private run of
+  *slot rows* appended after the good-value rows, the per-fault cone
+  schedules are concatenated (statically, at compile time) into global
+  per-(level, opcode) index arrays tagged with fault indices, and one block
+  scan is: compute every fault's faulty site row in a few grouped
+  operations, select the faults whose site value differs, and re-simulate
+  *all* their cones together -- one gather/op/scatter per (level, opcode)
+  over the union of cone gates, frontier values read in place from the
+  good rows, detection masks reduced per fault with
+  ``np.bitwise_or.reduceat``.  This is what makes the backend fast where the
+  fault-simulation time actually goes: the per-fault scan, not the
+  fault-free pass.
+
+Both structures are **bit-identical** to the python backend by construction
+(same compiled schedule, same masking discipline) and by test
+(``tests/simulation/test_numpy_backend.py`` and the backend-parametrised
+kernel-equivalence fuzz suite).
+
+NumPy is an optional dependency (``pip install repro[fast]``); importing this
+module without it merely sets :data:`HAVE_NUMPY` false, and selecting the
+``"numpy"`` backend then raises :class:`SimBackendError` with an actionable
+message.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Mapping, Optional, Sequence
+
+from ..netlist.gates import (
+    GateType,
+    OP_AND,
+    OP_AND2,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_MUX,
+    OP_NAND,
+    OP_NAND2,
+    OP_NOR,
+    OP_NOR2,
+    OP_NOT,
+    OP_OR,
+    OP_OR2,
+    OP_XNOR,
+    OP_XNOR2,
+    OP_XOR,
+    OP_XOR2,
+)
+from .kernel import CompiledKernel, ConePlan
+
+try:  # pragma: no cover - exercised implicitly by every numpy test
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the dependency-free fast tier
+    np = None
+    HAVE_NUMPY = False
+
+
+#: The default backend: the bigint interpreter, always available, the oracle.
+PYTHON_BACKEND = "python"
+#: The opt-in vectorised backend provided by this module.
+NUMPY_BACKEND = "numpy"
+#: Every recognised ``sim_backend`` value.
+BACKENDS = (PYTHON_BACKEND, NUMPY_BACKEND)
+
+
+class SimBackendError(RuntimeError):
+    """Raised for unknown backends or a numpy backend without NumPy."""
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a backend name, failing fast with an actionable message."""
+    if backend not in BACKENDS:
+        raise SimBackendError(
+            f"unknown sim backend {backend!r}: expected one of {BACKENDS}"
+        )
+    if backend == NUMPY_BACKEND and not HAVE_NUMPY:
+        raise SimBackendError(
+            'sim_backend="numpy" requested but NumPy is not installed; '
+            'install the optional extra (pip install "repro[fast]") or keep '
+            'the default sim_backend="python"'
+        )
+    return backend
+
+
+# --------------------------------------------------------------------------- #
+# Bigint word <-> uint64 bit-plane conversions
+# --------------------------------------------------------------------------- #
+def words_for(num_patterns: int) -> int:
+    """Number of uint64 words per bit-plane row for a block width."""
+    return max(1, (num_patterns + 63) // 64)
+
+
+def word_to_plane(word: int, num_words: int):
+    """One packed bigint word as a little-endian uint64 bit-plane row.
+
+    The returned array is a read-only view over the bigint's bytes; copy it
+    (or assign it into a table row) before mutating.
+    """
+    return np.frombuffer(word.to_bytes(num_words * 8, "little"), dtype="<u8")
+
+
+def plane_to_word(row) -> int:
+    """A bit-plane row back as the packed bigint word (exact inverse)."""
+    return int.from_bytes(row.tobytes(), "little")
+
+
+def table_to_words(table, values: list[int], count: int) -> None:
+    """Write the leading ``count`` bit-plane rows into a bigint value table."""
+    buffer = table[:count].tobytes()
+    stride = table.shape[1] * 8
+    for i in range(count):
+        values[i] = int.from_bytes(buffer[i * stride : (i + 1) * stride], "little")
+
+
+# --------------------------------------------------------------------------- #
+# Batched opcode execution
+# --------------------------------------------------------------------------- #
+def _compute_batch(table, op: int, opnd_rows, mask_plane, buffers, count: int):
+    """Evaluate one (opcode, operand row arrays) batch into a scratch buffer.
+
+    Mirrors :func:`repro.simulation.kernel._evaluate_lists` opcode for
+    opcode: gathered operand rows are already masked (the table only ever
+    holds masked rows), so the same "mask only after complement" discipline
+    yields bit-identical rows.  Gathers go through ``np.take(mode="clip",
+    out=...)`` into the preallocated ``buffers`` and the bulk ops run in
+    place, so steady-state execution allocates nothing; the returned view
+    aliases ``buffers["buf_a"]`` and must be consumed (scattered or copied)
+    before the next call.
+    """
+    take = np.take
+    buf_a = buffers["buf_a"][:count]
+    if op in (OP_CONST0, OP_CONST1):
+        buf_a[:] = 0 if op == OP_CONST0 else mask_plane
+        return buf_a
+    take(table, opnd_rows[0], axis=0, out=buf_a, mode="clip")
+    if len(opnd_rows) >= 2:
+        buf_b = buffers["buf_b"][:count]
+        take(table, opnd_rows[1], axis=0, out=buf_b, mode="clip")
+    if op == OP_AND2:
+        np.bitwise_and(buf_a, buf_b, out=buf_a)
+    elif op == OP_XOR2:
+        np.bitwise_xor(buf_a, buf_b, out=buf_a)
+    elif op == OP_OR2:
+        np.bitwise_or(buf_a, buf_b, out=buf_a)
+    elif op == OP_NAND2:
+        np.bitwise_and(buf_a, buf_b, out=buf_a)
+        np.invert(buf_a, out=buf_a)
+        np.bitwise_and(buf_a, mask_plane, out=buf_a)
+    elif op == OP_NOR2:
+        np.bitwise_or(buf_a, buf_b, out=buf_a)
+        np.invert(buf_a, out=buf_a)
+        np.bitwise_and(buf_a, mask_plane, out=buf_a)
+    elif op == OP_XNOR2:
+        np.bitwise_xor(buf_a, buf_b, out=buf_a)
+        np.invert(buf_a, out=buf_a)
+        np.bitwise_and(buf_a, mask_plane, out=buf_a)
+    elif op == OP_NOT:
+        np.invert(buf_a, out=buf_a)
+        np.bitwise_and(buf_a, mask_plane, out=buf_a)
+    elif op == OP_BUF:
+        pass
+    elif op == OP_MUX:
+        b_val = np.take(table, opnd_rows[2], axis=0, mode="clip")
+        buf_a[:] = (~buf_a & buf_b) | (buf_a & b_val)
+    else:
+        # Variadic forms (the 1- and 3+-input AND/OR/XOR families; a single
+        # operand folds to itself, exactly like the python interpreter's
+        # identity-seeded loops).
+        fold = (
+            np.bitwise_and
+            if op in (OP_AND, OP_NAND)
+            else np.bitwise_or
+            if op in (OP_OR, OP_NOR)
+            else np.bitwise_xor
+        )
+        if len(opnd_rows) >= 2:
+            fold(buf_a, buf_b, out=buf_a)
+            for operand in opnd_rows[2:]:
+                take(
+                    table, operand, axis=0, out=buffers["buf_b"][:count], mode="clip"
+                )
+                fold(buf_a, buffers["buf_b"][:count], out=buf_a)
+        if op in (OP_NAND, OP_NOR, OP_XNOR):
+            np.invert(buf_a, out=buf_a)
+            np.bitwise_and(buf_a, mask_plane, out=buf_a)
+    return buf_a
+
+
+def _execute_batch_buffered(
+    table, op: int, out_rows, opnd_rows, mask_plane, buffers
+) -> None:
+    """One batch: buffered compute, then scatter into the value table."""
+    table[out_rows] = _compute_batch(
+        table, op, opnd_rows, mask_plane, buffers, len(out_rows)
+    )
+
+
+def evaluate_gate_planes(
+    gate_type: GateType, operand_planes: Sequence, mask_plane
+):
+    """Stacked-row form of :func:`repro.netlist.gates.evaluate_packed`.
+
+    Every element of ``operand_planes`` is an ``(n, words)`` array (or a
+    broadcastable row); the result is the ``(n, words)`` gate output.  Used
+    to compute the faulty site values of input-branch faults for many faults
+    of the same (gate type, arity, pin, value) shape at once.
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        out = operand_planes[0].copy()
+        for plane in operand_planes[1:]:
+            out &= plane
+        return (~out & mask_plane) if gate_type is GateType.NAND else out
+    if gate_type in (GateType.OR, GateType.NOR):
+        out = operand_planes[0].copy()
+        for plane in operand_planes[1:]:
+            out |= plane
+        return (~out & mask_plane) if gate_type is GateType.NOR else (out & mask_plane)
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        out = operand_planes[0].copy()
+        for plane in operand_planes[1:]:
+            out ^= plane
+        out = out & mask_plane
+        return (~out & mask_plane) if gate_type is GateType.XNOR else out
+    if gate_type is GateType.NOT:
+        return ~operand_planes[0] & mask_plane
+    if gate_type is GateType.BUF:
+        return operand_planes[0] & mask_plane
+    if gate_type is GateType.MUX:
+        sel, a, b = operand_planes
+        return ((~sel & a) | (sel & b)) & mask_plane
+    raise SimBackendError(f"cannot evaluate gate type {gate_type} on bit planes")
+
+
+# --------------------------------------------------------------------------- #
+# Full forward pass: the level-batched kernel
+# --------------------------------------------------------------------------- #
+class NumpyKernel:
+    """Level-batched bit-plane execution of one compiled kernel.
+
+    Compiled once per :class:`CompiledKernel` (see :func:`numpy_kernel_for`):
+    the flat schedule is grouped by ``(topological level, opcode, arity)``
+    into output/operand index arrays -- grouping by level is sound because a
+    gate's level strictly exceeds every operand's level, so batches executed
+    in ascending level order always read finished rows.
+    """
+
+    def __init__(self, kernel: CompiledKernel) -> None:
+        self.kernel = kernel
+        self.num_nets = kernel.num_nets
+        levels = kernel.net_levels
+        groups: dict[tuple[int, int, int], list[int]] = {}
+        for index, (op, out) in enumerate(zip(kernel.ops, kernel.outs)):
+            key = (levels[out], op, len(kernel.operands[index]))
+            groups.setdefault(key, []).append(index)
+        #: Ascending-level batches: (opcode, out index array, operand arrays).
+        self.batches: list[tuple[int, object, list]] = []
+        for key in sorted(groups):
+            indices = groups[key]
+            arity = key[2]
+            out_idx = np.array([kernel.outs[i] for i in indices], dtype=np.intp)
+            opnds = [
+                np.array(
+                    [kernel.operands[i][k] for i in indices], dtype=np.intp
+                )
+                for k in range(arity)
+            ]
+            self.batches.append((key[1], out_idx, opnds))
+        self._max_eval_batch = max(
+            (len(batch[1]) for batch in self.batches), default=1
+        )
+        self._eval_buffers: dict[int, dict] = {}
+        self._stimulus_rows = np.array(kernel.stimulus_ids, dtype=np.intp)
+        #: Per-site scan compilations, shared by every FaultScanKernel built
+        #: over this kernel (cone plans themselves live on the CompiledKernel).
+        self._site_compiles: dict[int, "_SiteCompile"] = {}
+        #: Compiled FaultScanKernels keyed by (fault order, observation nets);
+        #: bounded FIFO so repeated campaigns over the same fault universe
+        #: (flow random phase, ATPG top-up, campaign shard tasks in one
+        #: worker) reuse one compilation.  See ``scan_kernel_for``.
+        self._scan_kernels: dict[tuple, "FaultScanKernel"] = {}
+
+    # ------------------------------------------------------------------ #
+    def make_table(self, num_words: int, extra_rows: int = 0):
+        """An all-zero bit-plane table: one row per net (+ scan slot rows)."""
+        return np.zeros((self.num_nets + extra_rows, num_words), dtype=np.uint64)
+
+    def mask_plane(self, mask: int, num_words: int):
+        """The pattern-validity mask as a bit-plane row."""
+        return word_to_plane(mask, num_words)
+
+    def set_stimulus(
+        self,
+        table,
+        stimulus: Mapping[str, int],
+        mask: int,
+        num_words: int,
+        strict: bool = False,
+    ) -> None:
+        """Load packed bigint stimulus words into the table's stimulus rows.
+
+        Same semantics as the python backend's ``set_stimulus``: missing
+        nets read all-zero, unknown keys are ignored, and ``strict`` raises
+        :class:`~repro.simulation.kernel.StrictStimulusError` on either.
+        The bigint -> bit-plane conversion is one bytes join plus a single
+        scatter, not a per-net row assignment.
+        """
+        kernel = self.kernel
+        if strict:
+            kernel.check_strict_stimulus(stimulus)
+        get = stimulus.get
+        span = num_words * 8
+        buffer = b"".join(
+            (get(name, 0) & mask).to_bytes(span, "little")
+            for name in kernel.stimulus_names
+        )
+        table[self._stimulus_rows] = np.frombuffer(buffer, dtype="<u8").reshape(
+            len(kernel.stimulus_ids), num_words
+        )
+
+    def evaluate(self, table, mask_plane) -> None:
+        """Full forward pass over the level batches, in place.
+
+        Gathers run through preallocated per-width buffers and the bulk ops
+        execute in place, so a steady-state pass allocates nothing.
+        """
+        num_words = table.shape[1]
+        buffers = self._eval_buffers.get(num_words)
+        if buffers is None:
+            buffers = {
+                "buf_a": np.empty((self._max_eval_batch, num_words), np.uint64),
+                "buf_b": np.empty((self._max_eval_batch, num_words), np.uint64),
+            }
+            self._eval_buffers[num_words] = buffers
+        for op, out_idx, opnds in self.batches:
+            _execute_batch_buffered(
+                table, op, out_idx, opnds, mask_plane, buffers
+            )
+
+
+#: CompiledKernel -> its lazily built NumpyKernel (weak keys: lives and dies
+#: with the shared kernel cache in :mod:`repro.simulation.kernel`).
+_NUMPY_KERNELS: "weakref.WeakKeyDictionary[CompiledKernel, NumpyKernel]" = (
+    weakref.WeakKeyDictionary() if HAVE_NUMPY else None  # type: ignore[assignment]
+)
+
+
+def numpy_kernel_for(kernel: CompiledKernel) -> NumpyKernel:
+    """The (cached) level-batched form of a compiled kernel."""
+    resolve_backend(NUMPY_BACKEND)
+    cached = _NUMPY_KERNELS.get(kernel)
+    if cached is None:
+        cached = NumpyKernel(kernel)
+        _NUMPY_KERNELS[kernel] = cached
+    return cached
+
+
+#: Entries kept per numpy kernel in the scan-kernel cache: enough for a
+#: stuck-at campaign, its ATPG top-up remainder, and a transition session's
+#: equivalent-stuck-at order to coexist.
+_SCAN_CACHE_ENTRIES = 4
+
+
+def scan_kernel_for(
+    nk: NumpyKernel, cache_key: tuple, build
+) -> "FaultScanKernel":
+    """Bounded-FIFO cache of compiled :class:`FaultScanKernel` instances.
+
+    ``cache_key`` must capture everything the compilation depends on beyond
+    the kernel itself -- the canonical fault order and the observation-net
+    set.  Scan compilation costs about as much as simulating one pattern
+    block, so sharing it across engine instances (the flow's random phase
+    followed by top-up, or every shard task of a campaign worker) matters.
+    """
+    cached = nk._scan_kernels.get(cache_key)
+    if cached is None:
+        cached = build()
+        while len(nk._scan_kernels) >= _SCAN_CACHE_ENTRIES:
+            nk._scan_kernels.pop(next(iter(nk._scan_kernels)))
+        nk._scan_kernels[cache_key] = cached
+    return cached
+
+
+# --------------------------------------------------------------------------- #
+# Fault-vectorised PPSFP scan
+# --------------------------------------------------------------------------- #
+class ScanFault:
+    """Backend-neutral description of one fault for the vectorised scan.
+
+    Built by the faults layer from its pre-resolved site records; this module
+    only needs the execution-relevant facts.  ``const_value`` is the forced
+    site value for output-stem / flop-D-branch faults; gate input-branch
+    faults instead carry the owning gate's shape so the faulty site value can
+    be re-evaluated with the pin forced.
+    """
+
+    __slots__ = (
+        "site_id",
+        "const_value",
+        "gate_type",
+        "operand_ids",
+        "pin",
+        "value",
+        "plan",
+        "observed_ids",
+    )
+
+    def __init__(
+        self,
+        site_id: int,
+        plan: ConePlan,
+        observed_ids: tuple[int, ...],
+        const_value: Optional[int] = None,
+        gate_type: Optional[GateType] = None,
+        operand_ids: tuple[int, ...] = (),
+        pin: int = 0,
+        value: int = 0,
+    ) -> None:
+        self.site_id = site_id
+        self.const_value = const_value
+        self.gate_type = gate_type
+        self.operand_ids = operand_ids
+        self.pin = pin
+        self.value = value
+        self.plan = plan
+        self.observed_ids = observed_ids
+
+
+class _SiteCompile:
+    """One fault site's cone plan lowered to slot-local form.
+
+    Local encoding (plain Python lists, so per-fault-list assembly is pure
+    C-speed ``list.extend`` plus one ``np.array`` per batch key): computed
+    net *j* of the plan -> ``j``; the site row -> ``num_slots - 1``;
+    frontier nets -> ``-(net_id + 1)`` (negative, resolved to the global
+    good row at assembly time).  Shared by every fault at the site and by
+    every scan compiled over this kernel.
+    """
+
+    __slots__ = ("num_slots", "site_local", "slot_of", "keyed", "key_counts")
+
+    def __init__(self, kernel: CompiledKernel, plan: ConePlan) -> None:
+        slot_of = {out: j for j, out in enumerate(plan.outs)}
+        self.slot_of = slot_of
+        self.num_slots = len(plan.outs) + 1
+        self.site_local = len(plan.outs)
+        site_id = plan.site_id
+
+        def encode(nid: int) -> int:
+            if nid == site_id:
+                return self.site_local
+            local = slot_of.get(nid)
+            return local if local is not None else -(nid + 1)
+
+        levels = kernel.net_levels
+        keyed: dict[tuple[int, int, int], tuple[list[int], list[list[int]]]] = {}
+        for op, out, ins in zip(plan.ops, plan.outs, plan.operands):
+            key = (levels[out], op, len(ins))
+            entry = keyed.get(key)
+            if entry is None:
+                entry = ([], [[] for _ in range(len(ins))])
+                keyed[key] = entry
+            entry[0].append(slot_of[out])
+            for pin, nid in enumerate(ins):
+                entry[1][pin].append(encode(nid))
+        #: (level, opcode, arity) -> (out locals, per-pin operand locals).
+        self.keyed = keyed
+        #: (level, opcode, arity) -> instances this site contributes.
+        self.key_counts = {key: len(entry[0]) for key, entry in keyed.items()}
+
+    def observed_local(self, nid: int, site_id: int) -> int:
+        """Slot-local index of an observed net (site included)."""
+        return self.site_local if nid == site_id else self.slot_of[nid]
+
+
+def _resolve_local(local_arr, base_rep):
+    """Slot-local encodings (+ per-instance slot bases) -> global table rows."""
+    return np.where(local_arr >= 0, local_arr + base_rep, -local_arr - 1).astype(
+        np.intp
+    )
+
+
+class FaultScanKernel:
+    """Union-cone vectorised PPSFP scan over a fixed canonical fault order.
+
+    Compile once per (kernel, fault sequence, observation set); scan any
+    active subset per block via the position list of the canonical order.
+    Detection rows are bit-identical to the python backend's per-fault
+    detection masks: the same compiled cone plans are executed in the same
+    level order with the same masking discipline, and per-fault results
+    never depend on other faults.
+
+    Execution strategy: the *live* faults' cone schedules are concatenated
+    into global per-(level, opcode) index arrays over a private slot-row
+    region appended after the good rows, and every block evaluates **all**
+    live cones (slot rows are private, so computing a cone nobody asks
+    about is harmless and cheaper than filtering 10^5-element index arrays
+    per block); per-fault detection masks are reduced with
+    ``np.bitwise_or.reduceat`` and only the active faults' results are
+    reported.  Fault dropping shrinks the live set: :meth:`maybe_prune`
+    recompiles the arrays for the survivors once enough faults have
+    dropped, which keeps late-campaign blocks proportional to the
+    surviving work.  All per-block temporaries live in per-width
+    workspaces (gathers via ``np.take(..., out=...)``, bulk ops in place),
+    so steady-state scanning allocates nothing.
+    """
+
+    def __init__(self, nk: NumpyKernel, scan_faults: Sequence[ScanFault]) -> None:
+        self.nk = nk
+        kernel = nk.kernel
+        count = len(scan_faults)
+        self.num_faults = count
+        self.site_ids = np.fromiter(
+            (f.site_id for f in scan_faults), dtype=np.intp, count=count
+        )
+        self.plan_lens = np.fromiter(
+            (len(f.plan.ops) for f in scan_faults), dtype=np.int64, count=count
+        )
+
+        const0: list[int] = []
+        const1: list[int] = []
+        gate_groups: dict[tuple, list[int]] = {}
+        empty_observed: list[int] = []
+        self.resimable = np.zeros(count, dtype=bool)
+        #: Per-fault (site compile, observed locals, observed globals), or
+        #: ``None`` for faults that never resimulate a cone.
+        self._pieces: list = [None] * count
+
+        site_compiles = nk._site_compiles
+        for index, fault in enumerate(scan_faults):
+            if fault.const_value is None:
+                key = (fault.gate_type, len(fault.operand_ids), fault.pin, fault.value)
+                gate_groups.setdefault(key, []).append(index)
+            elif fault.const_value:
+                const1.append(index)
+            else:
+                const0.append(index)
+            if not fault.observed_ids:
+                continue
+            if not fault.plan.ops:
+                # The only observable net of an empty cone is the site itself,
+                # so the detection mask is exactly the site diff row.
+                empty_observed.append(index)
+                continue
+            site = fault.site_id
+            compiled = site_compiles.get(site)
+            if compiled is None:
+                compiled = _SiteCompile(kernel, fault.plan)
+                site_compiles[site] = compiled
+            self.resimable[index] = True
+            self._pieces[index] = (
+                compiled,
+                [compiled.observed_local(nid, site) for nid in fault.observed_ids],
+                list(fault.observed_ids),
+            )
+
+        self._full_const0_idx = np.array(const0, dtype=np.intp)
+        self._full_const1_idx = np.array(const1, dtype=np.intp)
+        self.empty_observed_idx = np.array(empty_observed, dtype=np.intp)
+
+        #: Phase-A static gate groups: (gate type, arity, pin, value,
+        #: fault index array, per-pin operand net-ID column arrays).
+        self._full_gate_batches = []
+        for (gate_type, arity, pin, value), indices in gate_groups.items():
+            idx = np.array(indices, dtype=np.intp)
+            columns = [
+                np.array(
+                    [scan_faults[i].operand_ids[k] for i in indices],
+                    dtype=np.intp,
+                )
+                for k in range(arity)
+            ]
+            self._full_gate_batches.append(
+                (gate_type, arity, pin, value, idx, columns)
+            )
+
+        self._compile_full()
+        self._restore_full()
+
+    # ------------------------------------------------------------------ #
+    # Compilation: full arrays once, live subsets by boolean compression
+    # ------------------------------------------------------------------ #
+    def _compile_full(self) -> None:
+        """Assemble the union-cone arrays over the whole canonical order.
+
+        Runs exactly once per scan kernel.  Slot rows are assigned here and
+        never renumbered: shrinking to a live subset (fault dropping) merely
+        compresses these pristine index arrays with a boolean mask, so
+        workspaces and tables stay valid across prunes and untouched slot
+        rows cost nothing but address space.
+        """
+        num_nets = self.nk.num_nets
+        cursor = num_nets
+        key_out: dict[tuple, list[int]] = {}
+        key_opnds: dict[tuple, list[list[int]]] = {}
+        key_parts: dict[tuple, tuple[list[int], list[int], list[int]]] = {}
+        obs_locals: list[int] = []
+        obs_globals: list[int] = []
+        obs_parts: tuple[list[int], list[int], list[int]] = ([], [], [])
+        #: Canonical fault index -> its site slot row (-1 when not resimable).
+        self.site_slot_of = np.full(self.num_faults, -1, dtype=np.intp)
+        #: Canonical fault index -> number of observed nets of its cone plan.
+        self.obs_len_of = np.zeros(self.num_faults, dtype=np.intp)
+        for position, piece in enumerate(self._pieces):
+            if piece is None:
+                continue
+            compiled, piece_obs_locals, piece_obs_globals = piece
+            base = cursor
+            cursor += compiled.num_slots
+            self.site_slot_of[position] = base + compiled.site_local
+            for key, (outs, opnds) in compiled.keyed.items():
+                out_list = key_out.get(key)
+                if out_list is None:
+                    key_out[key] = list(outs)
+                    key_opnds[key] = [list(column) for column in opnds]
+                    key_parts[key] = ([base], [len(outs)], [position])
+                else:
+                    out_list.extend(outs)
+                    opnd_lists = key_opnds[key]
+                    for pin, column in enumerate(opnds):
+                        opnd_lists[pin].extend(column)
+                    bases, counts, parts_positions = key_parts[key]
+                    bases.append(base)
+                    counts.append(len(outs))
+                    parts_positions.append(position)
+            obs_locals.extend(piece_obs_locals)
+            obs_globals.extend(piece_obs_globals)
+            obs_parts[0].append(base)
+            obs_parts[1].append(len(piece_obs_locals))
+            obs_parts[2].append(position)
+            self.obs_len_of[position] = len(piece_obs_locals)
+
+        self.total_slots = cursor - num_nets
+
+        #: Pristine full-universe batches, ascending level order:
+        #: (opcode, arity, per-instance fault indices, out rows, operand rows).
+        self._full_cone_batches = []
+        max_batch = 1
+        for key in sorted(key_out):
+            _, op, arity = key
+            bases, counts, parts_positions = key_parts[key]
+            counts_arr = np.array(counts, dtype=np.int64)
+            base_rep = np.repeat(np.array(bases, dtype=np.int64), counts_arr)
+            fault_ids = np.repeat(
+                np.array(parts_positions, dtype=np.intp), counts_arr
+            )
+            out_rows = (
+                np.array(key_out[key], dtype=np.int64) + base_rep
+            ).astype(np.intp)
+            opnd_rows = [
+                _resolve_local(np.array(column, dtype=np.int64), base_rep)
+                for column in key_opnds[key]
+            ]
+            max_batch = max(max_batch, len(out_rows))
+            self._full_cone_batches.append(
+                (op, arity, fault_ids, out_rows, opnd_rows)
+            )
+
+        obs_counts = np.array(obs_parts[1], dtype=np.int64)
+        obs_base_rep = np.repeat(np.array(obs_parts[0], dtype=np.int64), obs_counts)
+        self._full_obs_rows = _resolve_local(
+            np.array(obs_locals, dtype=np.int64), obs_base_rep
+        )
+        self._full_obs_globals = np.array(obs_globals, dtype=np.intp)
+        self._full_obs_fault_ids = np.repeat(
+            np.array(obs_parts[2], dtype=np.intp), obs_counts
+        )
+        self._max_batch = max_batch
+        #: Per-width workspaces; valid for the kernel's whole lifetime (slot
+        #: rows are never renumbered).
+        self._workspaces: dict[int, dict] = {}
+
+    def _restore_full(self) -> None:
+        """Make the whole canonical order live (pristine array references)."""
+        self._live_mask = np.ones(self.num_faults, dtype=bool)
+        self._live_count = self.num_faults
+        self.cone_batches = list(self._full_cone_batches)
+        self.obs_rows = self._full_obs_rows
+        self.obs_globals = self._full_obs_globals
+        self.obs_fault_ids = self._full_obs_fault_ids
+        self.gate_batches = list(self._full_gate_batches)
+        self.const0_idx = self._full_const0_idx
+        self.const1_idx = self._full_const1_idx
+
+    def _select_live(self, positions) -> None:
+        """Compress the pristine arrays down to a live fault subset.
+
+        Covers the cone/observation arrays *and* the phase-A faulty-site
+        groups, so late-campaign blocks pay for surviving faults only.
+        Dropped faults' ``faulty``/``diff`` workspace rows go stale, which
+        is safe: every consumer masks by the active set first.
+        """
+        live_mask = np.zeros(self.num_faults, dtype=bool)
+        live_mask[positions] = True
+        self._live_mask = live_mask
+        self._live_count = int(live_mask.sum())
+        self.cone_batches = []
+        for op, arity, fault_ids, out_rows, opnd_rows in self._full_cone_batches:
+            keep = live_mask[fault_ids]
+            if not keep.any():
+                continue
+            self.cone_batches.append(
+                (
+                    op,
+                    arity,
+                    fault_ids[keep],
+                    out_rows[keep],
+                    [rows[keep] for rows in opnd_rows],
+                )
+            )
+        keep = live_mask[self._full_obs_fault_ids]
+        self.obs_rows = self._full_obs_rows[keep]
+        self.obs_globals = self._full_obs_globals[keep]
+        self.obs_fault_ids = self._full_obs_fault_ids[keep]
+        self.gate_batches = []
+        for gate_type, arity, pin, value, idx, columns in self._full_gate_batches:
+            keep = live_mask[idx]
+            if not keep.any():
+                continue
+            self.gate_batches.append(
+                (
+                    gate_type,
+                    arity,
+                    pin,
+                    value,
+                    idx[keep],
+                    [column[keep] for column in columns],
+                )
+            )
+        self.const0_idx = self._full_const0_idx[live_mask[self._full_const0_idx]]
+        self.const1_idx = self._full_const1_idx[live_mask[self._full_const1_idx]]
+
+    def ensure_live(self, positions) -> None:
+        """Restore the full arrays if ``positions`` outgrew the pruned live
+        set (a cached scan being reused for a fresh campaign)."""
+        if len(positions) and not self._live_mask[np.asarray(positions)].all():
+            self._restore_full()
+
+    def maybe_prune(self, positions) -> None:
+        """Shrink the compiled arrays once enough faults have dropped.
+
+        Compressing costs about as much as scanning one block, so halving is
+        the trigger: late-campaign blocks then stay proportional to the
+        surviving faults instead of the original fault universe.
+        """
+        if positions and len(positions) < self._live_count // 2:
+            self._select_live(positions)
+
+    # ------------------------------------------------------------------ #
+    # Per-width workspaces
+    # ------------------------------------------------------------------ #
+    def workspace(self, num_words: int) -> dict:
+        """Preallocated tables and scratch buffers for one block width."""
+        ws = self._workspaces.get(num_words)
+        if ws is None:
+            ws = {
+                "table": self.nk.make_table(num_words, extra_rows=self.total_slots),
+                "faulty": np.empty((self.num_faults, num_words), dtype=np.uint64),
+                "site_good": np.empty((self.num_faults, num_words), dtype=np.uint64),
+                "diff": np.empty((self.num_faults, num_words), dtype=np.uint64),
+                "buf_a": np.empty((self._max_batch, num_words), dtype=np.uint64),
+                "buf_b": np.empty((self._max_batch, num_words), dtype=np.uint64),
+                "obs_a": np.empty(
+                    (len(self._full_obs_rows), num_words), dtype=np.uint64
+                ),
+                "obs_b": np.empty(
+                    (len(self._full_obs_rows), num_words), dtype=np.uint64
+                ),
+                "det": np.empty(
+                    (int(self.resimable.sum()), num_words), dtype=np.uint64
+                ),
+            }
+            self._workspaces[num_words] = ws
+        return ws
+
+    def table_for(self, num_words: int):
+        """The good-rows + slot-rows bit-plane table for one block width."""
+        return self.workspace(num_words)["table"]
+
+    # ------------------------------------------------------------------ #
+    # Block scan
+    # ------------------------------------------------------------------ #
+    def _faulty_site_planes(self, table, mask_plane, num_words: int, out):
+        """Faulty site rows for every canonical fault, grouped, into ``out``."""
+        if len(self.const0_idx):
+            out[self.const0_idx] = 0
+        if len(self.const1_idx):
+            out[self.const1_idx] = mask_plane
+        zero_plane = None
+        for gate_type, arity, pin, value, idx, columns in self.gate_batches:
+            if value:
+                forced = np.broadcast_to(mask_plane, (len(idx), num_words))
+            else:
+                if zero_plane is None:
+                    zero_plane = np.zeros(num_words, dtype=np.uint64)
+                forced = np.broadcast_to(zero_plane, (len(idx), num_words))
+            planes = [
+                forced if k == pin else table[columns[k]] for k in range(arity)
+            ]
+            out[idx] = evaluate_gate_planes(gate_type, planes, mask_plane)
+        return out
+
+    def _execute_cone_batches(self, table, mask_plane, ws, resim_mask) -> None:
+        """The resimulating faults' cones, one buffered gather/op/scatter per
+        (level, opcode) over the union of their cone gates."""
+        for op, _arity, fault_ids, all_out_rows, all_opnd_rows in self.cone_batches:
+            selector = resim_mask[fault_ids]
+            out_rows = all_out_rows[selector]
+            if not len(out_rows):
+                continue
+            opnd_rows = [rows[selector] for rows in all_opnd_rows]
+            _execute_batch_buffered(table, op, out_rows, opnd_rows, mask_plane, ws)
+
+    def scan_positions(self, table, mask_plane, num_words: int, positions):
+        """One PPSFP pass over the active faults given as canonical positions.
+
+        ``table`` must be this kernel's own :meth:`table_for` table with the
+        fault-free rows already evaluated.  Returns ``(detections,
+        resim_gate_evals)`` where ``detections`` maps canonical fault index
+        -> detection bit-plane row (only non-zero detections appear).  The
+        returned rows alias workspace buffers: consume them before the next
+        scan call.
+        """
+        ws = self.workspace(num_words)
+        active_mask = np.zeros(self.num_faults, dtype=bool)
+        active_mask[positions] = True
+
+        faulty = self._faulty_site_planes(
+            table, mask_plane, num_words, ws["faulty"]
+        )
+        site_good = np.take(
+            table, self.site_ids, axis=0, out=ws["site_good"], mode="clip"
+        )
+        diff = np.bitwise_xor(faulty, site_good, out=ws["diff"])
+        candidates = diff.any(axis=1)
+        candidates &= active_mask
+
+        detections: dict[int, object] = {}
+        if len(self.empty_observed_idx):
+            hit = self.empty_observed_idx[candidates[self.empty_observed_idx]]
+            for index in hit:
+                detections[int(index)] = diff[index]
+
+        resim_mask = candidates & self.resimable
+        gate_evals = int(self.plan_lens[resim_mask].sum())
+        resim_positions = np.nonzero(resim_mask)[0]
+        if len(resim_positions):
+            table[self.site_slot_of[resim_positions]] = faulty[resim_positions]
+            self._execute_cone_batches(table, mask_plane, ws, resim_mask)
+            obs_selector = resim_mask[self.obs_fault_ids]
+            obs_rows = self.obs_rows[obs_selector]
+            obs_globals = self.obs_globals[obs_selector]
+            count = len(obs_rows)
+            obs_a = ws["obs_a"][:count]
+            obs_b = ws["obs_b"][:count]
+            np.take(table, obs_rows, axis=0, out=obs_a, mode="clip")
+            np.take(table, obs_globals, axis=0, out=obs_b, mode="clip")
+            np.bitwise_xor(obs_a, obs_b, out=obs_a)
+            seg_lens = self.obs_len_of[resim_positions]
+            seg_starts = np.zeros(len(resim_positions), dtype=np.intp)
+            if len(seg_lens) > 1:
+                np.cumsum(seg_lens[:-1], out=seg_starts[1:])
+            det = np.bitwise_or.reduceat(
+                obs_a, seg_starts, axis=0, out=ws["det"][: len(resim_positions)]
+            )
+            reported = det.any(axis=1)
+            for j in np.nonzero(reported)[0]:
+                detections[int(resim_positions[j])] = det[j]
+        return detections, gate_evals

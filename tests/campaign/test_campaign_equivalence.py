@@ -152,6 +152,77 @@ class TestShardedFaultSimEquivalence:
         assert_fault_lists_identical(ref_list, fault_list)
 
 
+@pytest.mark.numpy
+class TestNumpyBackendCampaign:
+    """The sharded campaign under ``sim_backend="numpy"`` vs the python oracle.
+
+    The shard payloads carry the backend to every worker, so the whole grid
+    -- fault shards, pattern shards, signature shards, multi-scenario runs --
+    must stay byte-identical to the serial python engine.
+    """
+
+    @pytest.mark.parametrize("fault_shards", (1, 3))
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_sharded_numpy_matches_serial_python(self, fault_shards, block_size):
+        circuit = make_core(11)
+        patterns = random_patterns(circuit, 3 * block_size + 29, 5)
+        ref_list, ref_result, blocks = serial_reference(circuit, patterns, block_size)
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        result = run_sharded_fault_sim(
+            circuit,
+            fault_list,
+            blocks,
+            fault_shards=fault_shards,
+            pattern_shards=2,
+            sim_backend="numpy",
+        )
+        assert result.coverage_curve == ref_result.coverage_curve
+        assert result.detections_per_pattern == ref_result.detections_per_pattern
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    def test_sharded_transition_numpy_matches_python(self):
+        circuit = make_core(19)
+        launch = random_patterns(circuit, 96, 23)
+        capture = derive_capture_patterns(circuit, launch)
+        ref_list = FaultList.transition(circuit)
+        TransitionFaultSimulator(circuit).simulate_pairs(
+            ref_list, launch, capture, block_size=64
+        )
+        fault_list = FaultList.transition(circuit)
+        run_sharded_transition_sim(
+            circuit,
+            fault_list,
+            launch,
+            capture,
+            block_size=64,
+            fault_shards=3,
+            sim_backend="numpy",
+        )
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    def test_campaign_runner_report_bytes_backend_invariant(self):
+        """Full multi-scenario campaign: canonical bytes match across
+        backends (coverage curves, first detections, MISR signatures)."""
+        import dataclasses
+
+        circuit = make_core(23)
+        config = LogicBistConfig(
+            total_scan_chains=4,
+            tpi_method="none",
+            observation_point_budget=0,
+            random_patterns=96,
+            signature_patterns=8,
+        )
+        numpy_config = dataclasses.replace(config, sim_backend="numpy")
+        python_run = CampaignRunner(num_workers=1, fault_shards=4).run(
+            [CampaignScenario("core", circuit, config)]
+        )
+        numpy_run = CampaignRunner(num_workers=1, fault_shards=4).run(
+            [CampaignScenario("core", circuit, numpy_config)]
+        )
+        assert python_run.report_bytes() == numpy_run.report_bytes()
+
+
 @pytest.mark.multiprocess
 class TestMultiprocessPool:
     def test_pool_matches_serial_bit_for_bit(self):
@@ -167,6 +238,26 @@ class TestMultiprocessPool:
             num_workers=2,
             fault_shards=4,
             pattern_shards=2,
+        )
+        assert result.coverage_curve == ref_result.coverage_curve
+        assert result.detections_per_pattern == ref_result.detections_per_pattern
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    @pytest.mark.numpy
+    def test_numpy_pool_matches_serial_python(self):
+        """numpy-backend workers on a real pool vs the serial python oracle."""
+        circuit = make_core(31)
+        patterns = random_patterns(circuit, 130, 3)
+        ref_list, ref_result, blocks = serial_reference(circuit, patterns, 64)
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        result = run_sharded_fault_sim(
+            circuit,
+            fault_list,
+            blocks,
+            num_workers=2,
+            fault_shards=4,
+            pattern_shards=2,
+            sim_backend="numpy",
         )
         assert result.coverage_curve == ref_result.coverage_curve
         assert result.detections_per_pattern == ref_result.detections_per_pattern

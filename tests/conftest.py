@@ -1,0 +1,24 @@
+"""Shared test configuration.
+
+The ``numpy`` marker tags every test of the optional numpy simulation
+backend (:mod:`repro.simulation.numpy_backend`).  NumPy is an optional
+dependency (``pip install "repro[fast]"``), so those tests auto-skip --
+rather than error -- on a dependency-free interpreter, keeping the fast
+serial tier runnable with nothing but pytest installed.
+"""
+
+import pytest
+
+try:
+    from repro.simulation import HAVE_NUMPY
+except ImportError:  # pragma: no cover - repro itself not importable
+    HAVE_NUMPY = False
+
+
+def pytest_collection_modifyitems(config, items):
+    if HAVE_NUMPY:
+        return
+    skip_numpy = pytest.mark.skip(reason="NumPy not installed (repro[fast] extra)")
+    for item in items:
+        if "numpy" in item.keywords:
+            item.add_marker(skip_numpy)

@@ -45,6 +45,35 @@ def test_flow_matches_golden(case_name, golden):
         )
 
 
+@pytest.mark.numpy
+def test_numpy_backend_matches_golden(golden):
+    """The full flow under ``sim_backend="numpy"`` hits the pinned goldens.
+
+    The numpy backend replaces the bigint interpreter on every hot path of
+    the flow (TPI profiling, streamed pattern generation, the random-phase
+    fault simulation, the signature responses' launch/capture derivation
+    feeds) -- this re-runs the smaller golden core with it and checks every
+    result the python backend pinned, coverage curve sampling included.
+    """
+    import dataclasses
+
+    core_config, flow_config = golden_cases()["golden_beta"]
+    numpy_config = dataclasses.replace(flow_config, sim_backend="numpy")
+    core = generate_synthetic_core(core_config)
+    result = LogicBistFlow(numpy_config).run(core.circuit, core_name=core_config.name)
+    expected = golden["golden_beta"]
+    assert round(result.fault_coverage_random, 12) == expected["fault_coverage_random"]
+    assert round(result.fault_coverage_final, 12) == expected["fault_coverage_final"]
+    assert result.top_up_pattern_count == expected["top_up_pattern_count"]
+    assert result.test_point_count == expected["test_point_count"]
+    assert dict(sorted(result.signatures.items())) == expected["signatures"]
+    assert result.total_faults == expected["total_faults"]
+    assert [
+        [patterns, round(coverage, 12)]
+        for patterns, coverage in result.coverage_curve[-3:]
+    ] == expected["coverage_curve_tail"]
+
+
 def test_block_size_invariance_of_flow_results(golden):
     """Coverage, signatures and detections are identical at any block width.
 

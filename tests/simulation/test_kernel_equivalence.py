@@ -28,6 +28,10 @@ from repro.simulation import (
 
 BLOCK_SIZES = (1, 17, 64, 256, 1024)
 
+#: Both execution backends of the compiled kernel; the numpy one auto-skips
+#: without the optional dependency (tests/conftest.py).
+BACKENDS = ("python", pytest.param("numpy", marks=pytest.mark.numpy))
+
 
 def make_core(seed: int):
     """A small randomized two-domain core (fresh structure per seed)."""
@@ -55,12 +59,13 @@ def random_patterns(circuit, count: int, seed: int):
 
 
 class TestSimulateBlockEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", [1, 2, 3])
     @pytest.mark.parametrize("block_size", BLOCK_SIZES)
-    def test_value_tables_bit_identical(self, seed, block_size):
+    def test_value_tables_bit_identical(self, seed, block_size, backend):
         circuit = make_core(seed)
         reference = ReferencePackedSimulator(circuit)
-        compiled = PackedSimulator(circuit)
+        compiled = PackedSimulator(circuit, backend=backend)
         patterns = random_patterns(circuit, 2 * block_size + 7, seed + 100)
         nets = circuit.stimulus_nets()
         for block in iter_blocks(patterns, block_size=block_size, nets=nets):
@@ -115,9 +120,10 @@ class TestResimulateConeEquivalence:
 
 
 class TestFaultSimulatorEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", [1, 2])
     @pytest.mark.parametrize("block_size", BLOCK_SIZES)
-    def test_detection_bit_identical_to_reference(self, seed, block_size):
+    def test_detection_bit_identical_to_reference(self, seed, block_size, backend):
         """Statuses, first-detection indices and curves match the seed engine."""
         circuit = make_core(seed)
         patterns = random_patterns(circuit, 96, seed + 31)
@@ -129,7 +135,7 @@ class TestFaultSimulatorEquivalence:
         )
 
         fl_new = collapse_stuck_at(circuit).to_fault_list()
-        result = FaultSimulator(circuit).simulate(
+        result = FaultSimulator(circuit, backend=backend).simulate(
             fl_new, patterns, block_size=block_size
         )
 
@@ -241,8 +247,9 @@ class TestRandomizedDifferentialFuzz:
         )
         return generate_synthetic_core(config).circuit
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", range(6))
-    def test_fuzzed_detection_masks_and_curves_bit_identical(self, seed):
+    def test_fuzzed_detection_masks_and_curves_bit_identical(self, seed, backend):
         """Kernel vs reference: statuses, first detections, curves -- fuzzed."""
         circuit = self.fuzz_core(seed)
         rng = random.Random(2000 + seed)
@@ -254,7 +261,7 @@ class TestRandomizedDifferentialFuzz:
         _, curve_ref = reference.simulate(fl_ref, patterns, block_size=block_size)
 
         fl_new = collapse_stuck_at(circuit).to_fault_list()
-        result = FaultSimulator(circuit).simulate(
+        result = FaultSimulator(circuit, backend=backend).simulate(
             fl_new, patterns, block_size=block_size
         )
 
@@ -266,12 +273,13 @@ class TestRandomizedDifferentialFuzz:
             assert new_record.status is ref_record.status, str(fault)
             assert new_record.first_detection == ref_record.first_detection, str(fault)
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", range(4))
-    def test_fuzzed_value_tables_bit_identical(self, seed):
+    def test_fuzzed_value_tables_bit_identical(self, seed, backend):
         """Full fault-free value tables agree on fuzzed structures."""
         circuit = self.fuzz_core(10 + seed)
         reference = ReferencePackedSimulator(circuit)
-        compiled = PackedSimulator(circuit)
+        compiled = PackedSimulator(circuit, backend=backend)
         rng = random.Random(500 + seed)
         block_size = rng.choice((1, 17, 64, 256))
         patterns = random_patterns(circuit, block_size + rng.randint(1, 30), seed)

@@ -1,0 +1,342 @@
+"""Equivalence suite for the numpy bit-plane simulation backend.
+
+The ``"numpy"`` backend (level-batched ndarray gate evaluation plus the
+fault-vectorised union-cone PPSFP scan,
+:mod:`repro.simulation.numpy_backend`) claims **bit-identity** with the
+``"python"`` bigint interpreter, which remains the default and the oracle.
+This suite asserts exactly that on randomized circuits across block sizes
+{1, 17, 64, 256, 1024}: full value tables, fault detection statuses /
+first-detection indices / coverage curves / per-pattern detection credits,
+the campaign shard primitive, the transition launch-on-capture engine, the
+strict-stimulus mode, and gate-evaluation accounting.  Backend selection
+errors (unknown name, NumPy absent) are covered too.
+"""
+
+import random
+
+import pytest
+
+from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
+from repro.faults import (
+    FaultList,
+    FaultSimulator,
+    TransitionFaultSimulator,
+    collapse_stuck_at,
+    derive_capture_patterns,
+)
+from repro.simulation import (
+    HAVE_NUMPY,
+    PackedSimulator,
+    SimBackendError,
+    StrictStimulusError,
+    iter_blocks,
+    shared_kernel,
+)
+
+pytestmark = pytest.mark.numpy
+
+BLOCK_SIZES = (1, 17, 64, 256, 1024)
+
+
+def make_core(seed: int, domains: int = 2):
+    config = SyntheticCoreConfig(
+        name=f"np_backend_core_{seed}",
+        clock_domains=tuple(f"clk{i + 1}" for i in range(domains)),
+        num_inputs=8,
+        num_outputs=5,
+        register_width=6,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(6,),
+        decode_cone_width=5,
+        cross_domain_links=1,
+        seed=seed,
+    )
+    return generate_synthetic_core(config).circuit
+
+
+def random_patterns(circuit, count: int, seed: int):
+    rng = random.Random(seed)
+    nets = circuit.stimulus_nets()
+    return [{net: rng.randint(0, 1) for net in nets} for _ in range(count)]
+
+
+def assert_fault_lists_identical(reference, candidate):
+    assert len(reference) == len(candidate)
+    for fault in reference.faults():
+        ref = reference.record(fault)
+        got = candidate.record(fault)
+        assert got.status is ref.status, str(fault)
+        assert got.first_detection == ref.first_detection, str(fault)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        circuit = make_core(1)
+        with pytest.raises(SimBackendError, match="unknown sim backend"):
+            PackedSimulator(circuit, backend="cuda")
+        with pytest.raises(SimBackendError, match="unknown sim backend"):
+            FaultSimulator(circuit, backend="jax")
+
+    def test_missing_numpy_raises_actionable_error(self, monkeypatch):
+        """Graceful degradation: a clear message, not an ImportError."""
+        from repro.simulation import numpy_backend
+
+        monkeypatch.setattr(numpy_backend, "HAVE_NUMPY", False)
+        circuit = make_core(1)
+        with pytest.raises(SimBackendError, match="repro\\[fast\\]"):
+            FaultSimulator(circuit, backend="numpy")
+
+    def test_python_backend_never_needs_numpy(self, monkeypatch):
+        from repro.simulation import numpy_backend
+
+        monkeypatch.setattr(numpy_backend, "HAVE_NUMPY", False)
+        circuit = make_core(1)
+        engine = FaultSimulator(circuit)  # default stays dependency-free
+        assert engine.backend == "python"
+
+
+class TestValueTableEquivalence:
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_simulate_block_bit_identical(self, block_size):
+        circuit = make_core(2)
+        py = PackedSimulator(circuit)
+        vec = PackedSimulator(circuit, backend="numpy")
+        patterns = random_patterns(circuit, 2 * block_size + 7, 100)
+        nets = circuit.stimulus_nets()
+        for block in iter_blocks(patterns, block_size=block_size, nets=nets):
+            expected = py.simulate_block(block.assignments, block.num_patterns)
+            actual = vec.simulate_block(block.assignments, block.num_patterns)
+            assert actual == expected
+
+    def test_shared_kernel_across_backends(self):
+        """Both backends compile from one shared kernel per circuit."""
+        circuit = make_core(2)
+        py = PackedSimulator(circuit)
+        vec = PackedSimulator(circuit, backend="numpy")
+        assert py.kernel is vec.kernel
+        assert py.kernel is shared_kernel(circuit)
+
+    def test_single_input_variadic_gates(self):
+        """Regression: 1-input AND/OR/XOR families (legal per gate_opcode and
+        common in .bench netlists) must evaluate, not crash, on the numpy
+        backend -- and agree with the python backend bit for bit."""
+        from repro.netlist.circuit import Circuit
+        from repro.netlist.gates import GateType
+
+        circuit = Circuit("single_input")
+        for name in ("a", "b"):
+            circuit.add_input(name)
+        circuit.add_gate("and1", GateType.AND, ["a"])
+        circuit.add_gate("or1", GateType.OR, ["b"])
+        circuit.add_gate("xor1", GateType.XOR, ["and1"])
+        circuit.add_gate("nand1", GateType.NAND, ["or1"])
+        circuit.add_gate("nor1", GateType.NOR, ["xor1"])
+        circuit.add_gate("xnor1", GateType.XNOR, ["nand1"])
+        circuit.add_gate("out", GateType.AND, ["nor1", "xnor1"])
+        circuit.add_output("out")
+        stimulus = {"a": 0b1010, "b": 0b0110}
+        expected = PackedSimulator(circuit).simulate_block(stimulus, 4)
+        actual = PackedSimulator(circuit, backend="numpy").simulate_block(
+            stimulus, 4
+        )
+        assert actual == expected
+        fl_py = collapse_stuck_at(circuit).to_fault_list()
+        fl_np = collapse_stuck_at(circuit).to_fault_list()
+        patterns = random_patterns(circuit, 16, 1)
+        FaultSimulator(circuit).simulate(fl_py, patterns)
+        FaultSimulator(circuit, backend="numpy").simulate(fl_np, patterns)
+        assert_fault_lists_identical(fl_py, fl_np)
+
+    def test_strict_stimulus_mode(self):
+        circuit = make_core(3)
+        vec = PackedSimulator(circuit, backend="numpy")
+        stimulus = {net: 1 for net in circuit.stimulus_nets()}
+        complete = vec.simulate_block(stimulus, 1, strict=True)
+        assert all(complete[net] == 1 for net in circuit.stimulus_nets())
+        broken = dict(stimulus)
+        first = next(iter(broken))
+        broken[first + "_typo"] = broken.pop(first)
+        with pytest.raises(StrictStimulusError):
+            vec.simulate_block(broken, 1, strict=True)
+
+
+class TestFaultSimEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_detections_bit_identical(self, seed, block_size):
+        circuit = make_core(seed, domains=1 + seed % 3)
+        patterns = random_patterns(circuit, 96, seed + 31)
+
+        fl_py = collapse_stuck_at(circuit).to_fault_list()
+        result_py = FaultSimulator(circuit).simulate(
+            fl_py, patterns, block_size=block_size
+        )
+        fl_np = collapse_stuck_at(circuit).to_fault_list()
+        result_np = FaultSimulator(circuit, backend="numpy").simulate(
+            fl_np, patterns, block_size=block_size
+        )
+
+        assert result_np.patterns_simulated == result_py.patterns_simulated
+        assert result_np.coverage_curve == result_py.coverage_curve
+        assert result_np.detections_per_pattern == result_py.detections_per_pattern
+        assert_fault_lists_identical(fl_py, fl_np)
+
+    def test_no_dropping_and_pattern_offset(self):
+        circuit = make_core(5)
+        patterns = random_patterns(circuit, 96, 17)
+        blocks = list(
+            iter_blocks(patterns, block_size=32, nets=circuit.stimulus_nets())
+        )
+        fl_py = collapse_stuck_at(circuit).to_fault_list()
+        result_py = FaultSimulator(circuit).simulate_blocks(
+            fl_py, blocks, drop_detected=False, pattern_offset=500
+        )
+        fl_np = collapse_stuck_at(circuit).to_fault_list()
+        result_np = FaultSimulator(circuit, backend="numpy").simulate_blocks(
+            fl_np, blocks, drop_detected=False, pattern_offset=500
+        )
+        assert result_np.coverage_curve == result_py.coverage_curve
+        assert result_np.detections_per_pattern == result_py.detections_per_pattern
+        assert_fault_lists_identical(fl_py, fl_np)
+
+    def test_first_detections_shard_primitive(self):
+        circuit = make_core(7)
+        patterns = random_patterns(circuit, 128, 9)
+        blocks = list(
+            iter_blocks(patterns, block_size=64, nets=circuit.stimulus_nets())
+        )
+        offset_blocks = [(1000 + i * 64, block) for i, block in enumerate(blocks)]
+        faults = tuple(collapse_stuck_at(circuit).representatives)
+        expected = FaultSimulator(circuit).first_detections(faults, offset_blocks)
+        actual = FaultSimulator(circuit, backend="numpy").first_detections(
+            faults, offset_blocks
+        )
+        assert actual == expected
+
+    def test_gate_eval_accounting_matches(self):
+        """Throughput bookkeeping is backend-invariant, not just results."""
+        circuit = make_core(4)
+        patterns = random_patterns(circuit, 64, 3)
+        blocks = list(
+            iter_blocks(patterns, block_size=64, nets=circuit.stimulus_nets())
+        )
+        py = FaultSimulator(circuit)
+        vec = FaultSimulator(circuit, backend="numpy")
+        py.simulate_blocks(collapse_stuck_at(circuit).to_fault_list(), blocks)
+        vec.simulate_blocks(collapse_stuck_at(circuit).to_fault_list(), blocks)
+        assert py.gate_evals == vec.gate_evals > 0
+
+    def test_observation_points_invalidate_scan(self):
+        """Adding an observation net recompiles the vectorised scan."""
+        circuit = make_core(6)
+        patterns = random_patterns(circuit, 48, 5)
+        candidates = [
+            gate.name
+            for gate in circuit.combinational_gates()
+            if gate.name not in set(circuit.observation_nets())
+        ]
+        py = FaultSimulator(circuit)
+        vec = FaultSimulator(circuit, backend="numpy")
+        fl_py = collapse_stuck_at(circuit).to_fault_list()
+        fl_np = collapse_stuck_at(circuit).to_fault_list()
+        py.simulate(fl_py, patterns)
+        vec.simulate(fl_np, patterns)
+        assert_fault_lists_identical(fl_py, fl_np)
+        py.add_observation_net(candidates[0])
+        vec.add_observation_net(candidates[0])
+        fl_py2 = collapse_stuck_at(circuit).to_fault_list()
+        fl_np2 = collapse_stuck_at(circuit).to_fault_list()
+        py.simulate(fl_py2, patterns)
+        vec.simulate(fl_np2, patterns)
+        assert_fault_lists_identical(fl_py2, fl_np2)
+
+
+class TestTransitionEquivalence:
+    @pytest.mark.parametrize("block_size", (17, 64, 256))
+    def test_derived_capture_pairs_bit_identical(self, block_size):
+        circuit = make_core(8)
+        launch = random_patterns(circuit, 96, 21)
+        fl_py = FaultList.transition(circuit)
+        result_py = TransitionFaultSimulator(circuit).simulate_with_derived_capture(
+            fl_py, launch, block_size=block_size
+        )
+        fl_np = FaultList.transition(circuit)
+        result_np = TransitionFaultSimulator(
+            circuit, backend="numpy"
+        ).simulate_with_derived_capture(fl_np, launch, block_size=block_size)
+        assert result_np.coverage_curve == result_py.coverage_curve
+        assert_fault_lists_identical(fl_py, fl_np)
+
+    def test_pair_first_detections(self):
+        circuit = make_core(9)
+        launch = random_patterns(circuit, 96, 33)
+        capture = derive_capture_patterns(circuit, launch)
+        nets = circuit.stimulus_nets()
+        launch_blocks = list(iter_blocks(launch, block_size=32, nets=nets))
+        capture_blocks = list(iter_blocks(capture, block_size=32, nets=nets))
+        pair_blocks = [
+            (i * 32, lb, cb)
+            for i, (lb, cb) in enumerate(zip(launch_blocks, capture_blocks))
+        ]
+        faults = list(FaultList.transition(circuit).undetected())
+        expected = TransitionFaultSimulator(circuit).first_detections(
+            faults, pair_blocks
+        )
+        actual = TransitionFaultSimulator(circuit, backend="numpy").first_detections(
+            faults, pair_blocks
+        )
+        assert actual == expected
+
+
+class TestFuzzedEquivalence:
+    """Randomized generator configurations, mirroring the kernel-equivalence
+    fuzz family: fresh structure per seed (domain count, widths, depths,
+    X sources), so the backends are compared on netlists neither was tuned
+    for."""
+
+    def fuzz_core(self, seed: int):
+        rng = random.Random(4000 + seed)
+        domains = tuple(f"clk{i + 1}" for i in range(rng.randint(1, 3)))
+        config = SyntheticCoreConfig(
+            name=f"np_fuzz_core_{seed}",
+            clock_domains=domains,
+            num_inputs=rng.randint(6, 14),
+            num_outputs=rng.randint(3, 8),
+            register_width=rng.randint(4, 8),
+            pipeline_stages=rng.randint(1, 2),
+            adder_slices=rng.randint(1, 2),
+            adder_width=rng.randint(3, 6),
+            comparator_widths=tuple(
+                rng.randint(4, 8) for _ in range(rng.randint(1, 2))
+            ),
+            decode_cone_width=rng.randint(2, 7),
+            cross_domain_links=rng.randint(0, 2) if len(domains) > 1 else 0,
+            x_sources=rng.randint(0, 1),
+            seed=seed,
+        )
+        return generate_synthetic_core(config).circuit
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fuzzed_fault_sim_bit_identical(self, seed):
+        circuit = self.fuzz_core(seed)
+        rng = random.Random(5000 + seed)
+        block_size = rng.choice(BLOCK_SIZES)
+        patterns = random_patterns(circuit, rng.randint(40, 120), 6000 + seed)
+        fl_py = collapse_stuck_at(circuit).to_fault_list()
+        result_py = FaultSimulator(circuit).simulate(
+            fl_py, patterns, block_size=block_size
+        )
+        fl_np = collapse_stuck_at(circuit).to_fault_list()
+        result_np = FaultSimulator(circuit, backend="numpy").simulate(
+            fl_np, patterns, block_size=block_size
+        )
+        assert result_np.coverage_curve == result_py.coverage_curve
+        assert result_np.detections_per_pattern == result_py.detections_per_pattern
+        assert_fault_lists_identical(fl_py, fl_np)
+
+
+def test_have_numpy_is_true_when_suite_runs():
+    """These tests only run when the auto-skip hook saw NumPy installed."""
+    assert HAVE_NUMPY
