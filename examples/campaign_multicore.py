@@ -18,6 +18,10 @@ walkthrough puts the scaled Core X and Core Y stand-ins into a single
 Run with::
 
     python examples/campaign_multicore.py [--workers 2] [--shards 4] [--patterns 256]
+
+See ``examples/campaign_pipeline.py`` for the stage-graph view of the same
+machinery: a mixed TPI/no-TPI campaign where scenario *preparation* (scan
+insertion, TPI profiling, signature derivation) is pooled work too.
 """
 
 import argparse

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Test-tier entry points (the single place the tiers are defined; the
+# markers themselves are declared in pytest.ini):
+#
+#   scripts/verify.sh          fast tier: -m "not slow and not multiprocess"
+#                              -- serial-only, dependency-free (the numpy
+#                              marker auto-skips without NumPy), the loop
+#                              you run on every edit
+#   scripts/verify.sh full     everything: the tier-1 gate
+#                              (PYTHONPATH=src python -m pytest -x -q),
+#                              including the exhaustive LFSR period walks
+#                              (slow) and the real worker-pool suites
+#                              (multiprocess)
+#
+# Markers:
+#   slow          exhaustive LFSR period walks (widths 14-20)
+#   multiprocess  tests that spawn real multiprocessing pools
+#                 (campaign shard pools, the pipeline PooledScheduler)
+#   numpy         optional numpy-backend tests; auto-skip without NumPy
+#
+# Extra arguments after the tier name pass straight to pytest, e.g.
+#   scripts/verify.sh fast tests/campaign -k pipeline
+set -e
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+tier="${1:-fast}"
+[ "$#" -gt 0 ] && shift
+
+case "$tier" in
+  fast)
+    exec python -m pytest -x -q -m "not slow and not multiprocess" "$@"
+    ;;
+  full)
+    exec python -m pytest -x -q "$@"
+    ;;
+  *)
+    echo "usage: scripts/verify.sh [fast|full] [pytest args...]" >&2
+    exit 2
+    ;;
+esac

@@ -5,19 +5,32 @@ Public API:
 * :class:`~repro.campaign.runner.CampaignRunner` /
   :class:`~repro.campaign.runner.CampaignScenario` -- fan many
   (core, :class:`~repro.core.config.LogicBistConfig`) scenario pairs out
-  over one ``multiprocessing`` worker pool,
+  over one ``multiprocessing`` worker pool.  Since PR 4 the runner drives
+  the **stage-graph pipeline**: preparation (scan insertion, TPI profiling,
+  STUMPS/session assembly, signature-response derivation) is pooled work
+  alongside the fault-sim shards, not parent-process serial code,
+* :mod:`repro.campaign.pipeline` -- the typed stage tasks
+  (:class:`~repro.campaign.pipeline.PrepareCoreStage`,
+  :class:`~repro.campaign.pipeline.TpiProfileStage`, ...) and the
+  per-scenario graph builder
+  :func:`~repro.campaign.pipeline.scenario_stage_nodes`,
+* :mod:`repro.campaign.scheduler` -- the two executors of a stage graph:
+  the deterministic in-process
+  :class:`~repro.campaign.scheduler.SerialScheduler` (the oracle; the
+  serial :class:`~repro.core.flow.LogicBistFlow` walk) and the
+  :class:`~repro.campaign.scheduler.PooledScheduler` worker pool,
 * :func:`~repro.campaign.runner.run_sharded_fault_sim` /
   :func:`~repro.campaign.runner.run_sharded_transition_sim` -- sharded
-  drop-ins for the serial simulators (what ``LogicBistFlow`` drives when
-  ``LogicBistConfig.campaign_workers >= 2``),
+  drop-ins for the serial simulators (single-phase fan-out),
 * the shard planners in :mod:`repro.campaign.sharding` and the
   order-independent mergers in :mod:`repro.campaign.results`.
 
 The serial compiled-kernel path remains the default and the bit-exactness
 oracle: merged campaign results (detection records, coverage curves, MISR
 signatures) are bit-identical to it across shard counts, block sizes,
-shard-assignment permutations and worker counts -- ``tests/campaign``
-asserts all of this with a randomized differential harness.
+shard-assignment permutations, worker counts and execution backends --
+``tests/campaign`` asserts all of this with a randomized differential
+harness, TPI-heavy pipelined preparation included.
 """
 
 from .results import (
@@ -31,15 +44,39 @@ from .results import (
 from .runner import (
     CampaignRunner,
     CampaignScenario,
+    EngineCache,
     FaultShardTask,
     ShardPayload,
     SignatureShardTask,
     TransitionShardTask,
     execute_tasks,
     plan_shard_tasks,
+    run_shard_task,
     run_sharded_fault_sim,
     run_sharded_transition_sim,
     with_offsets,
+)
+from .scheduler import (
+    Expansion,
+    PipelineRun,
+    PooledScheduler,
+    SerialScheduler,
+    StageNode,
+    StageTrace,
+)
+from .pipeline import (
+    BuildStumpsStage,
+    FaultSimStage,
+    PrepareCoreStage,
+    ReportStage,
+    ScenarioBundle,
+    SignatureStage,
+    TopUpStage,
+    TpiProfileStage,
+    TransitionStage,
+    release_scenario_engines,
+    scenario_stage_nodes,
+    unique_scenario_key,
 )
 from .sharding import (
     contiguous_shards,
@@ -57,15 +94,35 @@ __all__ = [
     "merge_first_detections",
     "CampaignRunner",
     "CampaignScenario",
+    "EngineCache",
     "FaultShardTask",
     "ShardPayload",
     "SignatureShardTask",
     "TransitionShardTask",
     "execute_tasks",
     "plan_shard_tasks",
+    "run_shard_task",
     "run_sharded_fault_sim",
     "run_sharded_transition_sim",
     "with_offsets",
+    "Expansion",
+    "PipelineRun",
+    "PooledScheduler",
+    "SerialScheduler",
+    "StageNode",
+    "StageTrace",
+    "BuildStumpsStage",
+    "FaultSimStage",
+    "PrepareCoreStage",
+    "ReportStage",
+    "ScenarioBundle",
+    "SignatureStage",
+    "TopUpStage",
+    "TpiProfileStage",
+    "TransitionStage",
+    "release_scenario_engines",
+    "scenario_stage_nodes",
+    "unique_scenario_key",
     "contiguous_shards",
     "keyed_round_robin_shards",
     "plan_grid",

@@ -1,0 +1,918 @@
+"""Typed stage tasks + graph builder for the BIST scenario pipeline.
+
+The paper's flow is a fixed sequence of phases: scan prep -> test-point
+insertion -> STUMPS/PRPG session -> fault simulation -> MISR signature ->
+ATPG top-up -> transition test -> report.  This module expresses that
+sequence as an explicit **stage graph**: each phase is a small pickleable
+task object, each data hand-off a declared dependency, and
+:func:`scenario_stage_nodes` wires one scenario's phases into
+:class:`~repro.campaign.scheduler.StageNode` records that either scheduler
+(serial walk or worker pool) can execute.
+
+Two properties carry the whole design:
+
+* **One code path.**  Every stage body calls the same module-level flow
+  helpers (:func:`~repro.core.flow.insert_test_points`,
+  :func:`~repro.core.flow.derive_signature_responses`, ...) the serial flow
+  always used, so the serial walk *is* the oracle and the pooled schedule
+  cannot drift from it.
+* **Fan-out is just expansion.**  The shard planners of
+  :mod:`repro.campaign.sharding` become the fan-out rule of
+  :class:`FaultSimStage` / :class:`TransitionStage`: once a scenario's fault
+  list and pattern blocks exist, a local expander splices one shard node per
+  grid cell plus an order-independent merge node into the graph.  Pooled
+  preparation and pooled simulation therefore drain through the *same* pool
+  -- scenario B's TPI profiling (itself a full fault simulation under
+  ``tpi_method="fault_sim"``) runs while scenario A's shards are in flight,
+  which removes the serial-preparation Amdahl cap of the pre-pipeline
+  campaign runner.
+
+Stage tasks ship their scenario's ``LogicBistConfig`` and read everything
+else from their inputs; ``sim_backend`` / ``block_size`` ride each stage's
+payload exactly as they rode the PR-2 shard payloads.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from ..atpg.topup import TopUpAtpg, TopUpResult
+from ..bist.input_selector import InputSelector, InputSource
+from ..bist.stumps import StumpsArchitecture
+from ..core.bist_ready import BistReadyCore, prepare_scan_core
+from ..core.config import LogicBistConfig
+from ..core.flow import (
+    build_clock_tree,
+    build_stumps,
+    credit_chain_flush,
+    derive_signature_responses,
+    expand_leading_patterns,
+    fresh_fault_list,
+    insert_test_points,
+)
+from ..faults.fault_list import FaultList
+from ..faults.fault_sim import FaultSimShardState, FaultSimulationResult
+from ..faults.models import StuckAtFault, TransitionFault
+from ..faults.transition_sim import TransitionSimShardState, derive_capture_patterns
+from ..netlist.circuit import Circuit
+from ..netlist.library import CellLibrary
+from ..simulation.packed import PatternBlock
+from ..timing.clocks import ClockTreeModel
+from ..timing.double_capture import CaptureSchedule, CaptureWindowScheduler
+from ..tpi.observation_points import ObservationPointPlan
+from .results import ScenarioResult, merge_first_detections, build_simulation_result
+from .runner import (
+    FaultShardTask,
+    ShardPayload,
+    TransitionShardTask,
+    _unique_key,
+    build_pair_blocks,
+    plan_shard_tasks,
+    run_shard_task,
+)
+from .scheduler import (
+    CATEGORY_CONTROL,
+    CATEGORY_PREP,
+    CATEGORY_SIM,
+    Expansion,
+    StageNode,
+)
+
+#: Flow phase names the stage graph accounts its time to -- exactly the
+#: five :class:`~repro.core.flow.PhaseTiming` buckets the flow has always
+#: reported, in their canonical order.
+PHASE_SCAN = "scan_insertion"
+PHASE_TPI = "test_point_insertion"
+PHASE_RANDOM = "random_patterns"
+PHASE_TOPUP = "topup_atpg"
+PHASE_AT_SPEED = "at_speed_analysis"
+PHASE_ORDER = (PHASE_SCAN, PHASE_TPI, PHASE_RANDOM, PHASE_TOPUP, PHASE_AT_SPEED)
+
+
+def unique_scenario_key(prefix: str) -> str:
+    """A campaign-unique scenario key (see ``runner._unique_key``)."""
+    return _unique_key(prefix)
+
+
+def release_scenario_engines(scenario_keys) -> None:
+    """Drop the per-process shard engines compiled under these scenario keys.
+
+    Scenario keys are invocation-unique, so once a graph execution finishes
+    its cached engines can never hit again -- callers that walk a graph with
+    the :class:`~repro.campaign.scheduler.SerialScheduler` (where the parent
+    process itself compiles the engines) should release them rather than
+    leave dead entries pinned in the LRU until eviction.  Harmless after a
+    pooled run (the workers held the engines and are gone with the pool).
+    """
+    from .runner import _ENGINE_CACHE
+
+    for scenario_key in scenario_keys:
+        _ENGINE_CACHE.discard_scenario(scenario_key)
+
+
+# --------------------------------------------------------------------- #
+# Artifacts flowing between stages (everything here must pickle cleanly)
+# --------------------------------------------------------------------- #
+@dataclass
+class TpiOutcome:
+    """The BIST-ready core after test-point insertion, plus the chosen plan."""
+
+    core: BistReadyCore
+    plan: Optional[ObservationPointPlan]
+
+
+@dataclass
+class ScenarioBundle:
+    """Everything the post-preparation phases of one scenario consume.
+
+    Produced by :class:`BuildStumpsStage`; the fan-out payload of the
+    fault-sim shards (``state`` + ``offset_blocks``) and the structural
+    objects the flow result reports (stumps, clock tree, capture schedule)
+    travel together because every downstream stage needs some slice of them.
+    """
+
+    scenario_key: str
+    core: BistReadyCore
+    stumps: StumpsArchitecture
+    clock_tree: ClockTreeModel
+    capture_schedule: CaptureSchedule
+    fault_list: FaultList
+    state: FaultSimShardState
+    offset_blocks: tuple[tuple[int, PatternBlock], ...]
+    boundaries: tuple[int, ...]
+
+
+@dataclass
+class RandomPhaseOutcome:
+    """Merged result of the random-pattern fault-sim fan-out."""
+
+    result: FaultSimulationResult
+    #: Coverage right after the random phase (before any top-up credit).
+    coverage_random: float
+    num_shards: int = 1
+    gate_evals: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class TopUpOutcome:
+    """Top-up ATPG result plus the fault list it credited.
+
+    The fault list rides along because a pooled top-up stage mutates its
+    *own* (pickled) copy; downstream consumers must read detection state
+    from here, never from the pre-top-up bundle.
+    """
+
+    result: TopUpResult
+    fault_list: FaultList
+
+
+@dataclass
+class TopUpInput:
+    """What the top-up stage actually reads -- a trimmed bundle slice.
+
+    Pooled stage inputs are pickled per submission, so stages that need only
+    a corner of the :class:`ScenarioBundle` receive one of these trim
+    records (built by a cheap local node) instead of re-shipping the whole
+    packed session.
+    """
+
+    core: BistReadyCore
+    fault_list: FaultList
+
+
+@dataclass
+class TransitionInput:
+    """Trimmed bundle slice for the transition preparation stage."""
+
+    scenario_key: str
+    circuit: Circuit
+    stumps: StumpsArchitecture
+    capture_schedule: CaptureSchedule
+
+
+@dataclass
+class TransitionBundle:
+    """Fan-out payload of the transition-fault measurement."""
+
+    scenario_key: str
+    state: TransitionSimShardState
+    pair_blocks: tuple[tuple[int, PatternBlock, PatternBlock], ...]
+    fault_list: FaultList
+    boundaries: tuple[int, ...]
+
+
+# --------------------------------------------------------------------- #
+# Stage tasks
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PrepareCoreStage:
+    """Phase 1: full-scan insertion + X blocking (the BIST-ready core)."""
+
+    circuit: Circuit
+    config: LogicBistConfig
+    library: Optional[CellLibrary] = None
+
+    def run(self) -> BistReadyCore:
+        return prepare_scan_core(self.circuit, self.config, self.library)
+
+
+@dataclass(frozen=True)
+class TpiProfileStage:
+    """Phase 2: test-point insertion on the prepared core.
+
+    Under ``tpi_method="fault_sim"`` this runs a full preliminary fault
+    simulation -- the single heaviest preparation stage, and the reason
+    preparation is pooled work: profiling one scenario must not serialise a
+    whole campaign behind it.
+    """
+
+    config: LogicBistConfig
+
+    def run(self, core: BistReadyCore) -> TpiOutcome:
+        plan = insert_test_points(core, self.config)
+        return TpiOutcome(core=core, plan=plan)
+
+
+@dataclass(frozen=True)
+class BuildStumpsStage:
+    """Phase 3: STUMPS + clock tree + capture schedule + session generation.
+
+    Streams the whole random-pattern session into packed blocks and bundles
+    the pickleable fault-sim shard state -- the fan-out payload of
+    :class:`FaultSimStage`.
+    """
+
+    scenario_key: str
+    config: LogicBistConfig
+
+    def run(self, tpi: TpiOutcome) -> ScenarioBundle:
+        config = self.config
+        core = tpi.core
+        clock_tree = build_clock_tree(core.circuit, config)
+        stumps = build_stumps(core, config)
+        capture_schedule = CaptureWindowScheduler(clock_tree).schedule()
+        fault_list = fresh_fault_list(core.circuit, config)
+        credit_chain_flush(core, fault_list)
+        offset_blocks = tuple(
+            stumps.packed_session(
+                config.random_patterns,
+                block_size=config.block_size,
+                backend=config.sim_backend,
+            )
+        )
+        faults = tuple(
+            fault
+            for fault in fault_list.undetected()
+            if isinstance(fault, StuckAtFault)
+        )
+        state = FaultSimShardState(
+            circuit=core.circuit,
+            observe_nets=tuple(core.circuit.observation_nets()),
+            faults=faults,
+            sim_backend=config.sim_backend,
+        )
+        return ScenarioBundle(
+            scenario_key=self.scenario_key,
+            core=core,
+            stumps=stumps,
+            clock_tree=clock_tree,
+            capture_schedule=capture_schedule,
+            fault_list=fault_list,
+            state=state,
+            offset_blocks=offset_blocks,
+            boundaries=tuple(
+                offset + block.num_patterns for offset, block in offset_blocks
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSimStage:
+    """Phase 4 fan-out rule: shard the fault universe over the session.
+
+    A local expander: once the bundle exists, the PR-2 shard planner
+    (site-local keyed round-robin faults x contiguous block runs) decides the
+    grid, and the expansion splices one :class:`FaultSimShardStage` per cell
+    plus a :class:`MergeDetectionsStage` reducer into the graph.
+    """
+
+    bundle_key: str
+    prefix: str
+    scenario: str
+    fault_shards: int
+    pattern_shards: int = 1
+
+    def run(self, bundle: ScenarioBundle) -> Expansion:
+        tasks = plan_shard_tasks(
+            FaultShardTask,
+            bundle.scenario_key,
+            bundle.core.circuit,
+            bundle.state.faults,
+            len(bundle.offset_blocks),
+            self.fault_shards,
+            self.pattern_shards,
+        )
+        # Each shard node embeds its own payload *slice*: the shared state
+        # plus only the blocks of its pattern run, with the task's block
+        # indices rebased onto the slice.  The pooled scheduler pickles a
+        # stage's inputs/task per submission, so slicing keeps the total
+        # shipped bytes at fault_shards x session (independent of pattern
+        # shards) -- and fault_shards defaults to the worker count, which
+        # makes per-task shipping cost the once-per-worker cost of PR 2.
+        shard_nodes = tuple(
+            StageNode(
+                key=f"{self.prefix}/shard{task.shard_id}",
+                task=FaultSimShardStage(*slice_shard_payload(
+                    task, bundle.state, bundle.offset_blocks
+                )),
+                phase=PHASE_RANDOM,
+                scenario=self.scenario,
+                category=CATEGORY_SIM,
+            )
+            for task in tasks
+        )
+        merge_key = f"{self.prefix}/merged"
+        merge = StageNode(
+            key=merge_key,
+            task=MergeDetectionsStage(),
+            deps=(self.bundle_key, *(node.key for node in shard_nodes)),
+            local=True,
+            phase=PHASE_RANDOM,
+            scenario=self.scenario,
+            category=CATEGORY_CONTROL,
+        )
+        return Expansion(nodes=(*shard_nodes, merge), result=merge_key)
+
+
+def slice_shard_payload(task, state, blocks):
+    """Rebase a shard task onto a payload holding only its own block run.
+
+    Block entries are self-describing -- ``(global offset, ...)`` tuples --
+    so slicing never changes the global pattern indices a shard reports, and
+    the fault axis keeps the full canonical ordering (outcome fault indices
+    must stay campaign-global for the min-merge).
+    """
+    sliced = tuple(blocks[index] for index in task.block_indices)
+    rebased = dataclasses.replace(
+        task, block_indices=tuple(range(len(sliced)))
+    )
+    return rebased, ShardPayload(state, sliced)
+
+
+@dataclass(frozen=True)
+class FaultSimShardStage:
+    """One stuck-at shard scan (executes the PR-2 shard task verbatim)."""
+
+    task: FaultShardTask
+    payload: ShardPayload
+
+    def run(self):
+        return run_shard_task(self.task, self.payload)
+
+
+@dataclass(frozen=True)
+class MergeDetectionsStage:
+    """Min-merge the shard outcomes back into the serial-equivalent result."""
+
+    def run(self, bundle: ScenarioBundle, *outcomes) -> RandomPhaseOutcome:
+        merged = merge_first_detections(outcomes)
+        result = build_simulation_result(
+            bundle.fault_list,
+            bundle.state.faults,
+            merged,
+            list(bundle.boundaries),
+        )
+        return RandomPhaseOutcome(
+            result=result,
+            coverage_random=bundle.fault_list.coverage(),
+            num_shards=len(outcomes),
+            gate_evals=sum(outcome.gate_evals for outcome in outcomes),
+            seconds=sum(outcome.seconds for outcome in outcomes),
+        )
+
+
+@dataclass(frozen=True)
+class SignatureStage:
+    """MISR signature fan-out: derive responses once, fold per clock domain.
+
+    A local expander over the bundle: response derivation (two compiled-kernel
+    passes over the leading signature slice) becomes one pooled stage, and
+    each clock domain's MISR fold -- independent because a domain's MISR only
+    reads its own chains -- becomes its own node.
+    """
+
+    bundle_key: str
+    prefix: str
+    scenario: str
+    config: LogicBistConfig
+
+    def run(self, bundle: ScenarioBundle):
+        if self.config.signature_patterns <= 0:
+            return {}
+        responses_key = f"{self.prefix}/responses"
+        # Embed only the leading blocks the signature slice can reach (plus
+        # the circuit and schedule), not the whole session: pooled inputs
+        # are pickled per submission.
+        count = min(self.config.signature_patterns, self.config.random_patterns)
+        leading_blocks: list[PatternBlock] = []
+        covered = 0
+        for _, block in bundle.offset_blocks:
+            if covered >= count:
+                break
+            leading_blocks.append(block)
+            covered += block.num_patterns
+        nodes = [
+            StageNode(
+                key=responses_key,
+                task=SignatureResponsesStage(
+                    self.config,
+                    circuit=bundle.core.circuit,
+                    blocks=tuple(leading_blocks),
+                    capture_schedule=bundle.capture_schedule,
+                ),
+                phase=PHASE_RANDOM,
+                scenario=self.scenario,
+                category=CATEGORY_PREP,
+            )
+        ]
+        fold_keys = []
+        for domain_name, domain in bundle.stumps.domains.items():
+            fold_key = f"{self.prefix}/fold:{domain_name}"
+            fold_keys.append(fold_key)
+            nodes.append(
+                StageNode(
+                    key=fold_key,
+                    # Deep copy: the fold advances the MISR it holds, and
+                    # must never advance the bundle's own stumps state --
+                    # in-process (serial walk) the bundle is the caller's.
+                    # Embedding the copy also keeps the pooled fold's pickle
+                    # down to one domain, not the whole bundle.
+                    task=SignatureFoldStage(
+                        self.config, domain_name, copy.deepcopy(domain)
+                    ),
+                    deps=(responses_key,),
+                    phase=PHASE_RANDOM,
+                    scenario=self.scenario,
+                    # "sim", not "prep": the pre-pipeline runner already
+                    # pooled the per-domain folds (SignatureShardTask), so
+                    # the Amdahl accounting must not credit them to the old
+                    # parent-serial bucket.
+                    category=CATEGORY_SIM,
+                )
+            )
+        gather_key = f"{self.prefix}/gathered"
+        nodes.append(
+            StageNode(
+                key=gather_key,
+                task=GatherSignaturesStage(),
+                deps=tuple(fold_keys),
+                local=True,
+                phase=PHASE_RANDOM,
+                scenario=self.scenario,
+                category=CATEGORY_CONTROL,
+            )
+        )
+        return Expansion(nodes=tuple(nodes), result=gather_key)
+
+
+@dataclass(frozen=True)
+class SignatureResponsesStage:
+    """Derive the double-capture response stream for the signature slice.
+
+    Self-contained (built by the :class:`SignatureStage` expander, which has
+    the bundle in hand): carries the circuit, the capture schedule and only
+    the leading blocks the signature slice reads.
+    """
+
+    config: LogicBistConfig
+    circuit: Circuit
+    blocks: tuple[PatternBlock, ...]
+    capture_schedule: CaptureSchedule
+
+    def run(self) -> tuple[dict[str, int], ...]:
+        config = self.config
+        count = min(config.signature_patterns, config.random_patterns)
+        patterns = expand_leading_patterns(list(self.blocks), count)
+        count = min(config.signature_patterns, len(patterns))
+        return tuple(
+            derive_signature_responses(
+                self.circuit,
+                config,
+                patterns[:count],
+                self.capture_schedule,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SignatureFoldStage:
+    """Fold one clock domain's filtered response stream into its MISR.
+
+    Carries its own (already deep-copied) :class:`StumpsDomain`, exactly as
+    the PR-2 ``SignatureShardTask`` did.
+    """
+
+    config: LogicBistConfig
+    domain: str
+    stumps_domain: object
+
+    def run(self, responses) -> tuple[str, int]:
+        cells = self.stumps_domain.cells()
+        filtered = [
+            {cell: response.get(cell, 0) for cell in cells}
+            for response in responses
+        ]
+        signature = self.stumps_domain.fold_responses(
+            filtered, backend=self.config.sim_backend
+        )
+        return (self.domain, signature)
+
+
+@dataclass(frozen=True)
+class GatherSignaturesStage:
+    """Collect the per-domain folds into the signatures mapping."""
+
+    def run(self, *folds: tuple[str, int]) -> dict[str, int]:
+        return dict(folds)
+
+
+@dataclass(frozen=True)
+class TrimTopUpInputStage:
+    """Repackage the bundle + merged detections into the top-up's inputs."""
+
+    def run(
+        self, bundle: ScenarioBundle, random_outcome: RandomPhaseOutcome
+    ) -> TopUpInput:
+        return TopUpInput(
+            core=bundle.core, fault_list=random_outcome.result.fault_list
+        )
+
+
+@dataclass(frozen=True)
+class TopUpStage:
+    """Phase 5: PODEM top-up ATPG on the post-random fault list."""
+
+    config: LogicBistConfig
+
+    def run(self, inputs: TopUpInput) -> TopUpOutcome:
+        config = self.config
+        fault_list = inputs.fault_list
+        topup = TopUpAtpg(
+            inputs.core.circuit,
+            backtrack_limit=config.topup_backtrack_limit,
+            seed=config.topup_seed,
+            max_faults=config.topup_max_faults,
+        )
+        if config.topup_compaction:
+            result = topup.run_with_compaction(fault_list)
+        else:
+            result = topup.run(fault_list)
+        # The top-up patterns reach the core through the input selector.
+        if result.patterns:
+            selector = InputSelector(build_stumps(inputs.core, config))
+            selector.load_external_patterns(result.patterns)
+            selector.select(InputSource.EXTERNAL)
+        return TopUpOutcome(result=result, fault_list=fault_list)
+
+
+@dataclass(frozen=True)
+class TrimTransitionInputStage:
+    """Repackage the bundle into the transition preparation's inputs."""
+
+    def run(self, bundle: ScenarioBundle) -> TransitionInput:
+        return TransitionInput(
+            scenario_key=bundle.scenario_key,
+            circuit=bundle.core.circuit,
+            stumps=bundle.stumps,
+            capture_schedule=bundle.capture_schedule,
+        )
+
+
+@dataclass(frozen=True)
+class TransitionPrepStage:
+    """Phase 6 preparation: launch patterns + derived capture states.
+
+    Deriving the capture states (launch + capture pulses through the
+    compiled kernel) is the serial half of the transition measurement; as a
+    pooled stage it overlaps everything else in the campaign.
+    """
+
+    config: LogicBistConfig
+
+    def run(self, inputs: TransitionInput) -> TransitionBundle:
+        config = self.config
+        circuit = inputs.circuit
+        stumps = inputs.stumps
+        stumps.reset()
+        launch = stumps.generate_patterns(config.transition_patterns)
+        capture = derive_capture_patterns(
+            circuit, launch, inputs.capture_schedule.pulse_order
+        )
+        fault_list = FaultList.transition(circuit)
+        faults = tuple(
+            fault
+            for fault in fault_list.undetected()
+            if isinstance(fault, TransitionFault)
+        )
+        pair_blocks = build_pair_blocks(circuit, launch, capture, config.block_size)
+        state = TransitionSimShardState(
+            circuit=circuit,
+            observe_nets=tuple(circuit.observation_nets()),
+            faults=faults,
+            sim_backend=config.sim_backend,
+        )
+        return TransitionBundle(
+            scenario_key=inputs.scenario_key,
+            state=state,
+            pair_blocks=pair_blocks,
+            fault_list=fault_list,
+            boundaries=tuple(
+                offset + launch_block.num_patterns
+                for offset, launch_block, _ in pair_blocks
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TransitionStage:
+    """Transition-fault fan-out rule (mirrors :class:`FaultSimStage`)."""
+
+    prep_key: str
+    prefix: str
+    scenario: str
+    fault_shards: int
+    pattern_shards: int = 1
+
+    def run(self, prep: TransitionBundle) -> Expansion:
+        tasks = plan_shard_tasks(
+            TransitionShardTask,
+            prep.scenario_key,
+            prep.state.circuit,
+            prep.state.faults,
+            len(prep.pair_blocks),
+            self.fault_shards,
+            self.pattern_shards,
+        )
+        # As with FaultSimStage: each shard embeds its sliced payload, so a
+        # pooled submission never re-pickles the merge-side fault list or
+        # another shard's block run.
+        shard_nodes = tuple(
+            StageNode(
+                key=f"{self.prefix}/shard{task.shard_id}",
+                task=TransitionShardStage(*slice_shard_payload(
+                    task, prep.state, prep.pair_blocks
+                )),
+                phase=PHASE_AT_SPEED,
+                scenario=self.scenario,
+                category=CATEGORY_SIM,
+            )
+            for task in tasks
+        )
+        merge_key = f"{self.prefix}/merged"
+        merge = StageNode(
+            key=merge_key,
+            task=TransitionMergeStage(),
+            deps=(self.prep_key, *(node.key for node in shard_nodes)),
+            local=True,
+            phase=PHASE_AT_SPEED,
+            scenario=self.scenario,
+            category=CATEGORY_CONTROL,
+        )
+        return Expansion(nodes=(*shard_nodes, merge), result=merge_key)
+
+
+@dataclass(frozen=True)
+class TransitionShardStage:
+    """One transition shard over aligned (launch, capture) block pairs."""
+
+    task: TransitionShardTask
+    payload: ShardPayload
+
+    def run(self):
+        return run_shard_task(self.task, self.payload)
+
+
+@dataclass(frozen=True)
+class TransitionMergeStage:
+    """Merge transition shard outcomes into the at-speed coverage figure."""
+
+    def run(self, prep: TransitionBundle, *outcomes) -> float:
+        merged = merge_first_detections(outcomes)
+        build_simulation_result(
+            prep.fault_list, prep.state.faults, merged, list(prep.boundaries)
+        )
+        return prep.fault_list.coverage()
+
+
+@dataclass(frozen=True)
+class ReportStage:
+    """Assemble one scenario's canonical campaign report."""
+
+    name: str
+    core_name: str
+    num_workers: int = 1
+
+    def run(
+        self,
+        bundle: ScenarioBundle,
+        random_outcome: RandomPhaseOutcome,
+        signatures: dict[str, int],
+    ) -> ScenarioResult:
+        fault_list = bundle.fault_list
+        first_detections = {
+            str(fault): fault_list.record(fault).first_detection
+            for fault in fault_list.detected()
+            if fault_list.record(fault).first_detection is not None
+        }
+        return ScenarioResult(
+            name=self.name,
+            core_name=self.core_name,
+            total_faults=len(fault_list),
+            patterns_simulated=random_outcome.result.patterns_simulated,
+            coverage=fault_list.coverage(),
+            coverage_curve=list(random_outcome.result.coverage_curve),
+            first_detections=first_detections,
+            signatures=dict(sorted(signatures.items())),
+            num_shards=random_outcome.num_shards,
+            num_workers=self.num_workers,
+            gate_evals=random_outcome.gate_evals,
+            seconds=random_outcome.seconds,
+            fault_list=fault_list,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Graph builder
+# --------------------------------------------------------------------- #
+def scenario_stage_nodes(
+    scenario_key: str,
+    circuit: Circuit,
+    config: LogicBistConfig,
+    *,
+    library: Optional[CellLibrary] = None,
+    scenario_name: Optional[str] = None,
+    fault_shards: int = 1,
+    pattern_shards: int = 1,
+    num_workers: int = 1,
+    include_topup: bool = False,
+    include_transition: bool = False,
+    include_report: bool = False,
+) -> tuple[list[StageNode], dict[str, str]]:
+    """Wire one (core, config) scenario into stage-graph nodes.
+
+    Returns ``(nodes, artifacts)`` where ``artifacts`` maps logical names
+    (``"core"``, ``"tpi"``, ``"bundle"``, ``"fault_sim"``, ``"signatures"``,
+    and, when included, ``"topup"`` / ``"transition"`` / ``"report"``) to the
+    node keys whose values a finished
+    :class:`~repro.campaign.scheduler.PipelineRun` holds.  Many scenarios'
+    node lists concatenate into one multi-scenario DAG; ``scenario_key`` must
+    be campaign-unique (see :func:`unique_scenario_key`).
+    """
+    name = scenario_name or circuit.name
+    keys = {
+        "core": f"{scenario_key}/core",
+        "tpi": f"{scenario_key}/tpi",
+        "bundle": f"{scenario_key}/bundle",
+        "fault_sim": f"{scenario_key}/fault_sim",
+        "signatures": f"{scenario_key}/signatures",
+    }
+    nodes = [
+        StageNode(
+            key=keys["core"],
+            task=PrepareCoreStage(circuit, config, library),
+            phase=PHASE_SCAN,
+            scenario=name,
+            category=CATEGORY_PREP,
+        ),
+        StageNode(
+            key=keys["tpi"],
+            task=TpiProfileStage(config),
+            deps=(keys["core"],),
+            phase=PHASE_TPI,
+            scenario=name,
+            category=CATEGORY_PREP,
+        ),
+        StageNode(
+            key=keys["bundle"],
+            task=BuildStumpsStage(scenario_key, config),
+            deps=(keys["tpi"],),
+            phase=PHASE_RANDOM,
+            scenario=name,
+            category=CATEGORY_PREP,
+        ),
+        StageNode(
+            key=keys["fault_sim"],
+            task=FaultSimStage(
+                bundle_key=keys["bundle"],
+                prefix=keys["fault_sim"],
+                scenario=name,
+                fault_shards=max(1, fault_shards),
+                pattern_shards=max(1, pattern_shards),
+            ),
+            deps=(keys["bundle"],),
+            local=True,
+            phase=PHASE_RANDOM,
+            scenario=name,
+            category=CATEGORY_CONTROL,
+        ),
+        StageNode(
+            key=keys["signatures"],
+            task=SignatureStage(
+                bundle_key=keys["bundle"],
+                prefix=keys["signatures"],
+                scenario=name,
+                config=config,
+            ),
+            deps=(keys["bundle"],),
+            local=True,
+            phase=PHASE_RANDOM,
+            scenario=name,
+            category=CATEGORY_CONTROL,
+        ),
+    ]
+    if include_topup:
+        keys["topup_input"] = f"{scenario_key}/topup_input"
+        keys["topup"] = f"{scenario_key}/topup"
+        nodes.append(
+            StageNode(
+                key=keys["topup_input"],
+                task=TrimTopUpInputStage(),
+                deps=(keys["bundle"], keys["fault_sim"]),
+                local=True,
+                phase=PHASE_TOPUP,
+                scenario=name,
+                category=CATEGORY_CONTROL,
+            )
+        )
+        nodes.append(
+            StageNode(
+                key=keys["topup"],
+                task=TopUpStage(config),
+                deps=(keys["topup_input"],),
+                phase=PHASE_TOPUP,
+                scenario=name,
+                category=CATEGORY_PREP,
+            )
+        )
+    if include_transition:
+        keys["transition_input"] = f"{scenario_key}/transition_input"
+        keys["transition_prep"] = f"{scenario_key}/transition_prep"
+        keys["transition"] = f"{scenario_key}/transition"
+        nodes.append(
+            StageNode(
+                key=keys["transition_input"],
+                task=TrimTransitionInputStage(),
+                deps=(keys["bundle"],),
+                local=True,
+                phase=PHASE_AT_SPEED,
+                scenario=name,
+                category=CATEGORY_CONTROL,
+            )
+        )
+        nodes.append(
+            StageNode(
+                key=keys["transition_prep"],
+                task=TransitionPrepStage(config),
+                deps=(keys["transition_input"],),
+                phase=PHASE_AT_SPEED,
+                scenario=name,
+                category=CATEGORY_PREP,
+            )
+        )
+        nodes.append(
+            StageNode(
+                key=keys["transition"],
+                task=TransitionStage(
+                    prep_key=keys["transition_prep"],
+                    prefix=keys["transition"],
+                    scenario=name,
+                    fault_shards=max(1, fault_shards),
+                    pattern_shards=max(1, pattern_shards),
+                ),
+                deps=(keys["transition_prep"],),
+                local=True,
+                phase=PHASE_AT_SPEED,
+                scenario=name,
+                category=CATEGORY_CONTROL,
+            )
+        )
+    if include_report:
+        keys["report"] = f"{scenario_key}/report"
+        nodes.append(
+            StageNode(
+                key=keys["report"],
+                task=ReportStage(
+                    name=name, core_name=circuit.name, num_workers=num_workers
+                ),
+                deps=(keys["bundle"], keys["fault_sim"], keys["signatures"]),
+                local=True,
+                phase=PHASE_RANDOM,
+                scenario=name,
+                category=CATEGORY_CONTROL,
+            )
+        )
+    return nodes, keys

@@ -10,51 +10,46 @@ workers along the axes planned by :mod:`repro.campaign.sharding`:
 * **signature shards**, one per clock domain (each domain's MISR only reads
   its own chains, so domains fold independently),
 * and, at the top level, many **(core, LogicBistConfig) scenario pairs**
-  whose tasks all drain through one worker pool.
+  whose stages all drain through one worker pool.
 
-Serialization is per *worker*, not per task: each scenario's
-:class:`ShardPayload` (the pickleable shard state from
-:mod:`repro.faults.fault_sim` / :mod:`repro.faults.transition_sim` plus the
-packed block stream) is shipped once to every worker through the pool
-initializer, and the tasks themselves carry only index tuples.  Workers
-compile the kernel once per (scenario, engine) pair and cache it.
+Since the stage-graph pipeline (:mod:`repro.campaign.pipeline`), scenario
+*preparation* is pooled work too: :class:`CampaignRunner` builds one
+multi-scenario stage DAG (scan prep -> TPI -> STUMPS/session -> fault-sim
+fan-out -> signature fan-out -> report) and drains it through one
+:class:`~repro.campaign.scheduler.PooledScheduler`, so scenario B's TPI
+profiling -- itself a full fault simulation under ``tpi_method="fault_sim"``
+-- runs while scenario A's shards are still in flight.  With
+``num_workers <= 1`` the same DAG executes on the in-process
+:class:`~repro.campaign.scheduler.SerialScheduler`, the deterministic
+fallback and the bit-exactness oracle.
 
 Results come back as per-fault first-detection indices and are min-merged by
 :mod:`repro.campaign.results` -- a reduction that is independent of shard
 order and worker count, which is what makes the merged coverage curves,
 detection records and MISR signatures **bit-identical** to the serial
-compiled-kernel path (the serial engine remains the default and the oracle;
-``tests/campaign`` asserts the equivalence across shard counts, block sizes
-and permuted shard assignments).
+compiled-kernel path (``tests/campaign`` asserts the equivalence across
+shard counts, block sizes, permuted shard assignments, worker counts and
+both execution backends).
 
-With ``num_workers <= 1`` every task runs in-process through the very same
-code path -- useful both as the deterministic fallback and for measuring
-per-shard compute time without multiprocessing noise.
+The flat shard-task entry points of PR 2 (:func:`run_sharded_fault_sim`,
+:func:`run_sharded_transition_sim`, :func:`execute_tasks`) remain for
+single-phase fan-out and benchmarking; the pipeline reuses their task
+records and worker-side execution verbatim.
 """
 
 from __future__ import annotations
 
-import copy
 import itertools
-import multiprocessing
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
-from ..bist.stumps import StumpsArchitecture, StumpsDomain
+from ..bist.stumps import StumpsDomain
 from ..core.config import LogicBistConfig
-from ..core.flow import (
-    build_stumps,
-    credit_chain_flush,
-    derive_signature_responses,
-    expand_leading_patterns,
-    fresh_fault_list,
-    insert_test_points,
-)
-from ..core.bist_ready import BistReadyCore, prepare_scan_core
 from ..faults.fault_list import FaultList
-from ..faults.fault_sim import FaultSimShardState, FaultSimulationResult, FaultSimulator
+from ..faults.fault_sim import FaultSimShardState, FaultSimulationResult
 from ..faults.models import StuckAtFault, TransitionFault
 from ..faults.transition_sim import (
     TransitionSimShardState,
@@ -71,6 +66,7 @@ from .results import (
     build_simulation_result,
     merge_first_detections,
 )
+from .scheduler import make_pool_context
 from .sharding import plan_grid
 
 #: Blocks may be given bare or as (global pattern offset, block) pairs.
@@ -82,7 +78,7 @@ OffsetBlocks = Sequence[Union[PatternBlock, tuple[int, PatternBlock]]]
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class ShardPayload:
-    """One scenario's shared shard inputs, shipped once per worker.
+    """One scenario's shared shard inputs.
 
     ``state`` is the pickleable compiled-kernel shard state (circuit,
     observation nets, canonical fault ordering); ``blocks`` is the full
@@ -143,10 +139,60 @@ ShardTask = Union[FaultShardTask, TransitionShardTask, SignatureShardTask]
 #: by ``execute_tasks`` itself (in-process path).
 _PAYLOADS: dict[str, ShardPayload] = {}
 
-#: Per-process cache of compiled engines, keyed by (scenario key, engine kind).
-#: Fork/spawn children start empty; tasks of the same scenario landing on the
-#: same worker recompile nothing.
-_ENGINE_CACHE: dict[tuple[str, str], object] = {}
+#: Default capacity of the per-process compiled-engine LRU.  An engine holds
+#: a compiled kernel plus its lazily-built fanout-cone plans, which for a
+#: large core is tens of megabytes -- a long many-scenario campaign must not
+#: accumulate one per scenario forever.
+DEFAULT_ENGINE_CACHE_SIZE = 8
+
+
+class EngineCache:
+    """Small per-process LRU of compiled shard engines.
+
+    Keyed by ``(scenario key, engine kind)``.  Fork/spawn children start
+    empty; tasks of the same scenario landing on the same worker recompile
+    nothing, while scenarios beyond ``maxsize`` evict least-recently-used
+    engines instead of growing without bound across a long campaign
+    (eviction only ever costs a recompile -- results are unaffected).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_ENGINE_CACHE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple[str, str], object]" = OrderedDict()
+
+    def get_or_build(self, scenario_key: str, kind: str, state) -> object:
+        """The cached engine for ``(scenario_key, kind)``, building on miss."""
+        cache_key = (scenario_key, kind)
+        engine = self._entries.get(cache_key)
+        if engine is not None:
+            self._entries.move_to_end(cache_key)
+            return engine
+        engine = state.build_simulator()
+        self._entries[cache_key] = engine
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return engine
+
+    def discard_scenario(self, scenario_key: str) -> None:
+        """Drop every engine kind cached for ``scenario_key``."""
+        for kind in ("stuck", "transition"):
+            self._entries.pop((scenario_key, kind), None)
+
+    def keys(self) -> list[tuple[str, str]]:
+        """Cached keys, least- to most-recently used (test/diagnostic hook)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Per-process engine LRU (see :class:`EngineCache`).
+_ENGINE_CACHE = EngineCache()
 
 #: Monotonic nonce making every campaign invocation's scenario keys unique, so
 #: a cached engine or payload can never be confused across calls (two
@@ -163,29 +209,22 @@ def _seed_payloads(payloads: dict[str, ShardPayload]) -> None:
     _PAYLOADS.update(payloads)
 
 
-def _cached_engine(scenario_key: str, kind: str, state) -> object:
-    cache_key = (scenario_key, kind)
-    engine = _ENGINE_CACHE.get(cache_key)
-    if engine is None:
-        engine = state.build_simulator()
-        _ENGINE_CACHE[cache_key] = engine
-    return engine
+def run_shard_task(
+    task: Union[FaultShardTask, TransitionShardTask], payload: ShardPayload
+) -> ShardOutcome:
+    """Run one fault/transition shard scan against its payload.
 
-
-def _execute_task(task: ShardTask):
-    """Run one shard task (in a worker process or in-process)."""
-    if isinstance(task, SignatureShardTask):
-        signature = task.stumps_domain.fold_responses(
-            task.responses, backend=task.sim_backend
-        )
-        return SignatureOutcome(task.scenario_key, task.domain, signature)
-
-    payload = _PAYLOADS[task.scenario_key]
+    The single worker-side execution path shared by the flat task runner
+    (:func:`execute_tasks`) and the pipeline's shard stages: builds (or
+    reuses, via the per-process :class:`EngineCache`) the compiled engine
+    for the task's scenario and scans the task's fault indices over its
+    block run.
+    """
     # The timer covers engine construction too: a worker's first task of a
     # scenario really pays kernel compilation, and the recorded per-shard
     # seconds must reflect that full cost.
     start = time.perf_counter()
-    engine = _cached_engine(task.scenario_key, task.kind, payload.state)
+    engine = _ENGINE_CACHE.get_or_build(task.scenario_key, task.kind, payload.state)
     # The stuck-at engine counts its own gate evaluations; the transition
     # engine delegates them to its embedded stuck-at observability engine.
     counter = engine if task.kind == "stuck" else engine.stuck_engine
@@ -206,15 +245,14 @@ def _execute_task(task: ShardTask):
     )
 
 
-def _make_context(mp_context):
-    if mp_context is not None:
-        return mp_context
-    # fork is the cheap option where available (Linux); elsewhere fall back
-    # to the platform default.  Payloads reach workers through the pool
-    # initializer either way.
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+def _execute_task(task: ShardTask):
+    """Run one shard task (in a worker process or in-process)."""
+    if isinstance(task, SignatureShardTask):
+        signature = task.stumps_domain.fold_responses(
+            task.responses, backend=task.sim_backend
+        )
+        return SignatureOutcome(task.scenario_key, task.domain, signature)
+    return run_shard_task(task, _PAYLOADS[task.scenario_key])
 
 
 def execute_tasks(
@@ -244,12 +282,11 @@ def execute_tasks(
         finally:
             # Payloads and engines only exist to be shared between tasks of
             # this call; scenario keys are unique per invocation, so entries
-            # would otherwise accumulate forever.
+            # would otherwise accumulate until the LRU evicts them.
             for key in payloads:
                 _PAYLOADS.pop(key, None)
-                _ENGINE_CACHE.pop((key, "stuck"), None)
-                _ENGINE_CACHE.pop((key, "transition"), None)
-    ctx = _make_context(mp_context)
+                _ENGINE_CACHE.discard_scenario(key)
+    ctx = make_pool_context(mp_context)
     with ctx.Pool(
         processes=min(num_workers, len(tasks)),
         initializer=_seed_payloads,
@@ -331,6 +368,34 @@ def with_offsets(
     return result
 
 
+def build_pair_blocks(
+    circuit: Circuit,
+    launch_patterns: Sequence[Mapping[str, int]],
+    capture_patterns: Sequence[Mapping[str, int]],
+    block_size: int,
+    pattern_offset: int = 0,
+) -> tuple[tuple[int, PatternBlock, PatternBlock], ...]:
+    """Pack aligned launch/capture lists into (offset, launch, capture) triples.
+
+    The one assembly path for transition-fault fan-out, shared by
+    :func:`run_sharded_transition_sim` and the pipeline's
+    :class:`~repro.campaign.pipeline.TransitionPrepStage`.
+    """
+    stimulus_nets = circuit.stimulus_nets()
+    launch_blocks = iter_blocks(
+        launch_patterns, block_size=block_size, nets=stimulus_nets
+    )
+    capture_blocks = iter_blocks(
+        capture_patterns, block_size=block_size, nets=stimulus_nets
+    )
+    pair_blocks: list[tuple[int, PatternBlock, PatternBlock]] = []
+    cursor = pattern_offset
+    for launch_block, capture_block in zip(launch_blocks, capture_blocks):
+        pair_blocks.append((cursor, launch_block, capture_block))
+        cursor += launch_block.num_patterns
+    return tuple(pair_blocks)
+
+
 def _boundaries(offset_blocks: Sequence[tuple[int, PatternBlock]]) -> list[int]:
     """Cumulative pattern counts after each block (serial curve sample points)."""
     boundaries: list[int] = []
@@ -342,7 +407,7 @@ def _boundaries(offset_blocks: Sequence[tuple[int, PatternBlock]]) -> list[int]:
 
 
 # --------------------------------------------------------------------- #
-# Drop-in sharded fault simulation (what core/flow.py drives)
+# Drop-in sharded fault simulation (single-phase fan-out)
 # --------------------------------------------------------------------- #
 def run_sharded_fault_sim(
     circuit: Circuit,
@@ -428,18 +493,9 @@ def run_sharded_transition_sim(
     if len(launch_patterns) != len(capture_patterns):
         raise ValueError("launch and capture pattern lists must have equal length")
     scenario_key = _unique_key(scenario_key)
-    stimulus_nets = circuit.stimulus_nets()
-    launch_blocks = list(
-        iter_blocks(launch_patterns, block_size=block_size, nets=stimulus_nets)
+    pair_blocks = build_pair_blocks(
+        circuit, launch_patterns, capture_patterns, block_size, pattern_offset
     )
-    capture_blocks = list(
-        iter_blocks(capture_patterns, block_size=block_size, nets=stimulus_nets)
-    )
-    pair_blocks: list[tuple[int, PatternBlock, PatternBlock]] = []
-    cursor = pattern_offset
-    for launch_block, capture_block in zip(launch_blocks, capture_blocks):
-        pair_blocks.append((cursor, launch_block, capture_block))
-        cursor += launch_block.num_patterns
     faults = tuple(
         fault for fault in fault_list.undetected() if isinstance(fault, TransitionFault)
     )
@@ -487,7 +543,7 @@ def run_sharded_transition_sim(
 class CampaignScenario:
     """One (core, config) pair of a campaign.
 
-    ``circuit`` is the raw IP-core netlist; the runner performs the same
+    ``circuit`` is the raw IP-core netlist; the pipeline performs the same
     BIST-ready preparation the flow does (scan insertion, test-point
     insertion, per-domain STUMPS, chain-flush credit) before
     fault-simulating the random-pattern session.
@@ -498,31 +554,22 @@ class CampaignScenario:
     config: LogicBistConfig = field(default_factory=LogicBistConfig)
 
 
-@dataclass
-class _PreparedScenario:
-    key: str
-    scenario: CampaignScenario
-    core: BistReadyCore
-    stumps: StumpsArchitecture
-    fault_list: FaultList
-    faults: tuple[StuckAtFault, ...]
-    boundaries: list[int]
-    num_shard_tasks: int
-
-
 class CampaignRunner:
     """Fans many (core, config) scenarios out over one worker pool.
 
-    All scenarios' fault shards and signature shards are gathered into a
-    single task list and drained by one pool, so a campaign over
-    heterogeneous cores (the Bernardi-style multi-core SoC workload) keeps
-    every worker busy even while small scenarios finish early.
+    Each scenario becomes a stage subgraph (scan prep -> TPI -> STUMPS +
+    session -> fault-sim shard fan-out -> signature fan-out -> report); the
+    subgraphs concatenate into one multi-scenario DAG that a single
+    :class:`~repro.campaign.scheduler.PooledScheduler` drains, so *all*
+    work -- preparation included -- keeps every worker busy even while
+    small scenarios finish early.  Only the shard planning and the
+    order-independent merges stay in the parent, which is what drops the
+    serial (Amdahl) fraction of a TPI-heavy campaign to the few percent
+    ``benchmarks/bench_pipeline.py`` records.
 
-    Known limit: per-scenario *preparation* (scan insertion, test-point
-    insertion -- whose ``fault_sim`` profiling is itself a serial fault
-    simulation -- and signature-response derivation) runs serially in the
-    parent before fan-out, so TPI-heavy campaigns are Amdahl-capped below
-    ``num_workers``; distributing preparation is an open roadmap item.
+    With ``num_workers <= 1`` the identical DAG runs on the in-process
+    :class:`~repro.campaign.scheduler.SerialScheduler` -- the deterministic
+    fallback and the bit-exactness oracle.
     """
 
     def __init__(
@@ -537,10 +584,18 @@ class CampaignRunner:
         self.pattern_shards = pattern_shards
         self.mp_context = mp_context
         self.library = CellLibrary()
+        #: The last campaign's stage trace, as a trace-only
+        #: :class:`~repro.campaign.scheduler.PipelineRun` (no artifact
+        #: store) -- timing diagnostics only, never part of the canonical
+        #: report.
+        self.last_run = None
 
     # ------------------------------------------------------------------ #
     def run(self, scenarios: Iterable[CampaignScenario]) -> CampaignResult:
         """Run every scenario's random-pattern fault-sim + signature session."""
+        from .pipeline import release_scenario_engines, scenario_stage_nodes
+        from .scheduler import PooledScheduler, SerialScheduler
+
         start = time.perf_counter()
         scenarios = list(scenarios)
         names = [scenario.name for scenario in scenarios]
@@ -550,175 +605,43 @@ class CampaignRunner:
                 f"duplicate scenario names {duplicates!r}: results are keyed "
                 "by name, so every scenario needs a distinct one"
             )
-        prepared: list[_PreparedScenario] = []
-        all_tasks: list[ShardTask] = []
-        payloads: dict[str, ShardPayload] = {}
+        nodes = []
+        scenario_keys: list[str] = []
+        report_keys: dict[str, str] = {}
         for index, scenario in enumerate(scenarios):
-            prep, tasks, payload = self._prepare(
-                _unique_key(f"s{index}:{scenario.name}"), scenario
+            key = _unique_key(f"s{index}:{scenario.name}")
+            scenario_keys.append(key)
+            scenario_nodes, artifact_keys = scenario_stage_nodes(
+                key,
+                scenario.circuit,
+                scenario.config,
+                library=self.library,
+                scenario_name=scenario.name,
+                fault_shards=self.fault_shards,
+                pattern_shards=self.pattern_shards,
+                num_workers=self.num_workers,
+                include_report=True,
             )
-            prepared.append(prep)
-            all_tasks.extend(tasks)
-            payloads[prep.key] = payload
+            nodes.extend(scenario_nodes)
+            report_keys[scenario.name] = artifact_keys["report"]
 
-        outcomes = execute_tasks(
-            all_tasks,
-            payloads=payloads,
-            num_workers=self.num_workers,
-            mp_context=self.mp_context,
-        )
+        if self.num_workers >= 2:
+            scheduler = PooledScheduler(self.num_workers, mp_context=self.mp_context)
+        else:
+            scheduler = SerialScheduler()
+        try:
+            pipeline_run = scheduler.run(nodes)
+        finally:
+            release_scenario_engines(scenario_keys)
+        # Keep the trace (the Amdahl/benchmark diagnostics), drop the
+        # artifact store: it holds every scenario's packed session.
+        self.last_run = pipeline_run.trace_only()
 
-        shard_outcomes: dict[str, list[ShardOutcome]] = {}
-        signatures: dict[str, dict[str, int]] = {}
-        for outcome in outcomes:
-            if isinstance(outcome, SignatureOutcome):
-                signatures.setdefault(outcome.scenario_key, {})[outcome.domain] = (
-                    outcome.signature
-                )
-            else:
-                shard_outcomes.setdefault(outcome.scenario_key, []).append(outcome)
-
-        results: dict[str, ScenarioResult] = {}
-        for prep in prepared:
-            results[prep.scenario.name] = self._merge_scenario(
-                prep,
-                shard_outcomes.get(prep.key, []),
-                signatures.get(prep.key, {}),
-            )
+        results: dict[str, ScenarioResult] = {
+            name: pipeline_run.value(key) for name, key in report_keys.items()
+        }
         return CampaignResult(
             scenarios=results,
             num_workers=self.num_workers,
             seconds=time.perf_counter() - start,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _prepare(
-        self, key: str, scenario: CampaignScenario
-    ) -> tuple[_PreparedScenario, list[ShardTask], ShardPayload]:
-        config = scenario.config
-        core = prepare_scan_core(scenario.circuit, config, self.library)
-        # Same preparation as the flow, phase for phase: test points are
-        # inserted (and become real scan cells) before STUMPS assembly, so a
-        # TPI-enabled config yields the same coverage here as in the flow.
-        insert_test_points(core, config)
-        stumps = build_stumps(core, config)
-        fault_list = fresh_fault_list(core.circuit, config)
-        credit_chain_flush(core, fault_list)
-        offset_blocks = list(
-            stumps.packed_session(
-                config.random_patterns,
-                block_size=config.block_size,
-                backend=config.sim_backend,
-            )
-        )
-        faults = tuple(
-            fault
-            for fault in fault_list.undetected()
-            if isinstance(fault, StuckAtFault)
-        )
-        state = FaultSimShardState(
-            circuit=core.circuit,
-            observe_nets=tuple(core.circuit.observation_nets()),
-            faults=faults,
-            sim_backend=config.sim_backend,
-        )
-        tasks = plan_shard_tasks(
-            FaultShardTask,
-            key,
-            core.circuit,
-            faults,
-            len(offset_blocks),
-            self.fault_shards,
-            self.pattern_shards,
-        )
-        num_shard_tasks = len(tasks)
-        tasks.extend(self._signature_tasks(key, core, stumps, config, offset_blocks))
-        prep = _PreparedScenario(
-            key=key,
-            scenario=scenario,
-            core=core,
-            stumps=stumps,
-            fault_list=fault_list,
-            faults=faults,
-            boundaries=[
-                offset + block.num_patterns for offset, block in offset_blocks
-            ],
-            num_shard_tasks=num_shard_tasks,
-        )
-        return prep, tasks, ShardPayload(state, tuple(offset_blocks))
-
-    def _signature_tasks(
-        self,
-        key: str,
-        core: BistReadyCore,
-        stumps: StumpsArchitecture,
-        config: LogicBistConfig,
-        offset_blocks: Sequence[tuple[int, PatternBlock]],
-    ) -> list[SignatureShardTask]:
-        """One MISR-fold task per clock domain (the signature shard axis).
-
-        The double-capture response derivation runs here in the parent via
-        the flow's own :func:`derive_signature_responses` (one pass of the
-        compiled kernel over the leading signature slice); only the
-        per-domain folds -- which walk every chain cell for every unload
-        cycle -- are fanned out, each seeing exactly the cells its MISR can
-        observe.
-        """
-        if config.signature_patterns <= 0:
-            return []
-        count = min(config.signature_patterns, config.random_patterns)
-        patterns = expand_leading_patterns(
-            [block for _, block in offset_blocks], count
-        )
-        responses = derive_signature_responses(core.circuit, config, patterns)
-        tasks: list[SignatureShardTask] = []
-        for domain_name, domain in stumps.domains.items():
-            cells = domain.cells()
-            tasks.append(
-                SignatureShardTask(
-                    scenario_key=key,
-                    domain=domain_name,
-                    # Deep copy: a worker (or the in-process fallback) must
-                    # never advance the caller's MISR state.
-                    stumps_domain=copy.deepcopy(domain),
-                    responses=tuple(
-                        {cell: response.get(cell, 0) for cell in cells}
-                        for response in responses
-                    ),
-                    sim_backend=config.sim_backend,
-                )
-            )
-        return tasks
-
-    # ------------------------------------------------------------------ #
-    def _merge_scenario(
-        self,
-        prep: _PreparedScenario,
-        outcomes: list[ShardOutcome],
-        signatures: dict[str, int],
-    ) -> ScenarioResult:
-        merged = merge_first_detections(outcomes)
-        sim_result = build_simulation_result(
-            prep.fault_list, prep.faults, merged, prep.boundaries
-        )
-        fault_list = prep.fault_list
-        first_detections = {
-            str(fault): fault_list.record(fault).first_detection
-            for fault in fault_list.detected()
-            if fault_list.record(fault).first_detection is not None
-        }
-        return ScenarioResult(
-            name=prep.scenario.name,
-            core_name=prep.scenario.circuit.name,
-            total_faults=len(fault_list),
-            patterns_simulated=sim_result.patterns_simulated,
-            coverage=fault_list.coverage(),
-            coverage_curve=list(sim_result.coverage_curve),
-            first_detections=first_detections,
-            signatures=dict(sorted(signatures.items())),
-            num_shards=prep.num_shard_tasks,
-            num_workers=self.num_workers,
-            gate_evals=sum(outcome.gate_evals for outcome in outcomes),
-            seconds=sum(outcome.seconds for outcome in outcomes),
-            fault_list=fault_list,
         )

@@ -1,0 +1,357 @@
+"""Stage-graph schedulers: one DAG, two execution strategies.
+
+The campaign pipeline (:mod:`repro.campaign.pipeline`) describes a BIST
+scenario as a graph of :class:`StageNode` records -- typed, pickleable stage
+tasks with declared data dependencies.  This module executes such graphs:
+
+* :class:`SerialScheduler` walks the graph in-process in deterministic
+  topological order.  It is the degenerate form of the pipeline: the serial
+  :class:`~repro.core.flow.LogicBistFlow` walk *is* this scheduler, which
+  keeps the serial flow the bit-exactness oracle of the pooled path with one
+  shared stage implementation.
+* :class:`PooledScheduler` drains the same graph through one
+  ``multiprocessing`` pool.  Every ready non-local stage is submitted
+  immediately, so stages of *different* scenarios overlap freely: scenario
+  B's TPI profiling runs while scenario A's fault-sim shards are still in
+  flight.  Local stages (planning, order-independent merges, report
+  assembly) run in the parent the moment their inputs land.
+
+A stage's ``run(*inputs)`` returns either its artifact value or, for local
+*expander* stages, an :class:`Expansion`: new nodes spliced into the graph
+plus the key of the artifact the expander's own key aliases to.  This is how
+fan-out whose width is only known at run time (fault shards over a prepared
+fault list) stays a plain graph node: the shard plan is data-dependent, the
+plan's *execution* is just more nodes.
+
+Determinism: artifact values are keyed, never ordered, and every merge stage
+downstream is order-independent by construction, so the pooled schedule --
+whatever interleaving the pool produces -- yields byte-identical results to
+the serial walk (``tests/campaign`` asserts this end to end).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: Stage categories, used by the benchmark layer to attribute compute:
+#: ``prep`` covers scenario preparation (scan insertion, TPI profiling,
+#: STUMPS assembly / pattern generation, signature-response derivation),
+#: ``sim`` the fault-simulation shard scans, ``control`` the parent-side
+#: planning/merge/report work that remains serial in the pooled schedule.
+CATEGORY_PREP = "prep"
+CATEGORY_SIM = "sim"
+CATEGORY_CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One node of a scenario stage graph.
+
+    ``task`` is any object with a ``run(*inputs)`` method; inputs arrive in
+    ``deps`` order, each dep naming another node's artifact key.  Non-local
+    tasks must be pickleable (they may execute in a worker process); local
+    tasks run in the parent and may return an :class:`Expansion`.
+    """
+
+    key: str
+    task: object
+    deps: tuple[str, ...] = ()
+    #: Run in the parent process (planning / merging / report assembly).
+    local: bool = False
+    #: Flow phase this stage's time is accounted to (e.g. "random_patterns").
+    phase: str = ""
+    #: Scenario label, for traces and progress accounting.
+    scenario: str = ""
+    #: Compute category: "prep", "sim" or "control" (see module constants).
+    category: str = CATEGORY_CONTROL
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """Returned by a local expander stage: splice ``nodes`` into the graph.
+
+    The expander's own key becomes an *alias* for ``result`` (usually the
+    spliced-in reduce node), so downstream nodes that declared a dependency
+    on the expander transparently receive the reduced artifact.
+    """
+
+    nodes: tuple[StageNode, ...]
+    result: str
+
+
+@dataclass(frozen=True)
+class StageTrace:
+    """Timing record of one executed stage (feeds benchmarks and reports)."""
+
+    key: str
+    phase: str
+    scenario: str
+    category: str
+    local: bool
+    seconds: float
+
+
+@dataclass
+class PipelineRun:
+    """Everything a finished graph execution produced.
+
+    ``store`` maps artifact keys to values; ``aliases`` maps expander keys to
+    the keys they resolved to.  Use :meth:`value` to read an artifact through
+    the alias chain.
+    """
+
+    store: dict[str, object] = field(default_factory=dict)
+    aliases: dict[str, str] = field(default_factory=dict)
+    trace: list[StageTrace] = field(default_factory=list)
+    #: End-to-end wall-clock of the schedule.
+    seconds: float = 0.0
+
+    def resolve_key(self, key: str) -> str:
+        seen = set()
+        while key in self.aliases:
+            if key in seen:
+                raise ValueError(f"alias cycle at {key!r}")
+            seen.add(key)
+            key = self.aliases[key]
+        return key
+
+    def value(self, key: str) -> object:
+        return self.store[self.resolve_key(key)]
+
+    def seconds_by_phase(self) -> dict[str, float]:
+        """Total stage compute per flow phase (serial: equals phase wall time)."""
+        totals: dict[str, float] = {}
+        for record in self.trace:
+            totals[record.phase] = totals.get(record.phase, 0.0) + record.seconds
+        return totals
+
+    def seconds_by_category(self) -> dict[str, float]:
+        """Total stage compute per category ("prep" / "sim" / "control")."""
+        totals: dict[str, float] = {}
+        for record in self.trace:
+            totals[record.category] = totals.get(record.category, 0.0) + record.seconds
+        return totals
+
+    def trace_only(self) -> "PipelineRun":
+        """A retention-safe copy: the trace and timings without the artifacts.
+
+        The store (and with it every scenario's packed session, core and
+        fault list) is dropped, so :meth:`value` on the copy raises
+        ``KeyError`` by design -- use it where only the timing diagnostics
+        (:meth:`seconds_by_phase` / :meth:`seconds_by_category`) should
+        outlive the run, e.g. ``CampaignRunner.last_run``.
+        """
+        return PipelineRun(trace=list(self.trace), seconds=self.seconds)
+
+
+def make_pool_context(mp_context=None):
+    """The multiprocessing context campaign pools run on.
+
+    ``fork`` is the cheap option where available (Linux); elsewhere fall back
+    to the platform default.  Stage inputs and results always travel through
+    task pickles, so the choice only affects pool start-up cost.
+    """
+    if mp_context is not None:
+        return mp_context
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_stage(task, inputs: Sequence[object]) -> tuple[object, float]:
+    """Execute one stage task (worker-process entry point).
+
+    Returns ``(artifact value, compute seconds)``; the timer runs inside the
+    worker, so recorded stage seconds measure real compute, not pool
+    dispatch.  Expansions are a parent-side (local) concept and are rejected
+    here: a worker cannot splice nodes into the parent's graph.
+    """
+    start = time.perf_counter()
+    value = task.run(*inputs)
+    if isinstance(value, Expansion):
+        raise TypeError(
+            f"stage task {type(task).__name__} returned an Expansion from a "
+            "worker; expander stages must be marked local=True"
+        )
+    return value, time.perf_counter() - start
+
+
+class _GraphState:
+    """Shared bookkeeping of both schedulers: pending nodes, store, aliases."""
+
+    def __init__(self, nodes: Sequence[StageNode]) -> None:
+        self.pending: dict[str, StageNode] = {}
+        #: Keys handed to the pool and not yet finished -- an expansion must
+        #: not be able to silently shadow an in-flight node's artifact.
+        self.reserved: set[str] = set()
+        self.run = PipelineRun()
+        for node in nodes:
+            self.add(node)
+
+    def add(self, node: StageNode) -> None:
+        if (
+            node.key in self.pending
+            or node.key in self.reserved
+            or node.key in self.run.store
+            or node.key in self.run.aliases
+        ):
+            raise ValueError(f"duplicate stage key {node.key!r}")
+        self.pending[node.key] = node
+
+    def inputs_for(self, node: StageNode) -> Optional[list[object]]:
+        """Dep values in declaration order, or ``None`` while any is missing."""
+        values = []
+        store = self.run.store
+        for dep in node.deps:
+            resolved = self.run.resolve_key(dep)
+            if resolved not in store:
+                return None
+            values.append(store[resolved])
+        return values
+
+    def finish(self, node: StageNode, value: object, seconds: float) -> None:
+        if isinstance(value, Expansion):
+            for child in value.nodes:
+                self.add(child)
+            self.run.aliases[node.key] = value.result
+        else:
+            self.run.store[node.key] = value
+        self.run.trace.append(
+            StageTrace(
+                key=node.key,
+                phase=node.phase,
+                scenario=node.scenario,
+                category=node.category,
+                local=node.local,
+                seconds=seconds,
+            )
+        )
+
+    def unsatisfied(self) -> str:
+        missing = {
+            key: [
+                dep
+                for dep in node.deps
+                if self.run.resolve_key(dep) not in self.run.store
+            ]
+            for key, node in self.pending.items()
+        }
+        return f"stage graph stalled; unsatisfied dependencies: {missing!r}"
+
+
+class SerialScheduler:
+    """Deterministic in-process walk of a stage graph (the oracle schedule).
+
+    Nodes execute in insertion order as their dependencies resolve; expander
+    nodes splice their children in place, so the walk is exactly the serial
+    flow's phase order when the graph is authored topologically.
+    """
+
+    def run(self, nodes: Sequence[StageNode]) -> PipelineRun:
+        state = _GraphState(nodes)
+        start = time.perf_counter()
+        while state.pending:
+            progressed = False
+            for key in list(state.pending):
+                node = state.pending.get(key)
+                if node is None:
+                    continue
+                inputs = state.inputs_for(node)
+                if inputs is None:
+                    continue
+                del state.pending[key]
+                stage_start = time.perf_counter()
+                value = node.task.run(*inputs)
+                state.finish(node, value, time.perf_counter() - stage_start)
+                progressed = True
+            if not progressed:
+                raise RuntimeError(state.unsatisfied())
+        state.run.seconds = time.perf_counter() - start
+        return state.run
+
+
+class PooledScheduler:
+    """Drains a stage graph through one ``multiprocessing`` worker pool.
+
+    Every ready non-local node is submitted immediately (no phase barriers),
+    so preparation stages of one scenario overlap fault-sim shards of
+    another; local nodes run in the parent as soon as their inputs land.
+    Results are keyed, never ordered, so completion-order nondeterminism
+    cannot leak into any artifact.
+    """
+
+    def __init__(self, num_workers: int, mp_context=None) -> None:
+        if num_workers < 2:
+            raise ValueError(
+                "PooledScheduler needs >= 2 workers; use SerialScheduler for "
+                "the in-process walk"
+            )
+        self.num_workers = num_workers
+        self.mp_context = mp_context
+
+    def run(self, nodes: Sequence[StageNode]) -> PipelineRun:
+        state = _GraphState(nodes)
+        start = time.perf_counter()
+        completions: "queue.SimpleQueue[tuple[str, object, object]]" = (
+            queue.SimpleQueue()
+        )
+        in_flight: dict[str, StageNode] = {}
+        ctx = make_pool_context(self.mp_context)
+        with ctx.Pool(processes=self.num_workers) as pool:
+
+            def submit(node: StageNode, inputs: list[object]) -> None:
+                def on_done(result, key=node.key):
+                    completions.put((key, result, None))
+
+                def on_error(exc, key=node.key):
+                    completions.put((key, None, exc))
+
+                in_flight[node.key] = node
+                state.reserved.add(node.key)
+                pool.apply_async(
+                    run_stage,
+                    (node.task, inputs),
+                    callback=on_done,
+                    error_callback=on_error,
+                )
+
+            def launch_ready() -> None:
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for key in list(state.pending):
+                        node = state.pending.get(key)
+                        if node is None:
+                            continue
+                        inputs = state.inputs_for(node)
+                        if inputs is None:
+                            continue
+                        del state.pending[key]
+                        progressed = True
+                        if node.local:
+                            stage_start = time.perf_counter()
+                            value = node.task.run(*inputs)
+                            state.finish(
+                                node, value, time.perf_counter() - stage_start
+                            )
+                        else:
+                            submit(node, inputs)
+
+            launch_ready()
+            while in_flight:
+                key, result, error = completions.get()
+                node = in_flight.pop(key)
+                state.reserved.discard(key)
+                if error is not None:
+                    raise error
+                value, seconds = result
+                state.finish(node, value, seconds)
+                launch_ready()
+            if state.pending:
+                raise RuntimeError(state.unsatisfied())
+        state.run.seconds = time.perf_counter() - start
+        return state.run

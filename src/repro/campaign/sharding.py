@@ -18,6 +18,12 @@ RNG, no dependence on worker identity -- which is what makes merged campaign
 results independent of shard order and worker count.  The planner returns
 plain tuples of indices; the runner materialises the actual
 :class:`~repro.campaign.runner.FaultShardTask` objects from them.
+
+In the stage-graph pipeline these planners are the **fan-out rule** of
+:class:`~repro.campaign.pipeline.FaultSimStage` /
+:class:`~repro.campaign.pipeline.TransitionStage`: once a scenario's fault
+list and block stream exist, the stage expands into exactly the grid planned
+here -- one shard node per cell plus an order-independent merge node.
 """
 
 from __future__ import annotations

@@ -117,3 +117,16 @@ class LogicBistConfig:
     campaign_workers: int = 0
     #: Fault shards for the campaign path (None = one shard per worker).
     campaign_fault_shards: Optional[int] = None
+    #: Worker processes draining the flow's *stage graph* (scan prep, TPI
+    #: profiling, STUMPS/session assembly, fault-sim shards, signature
+    #: derivation + folds, top-up, transition measurement).  0 or 1 walks
+    #: the graph serially in-process (the default and the bit-exactness
+    #: oracle); >= 2 drains the same graph through a
+    #: :class:`~repro.campaign.scheduler.PooledScheduler` pool, so scenario
+    #: *preparation* becomes pooled work alongside the shard scans.  The
+    #: flow uses ``max(pipeline_workers, campaign_workers)`` as its pool
+    #: width, keeping the PR-2 knob working unchanged; results are
+    #: bit-identical to the serial walk by construction (and by test).
+    #: :class:`~repro.campaign.runner.CampaignRunner` manages its own pool
+    #: and ignores this field.
+    pipeline_workers: int = 0

@@ -33,30 +33,34 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..atpg.topup import TopUpAtpg, TopUpResult
-from ..bist.controller import BistController
-from ..bist.input_selector import InputSelector, InputSource
+from ..atpg.topup import TopUpResult
 from ..bist.stumps import StumpsArchitecture, StumpsDomainConfig
 from ..faults.collapse import collapse_stuck_at
 from ..faults.fault_list import FaultList
-from ..faults.fault_sim import FaultSimulationResult, FaultSimulator
-from ..faults.transition_sim import TransitionFaultSimulator, derive_capture_patterns
+from ..faults.fault_sim import FaultSimulator
+from ..faults.transition_sim import derive_capture_patterns
 from ..netlist.circuit import Circuit
 from ..netlist.library import CellLibrary
 from ..netlist.gates import GateType
-from ..simulation.comb_sim import PackedSimulator
 from ..timing.clocks import ClockTreeModel, make_clock_tree
 from ..timing.double_capture import CaptureSchedule, CaptureWindowScheduler
 from ..timing.skew_analysis import ShiftPathAnalyzer, ShiftPathParameters, ShiftPathReport
 from ..tpi.observability_tpi import ObservabilityGuidedTpi
 from ..tpi.observation_points import FaultSimGuidedObservationTpi, ObservationPointPlan
-from .bist_ready import BistReadyCore, finalize_with_observation_points, prepare_scan_core
+from .bist_ready import BistReadyCore, finalize_with_observation_points
 from .config import LogicBistConfig
 
 
 @dataclass
 class PhaseTiming:
-    """Wall-clock duration of one flow phase (the paper reports CPU time)."""
+    """Compute seconds of one flow phase (the paper reports CPU time).
+
+    Summed over the phase's pipeline stages: on the default serial walk this
+    *is* the phase's wall-clock, exactly as before; on a pooled run
+    (``pipeline_workers``/``campaign_workers`` >= 2) it sums concurrent
+    workers' compute, so the five entries can total more than
+    ``LogicBistResult.cpu_time_seconds`` (which stays end-to-end wall).
+    """
 
     name: str
     seconds: float
@@ -266,7 +270,27 @@ class LogicBistResult:
 
 
 class LogicBistFlow:
-    """Configuration-driven implementation of the paper's logic BIST scheme."""
+    """Configuration-driven implementation of the paper's logic BIST scheme.
+
+    Since PR 4 the flow *is* the degenerate serial walk of the campaign
+    stage graph (:mod:`repro.campaign.pipeline`): ``run`` wires the
+    scenario's phases -- scan prep, TPI, STUMPS/session assembly, fault-sim
+    shard fan-out, per-domain MISR signature folds, top-up ATPG, optional
+    transition measurement -- into stage nodes and executes them on the
+    in-process :class:`~repro.campaign.scheduler.SerialScheduler` (the
+    bit-exactness oracle).  With ``pipeline_workers >= 2`` (or the PR-2
+    ``campaign_workers`` knob) the *same* graph drains through a
+    :class:`~repro.campaign.scheduler.PooledScheduler` worker pool instead:
+    one code path, two schedulers.
+
+    Note: the signature folds operate on per-domain copies (as the campaign
+    always did), so ``result.stumps`` no longer carries post-fold MISR state
+    -- read signatures from ``result.signatures``, the values are identical.
+    More generally ``result.stumps`` PRPG/MISR *register state* after ``run``
+    is scheduler-dependent (a pooled transition stage advances a worker's
+    copy, the serial walk the caller's object); every reported measurement
+    is scheduler-invariant, register state was never part of the contract.
+    """
 
     def __init__(self, config: Optional[LogicBistConfig] = None) -> None:
         self.config = config or LogicBistConfig()
@@ -277,44 +301,74 @@ class LogicBistFlow:
     # ------------------------------------------------------------------ #
     def run(self, circuit: Circuit, core_name: Optional[str] = None) -> LogicBistResult:
         """Run the complete flow on ``circuit`` and return the measurements."""
+        from ..campaign.pipeline import (
+            PHASE_AT_SPEED,
+            PHASE_ORDER,
+            release_scenario_engines,
+            scenario_stage_nodes,
+            unique_scenario_key,
+        )
+        from ..campaign.scheduler import PooledScheduler, SerialScheduler
+
         config = self.config
-        timings: list[PhaseTiming] = []
         flow_start = time.perf_counter()
 
-        # Phase 1: BIST-ready core (scan + X blocking).
-        start = time.perf_counter()
-        core = prepare_scan_core(circuit, config, self.library)
-        timings.append(PhaseTiming("scan_insertion", time.perf_counter() - start))
+        workers = max(config.pipeline_workers, config.campaign_workers)
+        if config.campaign_fault_shards is not None:
+            fault_shards = config.campaign_fault_shards
+        else:
+            fault_shards = workers if workers >= 2 else 1
+        scenario_key = unique_scenario_key(f"flow:{core_name or circuit.name}")
+        nodes, keys = scenario_stage_nodes(
+            scenario_key,
+            circuit,
+            config,
+            library=self.library,
+            scenario_name=core_name or circuit.name,
+            fault_shards=fault_shards,
+            include_topup=True,
+            include_transition=config.measure_transition_coverage,
+        )
+        scheduler = (
+            PooledScheduler(workers) if workers >= 2 else SerialScheduler()
+        )
+        try:
+            pipeline_run = scheduler.run(nodes)
+        finally:
+            release_scenario_engines([scenario_key])
 
-        # Phase 2: test point insertion guided by fault simulation.
-        start = time.perf_counter()
-        tpi_plan = self._insert_test_points(core)
-        timings.append(PhaseTiming("test_point_insertion", time.perf_counter() - start))
+        tpi: "TpiOutcome" = pipeline_run.value(keys["tpi"])
+        bundle = pipeline_run.value(keys["bundle"])
+        random_outcome = pipeline_run.value(keys["fault_sim"])
+        signatures: dict[str, int] = pipeline_run.value(keys["signatures"])
+        topup_outcome = pipeline_run.value(keys["topup"])
+        transition_coverage = (
+            pipeline_run.value(keys["transition"])
+            if config.measure_transition_coverage
+            else None
+        )
 
-        # Phase 3: final STUMPS + clock tree + capture schedule.
-        clock_tree = self._build_clock_tree(core.circuit)
-        stumps = self._build_stumps(core)
-        scheduler = CaptureWindowScheduler(clock_tree)
-        capture_schedule = scheduler.schedule()
-
-        # Phase 4: random-pattern BIST session.
+        # The shift-path (Fig. 3) analysis is parent-side: it reads only the
+        # clock tree and is far cheaper than a stage round-trip.
         start = time.perf_counter()
-        fault_list, random_result, signatures = self._random_phase(core, stumps, capture_schedule)
-        timings.append(PhaseTiming("random_patterns", time.perf_counter() - start))
-        coverage_random = fault_list.coverage()
+        shift_report = self._shift_path_check(bundle.clock_tree)
+        shift_seconds = time.perf_counter() - start
 
-        # Phase 5: top-up ATPG.
-        start = time.perf_counter()
-        topup_result = self._topup_phase(core, fault_list)
-        timings.append(PhaseTiming("topup_atpg", time.perf_counter() - start))
+        core = bundle.core
+        stumps = bundle.stumps
+        # Post-top-up detection state: with a pooled scheduler the top-up
+        # stage credited its own pickled copy, so the outcome's list -- not
+        # the bundle's -- is authoritative either way.
+        fault_list = topup_outcome.fault_list
 
-        # Phase 6: optional at-speed transition coverage + shift-path timing.
-        start = time.perf_counter()
-        transition_coverage = None
-        if config.measure_transition_coverage:
-            transition_coverage = self._transition_phase(core, stumps, capture_schedule)
-        shift_report = self._shift_path_check(clock_tree)
-        timings.append(PhaseTiming("at_speed_analysis", time.perf_counter() - start))
+        phase_seconds = pipeline_run.seconds_by_phase()
+        phase_seconds[PHASE_AT_SPEED] = (
+            phase_seconds.get(PHASE_AT_SPEED, 0.0) + shift_seconds
+        )
+        timings = [
+            PhaseTiming(phase, phase_seconds.get(phase, 0.0))
+            for phase in PHASE_ORDER
+        ]
 
         total_seconds = time.perf_counter() - flow_start
 
@@ -323,8 +377,8 @@ class LogicBistFlow:
             config=config,
             bist_ready=core,
             stumps=stumps,
-            clock_tree=clock_tree,
-            capture_schedule=capture_schedule,
+            clock_tree=bundle.clock_tree,
+            capture_schedule=bundle.capture_schedule,
             gate_count=core.circuit.gate_count(),
             flop_count=core.circuit.flop_count(),
             scan_chain_count=core.architecture.chain_count,
@@ -337,145 +391,25 @@ class LogicBistFlow:
             test_point_count=core.test_point_count,
             total_faults=len(fault_list),
             random_pattern_count=config.random_patterns,
-            fault_coverage_random=coverage_random,
-            top_up_pattern_count=topup_result.pattern_count,
+            fault_coverage_random=random_outcome.coverage_random,
+            top_up_pattern_count=topup_outcome.result.pattern_count,
             fault_coverage_final=fault_list.coverage(),
             area_overhead_fraction=self._area_overhead(core, stumps),
             cpu_time_seconds=total_seconds,
-            coverage_curve=random_result.coverage_curve,
+            coverage_curve=random_outcome.result.coverage_curve,
             transition_coverage=transition_coverage,
             signatures=signatures,
             shift_path_report=shift_report,
-            topup=topup_result,
+            topup=topup_outcome.result,
             phase_timings=timings,
-            tpi_plan=tpi_plan,
+            tpi_plan=tpi.plan,
             fault_list=fault_list,
         )
         return result
 
     # ------------------------------------------------------------------ #
-    # Phase implementations
+    # Parent-side analyses
     # ------------------------------------------------------------------ #
-    def _insert_test_points(self, core: BistReadyCore) -> Optional[ObservationPointPlan]:
-        return insert_test_points(core, self.config)
-
-    def _build_clock_tree(self, circuit: Circuit) -> ClockTreeModel:
-        return build_clock_tree(circuit, self.config)
-
-    def _build_stumps(self, core: BistReadyCore) -> StumpsArchitecture:
-        return build_stumps(core, self.config)
-
-    def _scan_patterns(self, stumps: StumpsArchitecture, count: int) -> list[dict[str, int]]:
-        """Scan-load patterns from the PRPGs (primary-input pads held at 0)."""
-        return stumps.generate_patterns(count)
-
-    def _fresh_fault_list(self, circuit: Circuit) -> FaultList:
-        return fresh_fault_list(circuit, self.config)
-
-    def _credit_chain_flush(self, core: BistReadyCore, fault_list: FaultList) -> int:
-        return credit_chain_flush(core, fault_list)
-
-    def _random_phase(
-        self,
-        core: BistReadyCore,
-        stumps: StumpsArchitecture,
-        schedule: CaptureSchedule,
-    ) -> tuple[FaultList, FaultSimulationResult, dict[str, int]]:
-        config = self.config
-        fault_list = self._fresh_fault_list(core.circuit)
-        self._credit_chain_flush(core, fault_list)
-        stumps.reset()
-        # Stream the PRPG/phase-shifter output straight into packed blocks --
-        # no per-pattern dicts are ever materialised on the random-pattern
-        # path.  Only the leading slice needed for signature emulation is
-        # expanded back into scalar patterns afterwards.
-        blocks = list(
-            stumps.generate_packed_blocks(
-                config.random_patterns,
-                block_size=config.block_size,
-                backend=config.sim_backend,
-            )
-        )
-        if config.campaign_workers >= 2:
-            # Sharded campaign path: fan the collapsed fault list out across
-            # worker processes.  Serial remains the default and the oracle;
-            # the merged result is bit-identical (tests/campaign asserts it).
-            from ..campaign.runner import run_sharded_fault_sim
-
-            result = run_sharded_fault_sim(
-                core.circuit,
-                fault_list,
-                blocks,
-                num_workers=config.campaign_workers,
-                fault_shards=config.campaign_fault_shards,
-                sim_backend=config.sim_backend,
-            )
-        else:
-            result = FaultSimulator(
-                core.circuit, backend=config.sim_backend
-            ).simulate_blocks(fault_list, blocks)
-        signature_count = min(config.signature_patterns, config.random_patterns)
-        patterns = expand_leading_patterns(blocks, signature_count)
-        signatures = self._signature_phase(core, stumps, schedule, patterns)
-        return fault_list, result, signatures
-
-    def _signature_phase(
-        self,
-        core: BistReadyCore,
-        stumps: StumpsArchitecture,
-        schedule: CaptureSchedule,
-        patterns: list[dict[str, int]],
-    ) -> dict[str, int]:
-        config = self.config
-        if config.signature_patterns <= 0:
-            return {}
-        count = min(config.signature_patterns, len(patterns))
-        responses = derive_signature_responses(
-            core.circuit, config, patterns[:count], schedule
-        )
-        controller = BistController(total_patterns=count)
-        controller.start()
-        for response in responses:
-            stumps.compact_response(response)
-            controller.advance()
-        controller.record_signatures(stumps.signatures())
-        return dict(stumps.signatures())
-
-    def _topup_phase(self, core: BistReadyCore, fault_list: FaultList) -> TopUpResult:
-        config = self.config
-        topup = TopUpAtpg(
-            core.circuit,
-            backtrack_limit=config.topup_backtrack_limit,
-            seed=config.topup_seed,
-            max_faults=config.topup_max_faults,
-        )
-        if config.topup_compaction:
-            result = topup.run_with_compaction(fault_list)
-        else:
-            result = topup.run(fault_list)
-        # The top-up patterns reach the core through the input selector.
-        if result.patterns:
-            selector = InputSelector(self._build_stumps(core))
-            selector.load_external_patterns(result.patterns)
-            selector.select(InputSource.EXTERNAL)
-        return result
-
-    def _transition_phase(
-        self,
-        core: BistReadyCore,
-        stumps: StumpsArchitecture,
-        schedule: CaptureSchedule,
-    ) -> float:
-        config = self.config
-        stumps.reset()
-        launch_patterns = self._scan_patterns(stumps, config.transition_patterns)
-        fault_list = FaultList.transition(core.circuit)
-        simulator = TransitionFaultSimulator(core.circuit, backend=config.sim_backend)
-        result = simulator.simulate_with_derived_capture(
-            fault_list, launch_patterns, pulse_order=schedule.pulse_order
-        )
-        return result.coverage
-
     def _shift_path_check(self, clock_tree: ClockTreeModel) -> ShiftPathReport:
         config = self.config
         parameters = ShiftPathParameters(

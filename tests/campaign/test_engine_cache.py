@@ -1,0 +1,106 @@
+"""The per-process compiled-engine LRU of the campaign workers.
+
+A long many-scenario campaign used to grow the worker-side engine cache
+without bound (one compiled kernel + cone-plan set per scenario, tens of
+megabytes each on a large core).  :class:`repro.campaign.EngineCache` bounds
+it: least-recently-used engines evict beyond ``maxsize``, eviction only ever
+costs a recompile, and results are unaffected -- which the end of this
+module re-checks with a real two-scenario run under a maxsize-1 cache.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignScenario, EngineCache
+from repro.campaign import runner as runner_module
+from repro.core import LogicBistConfig
+
+from test_pipeline_equivalence import make_core
+
+
+@dataclasses.dataclass
+class FakeState:
+    """Stands in for a shard state; build_simulator() returns a fresh token."""
+
+    label: str
+    builds: list = dataclasses.field(default_factory=list)
+
+    def build_simulator(self):
+        engine = object()
+        self.builds.append(engine)
+        return engine
+
+
+class TestEngineCacheLru:
+    def test_hit_returns_same_engine_without_rebuild(self):
+        cache = EngineCache(maxsize=2)
+        state = FakeState("s0")
+        first = cache.get_or_build("s0", "stuck", state)
+        second = cache.get_or_build("s0", "stuck", state)
+        assert first is second
+        assert len(state.builds) == 1
+
+    def test_eviction_beyond_maxsize_is_lru_ordered(self):
+        cache = EngineCache(maxsize=2)
+        states = {name: FakeState(name) for name in ("s0", "s1", "s2")}
+        cache.get_or_build("s0", "stuck", states["s0"])
+        cache.get_or_build("s1", "stuck", states["s1"])
+        # Touch s0 so s1 becomes least recently used, then overflow.
+        cache.get_or_build("s0", "stuck", states["s0"])
+        cache.get_or_build("s2", "stuck", states["s2"])
+        assert len(cache) == 2
+        assert cache.keys() == [("s0", "stuck"), ("s2", "stuck")]
+        # The evicted scenario rebuilds on its next task.
+        cache.get_or_build("s1", "stuck", states["s1"])
+        assert len(states["s1"].builds) == 2
+        assert len(states["s0"].builds) == 1
+
+    def test_kinds_are_distinct_entries(self):
+        cache = EngineCache(maxsize=4)
+        state = FakeState("s0")
+        stuck = cache.get_or_build("s0", "stuck", state)
+        transition = cache.get_or_build("s0", "transition", state)
+        assert stuck is not transition
+        assert len(cache) == 2
+
+    def test_discard_scenario_drops_every_kind(self):
+        cache = EngineCache(maxsize=4)
+        state = FakeState("s0")
+        cache.get_or_build("s0", "stuck", state)
+        cache.get_or_build("s0", "transition", state)
+        cache.discard_scenario("s0")
+        assert len(cache) == 0
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            EngineCache(maxsize=0)
+
+    def test_default_cache_is_bounded(self):
+        assert runner_module._ENGINE_CACHE.maxsize == (
+            runner_module.DEFAULT_ENGINE_CACHE_SIZE
+        )
+
+
+class TestEvictionDoesNotChangeResults:
+    def test_campaign_identical_under_thrashing_cache(self, monkeypatch):
+        """maxsize=1 forces an eviction between every scenario's shards."""
+        scenarios = [
+            CampaignScenario(
+                f"core{seed}",
+                make_core(seed, domains=1),
+                LogicBistConfig(
+                    total_scan_chains=4,
+                    tpi_method="none",
+                    observation_point_budget=0,
+                    random_patterns=64,
+                    signature_patterns=8,
+                ),
+            )
+            for seed in (51, 52)
+        ]
+        reference = CampaignRunner(num_workers=1, fault_shards=2).run(scenarios)
+        monkeypatch.setattr(runner_module, "_ENGINE_CACHE", EngineCache(maxsize=1))
+        thrashed = CampaignRunner(num_workers=1, fault_shards=2).run(scenarios)
+        assert thrashed.report_bytes() == reference.report_bytes()
+        assert len(runner_module._ENGINE_CACHE) <= 1
