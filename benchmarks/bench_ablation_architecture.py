@@ -30,9 +30,9 @@ from repro.cores import comparator_core
 from repro.faults import FaultSimulator, collapse_stuck_at
 from repro.scan import build_scan_chains
 
-from conftest import print_rows
+from conftest import print_rows, scaled
 
-PATTERNS = 256
+PATTERNS = scaled(256, 96)
 
 
 def _coverage_with_stumps(circuit, architecture, use_phase_shifter):

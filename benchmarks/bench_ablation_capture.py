@@ -23,9 +23,9 @@ from repro.faults import (
 )
 from repro.timing import CaptureWindowScheduler, make_clock_tree
 
-from conftest import print_rows
+from conftest import print_rows, scaled
 
-PATTERN_PAIRS = 192
+PATTERN_PAIRS = scaled(192, 64)
 
 
 def _setup():

@@ -16,10 +16,10 @@ from repro.faults import FaultSimulator, collapse_stuck_at
 from repro.scan import build_scan_chains
 from repro.tpi import FaultSimGuidedObservationTpi, ObservabilityGuidedTpi
 
-from conftest import print_rows
+from conftest import print_rows, scaled
 
 BUDGET = 4
-PATTERNS = 384
+PATTERNS = scaled(384, 128)
 
 
 def _patterns(circuit, stumps, count, seed=7):

@@ -49,13 +49,13 @@ from repro.cores import core_y_recipe
 from repro.faults import FaultSimulator, collapse_stuck_at
 from repro.simulation import iter_blocks
 
-from conftest import print_rows, write_bench_json
+from conftest import print_rows, scaled, smoke_mode, write_bench_json
 
 #: Patterns per engine run (every engine simulates this same workload).
 #: Large enough that each worker's fixed cost (kernel build + its share of
 #: cone-plan compilation) amortizes the way it does in a real 20K-pattern
 #: campaign.
-PATTERNS = 4096
+PATTERNS = scaled(4096, 256)
 BLOCK_SIZE = 256
 WORKERS = 4
 #: Acceptance bar for the projected 4-worker fault-sim speedup.
@@ -86,7 +86,7 @@ def _fault_snapshot(fault_list):
 
 #: Timed sections run this many times; the minimum is recorded (the standard
 #: noise-rejection practice -- scheduler interference only ever adds time).
-REPEATS = 2
+REPEATS = scaled(2, 1)
 
 
 def _run_serial(circuit, blocks):
@@ -232,6 +232,8 @@ def test_campaign_speedup_recorded():
     time-sharing one core and says nothing about the shard plan."""
     payload = run()
     assert payload["bit_identical_to_serial"]
+    if smoke_mode():
+        return
     assert payload["speedup_projected_4w"] >= TARGET_SPEEDUP
     if (payload["cpus_available"] or 0) >= WORKERS and (
         payload["cpu_count"] or 0
@@ -241,4 +243,5 @@ def test_campaign_speedup_recorded():
 
 if __name__ == "__main__":
     payload = run()
-    raise SystemExit(0 if payload["speedup_projected_4w"] >= TARGET_SPEEDUP else 1)
+    ok = smoke_mode() or payload["speedup_projected_4w"] >= TARGET_SPEEDUP
+    raise SystemExit(0 if ok else 1)

@@ -38,10 +38,11 @@ from repro.scan import build_scan_chains
 from repro.simulation import iter_blocks
 from repro.simulation.reference import ReferenceFaultSimulator
 
-from conftest import print_rows, write_bench_json
+from conftest import print_rows, scaled, smoke_mode, write_bench_json
 
-#: Patterns per engine run (every engine simulates this same workload).
-PATTERNS = 512
+#: Patterns per engine run (every engine simulates this same workload;
+#: the bench-smoke tier shrinks it to an exercise-the-code size).
+PATTERNS = scaled(512, 64)
 #: The headline acceptance threshold: kernel@256 vs seed engine.
 TARGET_SPEEDUP = 3.0
 
@@ -162,13 +163,17 @@ def run() -> dict:
 
 
 def test_fault_sim_speedup_recorded():
-    """Regression guard: the compiled kernel keeps its >= 3x speedup on record."""
+    """Regression guard: the compiled kernel keeps its >= 3x speedup on record.
+    The smoke tier only exercises the harness: a tiny workload measures
+    fixed costs, not throughput, so the speedup bars are not asserted."""
     payload = run()
+    if smoke_mode():
+        return
     assert payload["speedup_kernel256_vs_seed_default"] >= TARGET_SPEEDUP
     assert payload["speedup_kernel256_vs_reference256"] >= TARGET_SPEEDUP
 
 
 if __name__ == "__main__":
     payload = run()
-    ok = payload["speedup_kernel256_vs_seed_default"] >= TARGET_SPEEDUP
+    ok = smoke_mode() or payload["speedup_kernel256_vs_seed_default"] >= TARGET_SPEEDUP
     raise SystemExit(0 if ok else 1)

@@ -19,9 +19,9 @@ import pytest
 
 from repro.timing import ShiftPathAnalyzer, ShiftPathParameters, monte_carlo_violations
 
-from conftest import print_rows
+from conftest import print_rows, scaled
 
-TRIALS = 400
+TRIALS = scaled(400, 50)
 SKEW_RANGE_NS = 2.0
 
 

@@ -45,14 +45,14 @@ from repro.campaign import CampaignRunner, CampaignScenario
 from repro.core import LogicBistConfig
 from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
 
-from conftest import print_rows, write_bench_json
+from conftest import print_rows, scaled, smoke_mode, write_bench_json
 
 WORKERS = 4
-SCENARIOS = 4
+SCENARIOS = scaled(4, 2)
 #: Acceptance bar: parent-serial share of campaign compute after pipelining.
 TARGET_SERIAL_FRACTION = 0.10
 #: Timed sections run this many times; the minimum is recorded.
-REPEATS = 2
+REPEATS = scaled(2, 1)
 
 
 def _build_scenarios() -> list[CampaignScenario]:
@@ -84,8 +84,8 @@ def _build_scenarios() -> list[CampaignScenario]:
             total_scan_chains=4,
             tpi_method="fault_sim",
             observation_point_budget=6,
-            tpi_profile_patterns=256,
-            random_patterns=512,
+            tpi_profile_patterns=scaled(256, 32),
+            random_patterns=scaled(512, 64),
             signature_patterns=32,
             block_size=64,
         )
@@ -227,6 +227,8 @@ def test_pipeline_amdahl_fraction_recorded():
     on fewer cores the projected (machine-independent) number is the record."""
     payload = run()
     assert payload["bit_identical_to_serial"]
+    if smoke_mode():
+        return
     assert payload["serial_fraction_after"] < TARGET_SERIAL_FRACTION
     assert (
         payload["speedup_projected_4w_after"]
@@ -240,8 +242,7 @@ def test_pipeline_amdahl_fraction_recorded():
 
 if __name__ == "__main__":
     payload = run()
-    ok = (
-        payload["bit_identical_to_serial"]
-        and payload["serial_fraction_after"] < TARGET_SERIAL_FRACTION
+    ok = payload["bit_identical_to_serial"] and (
+        smoke_mode() or payload["serial_fraction_after"] < TARGET_SERIAL_FRACTION
     )
     raise SystemExit(0 if ok else 1)

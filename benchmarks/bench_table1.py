@@ -20,11 +20,11 @@ import pytest
 from repro.core import LogicBistConfig, LogicBistFlow, build_table1_report, coverage_shape_checks
 from repro.cores import core_x_recipe, core_y_recipe
 
-from conftest import print_rows
+from conftest import print_rows, scaled, smoke_mode
 
 #: Pattern budget used by the benchmark (the paper uses 20 000; the scaled
 #: cores saturate far earlier, see EXPERIMENTS.md).
-RANDOM_PATTERNS = 1024
+RANDOM_PATTERNS = scaled(1024, 128)
 
 
 def _run_recipe(recipe, random_patterns=RANDOM_PATTERNS, backtrack_limit=60, **config_overrides):
@@ -84,10 +84,14 @@ def test_table1_full_flow(benchmark, recipe_factory):
     # asserted: the absolute level depends on the scaling of the synthetic
     # core (see EXPERIMENTS.md note 1).
     assert checks["random_coverage_below_final"]
-    assert checks["topup_is_small_fraction"]
     assert checks["one_prpg_misr_pair_per_domain"]
     assert checks["at_speed_schedule_valid"]
-    assert checks["topup_gain_same_order_as_paper"]
+    # The pattern-budget-proportion checks hold at the real workload scale
+    # only: the bench-smoke tier shrinks the random budget far below the
+    # plateau, where top-up legitimately contributes a large fraction.
+    if not smoke_mode():
+        assert checks["topup_is_small_fraction"]
+        assert checks["topup_gain_same_order_as_paper"]
 
 
 def test_table1_coverage_curve_plateau(benchmark):

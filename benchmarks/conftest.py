@@ -8,32 +8,83 @@ alongside the timing numbers pytest-benchmark collects.
 Performance-regression benchmarks additionally persist their measurements as
 JSON next to this file through :func:`write_bench_json` (e.g.
 ``BENCH_fault_sim.json`` from ``bench_fault_sim.py``), so future PRs can track
-the throughput trajectory across the repository's history.
+the throughput trajectory across the repository's history.  Every record is
+stamped with the interpreter version and the host's CPU counts, so historical
+numbers can be compared like for like.
+
+**Smoke mode** (``BENCH_SMOKE=1``, the ``scripts/verify.sh bench-smoke``
+tier) runs every benchmark on a tiny workload so the scripts cannot silently
+rot: each script shrinks its pattern/scenario budgets through
+:func:`scaled` and skips its speedup assertions through :func:`smoke_mode`
+(tiny workloads measure fixed costs, not throughput).  Smoke runs write
+their JSON under ``benchmarks/.smoke/`` (gitignored) so they can never
+clobber the checked-in regression records.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, TypeVar
 
 #: Directory that receives the ``BENCH_*.json`` regression records.
 BENCH_DIR = Path(__file__).parent
+
+#: Environment variable selecting the tiny-workload smoke tier.
+SMOKE_ENV = "BENCH_SMOKE"
+
+_T = TypeVar("_T")
+
+
+def smoke_mode() -> bool:
+    """True when the bench-smoke tier is running (``BENCH_SMOKE=1``)."""
+    return os.environ.get(SMOKE_ENV, "") not in ("", "0")
+
+
+def scaled(value: _T, smoke_value: _T) -> _T:
+    """``value`` normally, ``smoke_value`` under the bench-smoke tier."""
+    return smoke_value if smoke_mode() else value
+
+
+def cpu_counts() -> dict[str, object]:
+    """The host CPU facts every BENCH record carries.
+
+    ``cpu_count`` is the hardware count, ``cpus_available`` the scheduling
+    affinity actually granted to this process (what a containerised CI run
+    can really use) -- speedup records are only meaningful relative to the
+    latter.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "cpus_available": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+    }
 
 
 def write_bench_json(name: str, payload: Mapping[str, object]) -> Path:
     """Persist one benchmark's measurements as ``benchmarks/BENCH_<name>.json``.
 
-    The payload is stamped with the interpreter version so historical numbers
-    can be compared like for like.  Returns the written path.
+    The payload is stamped with the interpreter version and the host CPU
+    counts so historical numbers can be compared like for like.  Under the
+    bench-smoke tier the record lands in ``benchmarks/.smoke/`` instead and
+    is marked ``"smoke": true`` -- tiny-workload numbers must never
+    overwrite the checked-in regression records.
     """
     record = {
         "benchmark": name,
         "python": platform.python_version(),
+        **cpu_counts(),
         **payload,
     }
-    path = BENCH_DIR / f"BENCH_{name}.json"
+    directory = BENCH_DIR
+    if smoke_mode():
+        record["smoke"] = True
+        directory = BENCH_DIR / ".smoke"
+        directory.mkdir(exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2) + "\n")
     return path
 

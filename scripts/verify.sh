@@ -2,15 +2,25 @@
 # Test-tier entry points (the single place the tiers are defined; the
 # markers themselves are declared in pytest.ini):
 #
-#   scripts/verify.sh          fast tier: -m "not slow and not multiprocess"
-#                              -- serial-only, dependency-free (the numpy
-#                              marker auto-skips without NumPy), the loop
-#                              you run on every edit
-#   scripts/verify.sh full     everything: the tier-1 gate
-#                              (PYTHONPATH=src python -m pytest -x -q),
-#                              including the exhaustive LFSR period walks
-#                              (slow) and the real worker-pool suites
-#                              (multiprocess)
+#   scripts/verify.sh             fast tier: -m "not slow and not multiprocess"
+#                                 -- serial-only, dependency-free (the numpy
+#                                 marker auto-skips without NumPy), the loop
+#                                 you run on every edit
+#   scripts/verify.sh full        everything: the tier-1 gate
+#                                 (PYTHONPATH=src python -m pytest -x -q),
+#                                 including the exhaustive LFSR period walks
+#                                 (slow) and the real worker-pool suites
+#                                 (multiprocess)
+#   scripts/verify.sh bench-smoke every benchmarks/bench_*.py on a tiny
+#                                 workload (BENCH_SMOKE=1): exercises the
+#                                 benchmark harnesses end to end so the
+#                                 scripts cannot silently rot.  Speedup bars
+#                                 are not asserted (tiny workloads measure
+#                                 fixed costs, not throughput), JSON records
+#                                 land in benchmarks/.smoke/ (gitignored),
+#                                 and pytest-benchmark timing loops are
+#                                 disabled so every benchmarked body runs
+#                                 exactly once.
 #
 # Markers:
 #   slow          exhaustive LFSR period walks (widths 14-20)
@@ -34,8 +44,14 @@ case "$tier" in
   full)
     exec python -m pytest -x -q "$@"
     ;;
+  bench-smoke)
+    # Enumerate explicitly: bench_*.py does not match pytest's test-file
+    # collection patterns, so a bare directory argument collects nothing.
+    BENCH_SMOKE=1 exec python -m pytest -x -q --benchmark-disable \
+      benchmarks/bench_*.py "$@"
+    ;;
   *)
-    echo "usage: scripts/verify.sh [fast|full] [pytest args...]" >&2
+    echo "usage: scripts/verify.sh [fast|full|bench-smoke] [pytest args...]" >&2
     exit 2
     ;;
 esac

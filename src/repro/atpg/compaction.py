@@ -46,6 +46,7 @@ def reverse_order_compaction(
     patterns: Sequence[dict[str, int]],
     fault_list: FaultList,
     observe_nets: Optional[Sequence[str]] = None,
+    sim_backend: str = "python",
 ) -> list[dict[str, int]]:
     """Drop patterns that detect no fault not already detected by later patterns.
 
@@ -61,13 +62,16 @@ def reverse_order_compaction(
     observe_nets:
         Observation nets (defaults to the circuit's observation nets plus any
         the caller added, e.g. observation test points).
+    sim_backend:
+        Execution backend for the per-pattern scans ("python" or "numpy";
+        the kept pattern set is backend-invariant).
 
     Returns
     -------
     list
         The retained patterns, in their original relative order.
     """
-    simulator = FaultSimulator(circuit, observe_nets)
+    simulator = FaultSimulator(circuit, observe_nets, backend=sim_backend)
     remaining = FaultList(fault_list.faults())
     keep: list[tuple[int, dict[str, int]]] = []
     for index in range(len(patterns) - 1, -1, -1):

@@ -1,0 +1,446 @@
+"""Kernel-indexed 5-valued implication engine for PODEM.
+
+This is the ATPG counterpart of the compiled simulation kernel: the
+reference :class:`~repro.atpg.implication.FaultedEvaluator` rebuilds a full
+``dict[str, Value5]`` on every PODEM decision, which made ATPG the last hot
+path still running on name-keyed dicts.  :class:`CompiledFaultedEvaluator`
+lowers the same composite (good/faulty) three-valued implication onto the
+shared :class:`~repro.simulation.kernel.CompiledKernel`:
+
+* values live in two flat lists indexed by dense net ID (``None`` = X),
+* implication is **incremental**: assigning or retracting one stimulus net
+  re-evaluates only the net's fanout cone (the kernel's cached
+  :class:`~repro.simulation.kernel.ConePlan` schedule slice), not the whole
+  circuit -- for a feed-forward netlist a single in-order pass over the
+  changed cone reaches exactly the fixpoint the reference engine computes
+  from scratch,
+* the D-frontier scan walks only the fault site's cone (a discrepancy can
+  exist nowhere else), and the X-path check runs over interned ID adjacency
+  arrays,
+* per-kernel derived analyses -- the ATPG fanout adjacency and the SCOAP
+  backtrace guidance -- are computed once per circuit revision and memoised
+  in ``CompiledKernel.analysis_cache``, so every fault targeted through
+  :func:`~repro.simulation.kernel.shared_kernel` reuses them.
+
+Equivalence contract: for any assignment sequence the flat arrays hold
+exactly the values the reference engine's ``implied_values`` would produce,
+and the frontier / X-path / test predicates agree decision for decision --
+``tests/atpg/test_compiled_podem.py`` asserts this differentially, which is
+what lets the compiled engine be the default without perturbing a single
+generated cube.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import (
+    OP_AND,
+    OP_AND2,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_MUX,
+    OP_NAND,
+    OP_NAND2,
+    OP_NOR,
+    OP_NOR2,
+    OP_NOT,
+    OP_OR,
+    OP_OR2,
+    OP_XNOR,
+    OP_XNOR2,
+    OP_XOR,
+    OP_XOR2,
+)
+from ..faults.models import StuckAtFault
+from ..simulation.kernel import CompiledKernel, shared_kernel
+
+#: Opcode groups used by the 3-valued interpreter below.
+_AND_OPS = (OP_AND, OP_AND2)
+_NAND_OPS = (OP_NAND, OP_NAND2)
+_OR_OPS = (OP_OR, OP_OR2)
+_NOR_OPS = (OP_NOR, OP_NOR2)
+_XOR_OPS = (OP_XOR, OP_XOR2)
+_XNOR_OPS = (OP_XNOR, OP_XNOR2)
+
+#: Opcode -> controlling input value (AND/NAND: 0, OR/NOR: 1), as in
+#: :data:`repro.netlist.gates.CONTROLLING_VALUE` but keyed by opcode.
+OP_CONTROLLING_VALUE: dict[int, int] = {
+    OP_AND: 0,
+    OP_AND2: 0,
+    OP_NAND: 0,
+    OP_NAND2: 0,
+    OP_OR: 1,
+    OP_OR2: 1,
+    OP_NOR: 1,
+    OP_NOR2: 1,
+}
+
+#: Opcodes that complement the value on the way through (backtrace parity).
+INVERTING_OPS = frozenset(
+    (OP_NOT, OP_NAND, OP_NAND2, OP_NOR, OP_NOR2, OP_XNOR, OP_XNOR2)
+)
+
+
+def eval3_op(op: int, inputs: Sequence[Optional[int]]) -> Optional[int]:
+    """Scalar three-valued gate evaluation by opcode (``None`` = X).
+
+    Semantically identical to :func:`repro.atpg.implication._eval3`, but
+    dispatching on the compiled kernel's small-integer opcodes instead of
+    :class:`~repro.netlist.gates.GateType` members.
+    """
+    if op in _AND_OPS or op in _NAND_OPS:
+        if any(v == 0 for v in inputs):
+            out: Optional[int] = 0
+        elif all(v == 1 for v in inputs):
+            out = 1
+        else:
+            out = None
+        if op in _NAND_OPS and out is not None:
+            out = 1 - out
+        return out
+    if op in _OR_OPS or op in _NOR_OPS:
+        if any(v == 1 for v in inputs):
+            out = 1
+        elif all(v == 0 for v in inputs):
+            out = 0
+        else:
+            out = None
+        if op in _NOR_OPS and out is not None:
+            out = 1 - out
+        return out
+    if op in _XOR_OPS or op in _XNOR_OPS:
+        parity = 0
+        for v in inputs:
+            if v is None:
+                return None
+            parity ^= v
+        return parity if op in _XOR_OPS else 1 - parity
+    if op == OP_NOT:
+        return None if inputs[0] is None else 1 - inputs[0]
+    if op == OP_BUF:
+        return inputs[0]
+    if op == OP_MUX:
+        sel, a, b = inputs
+        if sel == 0:
+            return a
+        if sel == 1:
+            return b
+        if a is not None and a == b:
+            return a
+        return None
+    if op == OP_CONST0:
+        return 0
+    return 1  # OP_CONST1
+
+
+# --------------------------------------------------------------------------- #
+# Per-kernel derived analyses (cached in CompiledKernel.analysis_cache)
+# --------------------------------------------------------------------------- #
+class AtpgAdjacency:
+    """ID-space structural facts the PODEM queries need.
+
+    Attributes
+    ----------
+    comb_readers:
+        Per net ID, the output IDs of the combinational gates reading the
+        net (the X-path successors).
+    feeds_flop_d:
+        Per net ID, 1 when the net drives some flop's D pin -- reaching such
+        a net means reaching a pseudo primary output in the scan view.
+    stimulus:
+        Per net ID, 1 for stimulus nets (primary inputs and flop outputs).
+    """
+
+    def __init__(self, kernel: CompiledKernel) -> None:
+        circuit = kernel.circuit
+        net_id = kernel.net_id
+        readers: list[list[int]] = [[] for _ in range(kernel.num_nets)]
+        self.feeds_flop_d = bytearray(kernel.num_nets)
+        for gate in circuit:
+            if gate.is_flop:
+                if gate.inputs:
+                    self.feeds_flop_d[net_id[gate.inputs[0]]] = 1
+                continue
+            if gate.is_primary_input or gate.gate_type.is_source:
+                continue
+            out = net_id[gate.name]
+            for net in gate.inputs:
+                readers[net_id[net]].append(out)
+        self.comb_readers: tuple[tuple[int, ...], ...] = tuple(
+            tuple(outs) for outs in readers
+        )
+        self.stimulus = bytearray(kernel.num_nets)
+        for sid in kernel.stimulus_ids:
+            self.stimulus[sid] = 1
+
+
+def atpg_adjacency(kernel: CompiledKernel) -> AtpgAdjacency:
+    """The kernel's cached :class:`AtpgAdjacency` (computed once per revision)."""
+    adjacency = kernel.analysis_cache.get("atpg_adjacency")
+    if adjacency is None:
+        adjacency = AtpgAdjacency(kernel)
+        kernel.analysis_cache["atpg_adjacency"] = adjacency
+    return adjacency
+
+
+def scoap_guidance(kernel: CompiledKernel) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """SCOAP controllability arrays ``(cc0, cc1)`` indexed by net ID.
+
+    Backtrace guidance for :class:`~repro.atpg.podem.PodemAtpg`'s ``"scoap"``
+    mode: when several gate inputs are still X, descend into the one whose
+    required value is cheapest to justify.  Computed once per kernel (one
+    forward SCOAP pass) and cached via ``analysis_cache``, so the cost is
+    shared by every fault targeted against the same circuit revision.
+    """
+    cached = kernel.analysis_cache.get("scoap_guidance")
+    if cached is None:
+        from ..testability.scoap import compute_scoap
+
+        measures = compute_scoap(kernel.circuit)
+        cc0 = tuple(measures[name].cc0 for name in kernel.net_names)
+        cc1 = tuple(measures[name].cc1 for name in kernel.net_names)
+        cached = (cc0, cc1)
+        kernel.analysis_cache["scoap_guidance"] = cached
+    return cached
+
+
+# --------------------------------------------------------------------------- #
+# The compiled composite evaluator
+# --------------------------------------------------------------------------- #
+class CompiledFaultedEvaluator:
+    """Incremental good/faulty implication for one stuck-at fault, in ID space.
+
+    The engine holds one persistent pair of value arrays.  ``assign`` /
+    ``retract`` update a stimulus net and re-evaluate only its fanout cone;
+    every query then reads the flat arrays directly.  All net identities are
+    kernel IDs; :class:`~repro.atpg.podem.PodemAtpg` translates back to
+    names only when it packages the final test cube.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        fault: StuckAtFault,
+        observe_nets: Optional[Sequence[str]] = None,
+        kernel: Optional[CompiledKernel] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.fault = fault
+        self.kernel = kernel if kernel is not None else shared_kernel(circuit)
+        kern = self.kernel
+        self.adjacency = atpg_adjacency(kern)
+        net_id = kern.net_id
+
+        observe = (
+            list(observe_nets)
+            if observe_nets is not None
+            else circuit.observation_nets()
+        )
+        self.observe_ids: tuple[int, ...] = tuple(net_id[name] for name in observe)
+        self._observe_mask = bytearray(kern.num_nets)
+        for oid in self.observe_ids:
+            self._observe_mask[oid] = 1
+
+        # Fault-site resolution, mirroring the reference engine exactly:
+        # stem faults force the whole net in the faulty component; branch
+        # faults on a combinational gate force only that gate's view of the
+        # driving net; branch faults on a flop's D pin leave the real
+        # circuit untouched and are observed at a pseudo net.
+        self._stem_site: Optional[int] = None  # forced faulty net ID (stem)
+        self._branch_owner: Optional[int] = None  # owning gate out ID (comb branch)
+        self._branch_pin: int = fault.pin
+        self._flop_pseudo = False
+        if fault.is_stem:
+            self._stem_site = net_id[fault.gate]
+        else:
+            gate = circuit.gate(fault.gate)
+            if gate.is_flop:
+                self._flop_pseudo = True
+            else:
+                self._branch_owner = net_id[fault.gate]
+        #: Net whose good value decides activation (= ``fault.faulted_net``).
+        self.site_net_id: int = net_id[fault.faulted_net(circuit)]
+
+        # Frontier scan schedule: the fault site's cone (plus, for a
+        # combinational branch fault, the owning gate itself, which precedes
+        # its cone in topological order).  Discrepancies cannot exist
+        # anywhere else, so this is the only region worth scanning.
+        if self._flop_pseudo:
+            cone_ops: tuple = ()
+            cone_outs: tuple = ()
+            cone_operands: tuple = ()
+        else:
+            origin = (
+                self._stem_site if self._stem_site is not None else self._branch_owner
+            )
+            plan = kern.cone_plan(origin)
+            cone_ops, cone_outs, cone_operands = plan.ops, plan.outs, plan.operands
+            if self._branch_owner is not None:
+                pos = kern.sched_pos[self._branch_owner]
+                cone_ops = (kern.ops[pos],) + cone_ops
+                cone_outs = (kern.outs[pos],) + cone_outs
+                cone_operands = (kern.operands[pos],) + cone_operands
+        self._frontier_schedule = tuple(zip(cone_ops, cone_outs, cone_operands))
+
+        self.good: list[Optional[int]] = [None] * kern.num_nets
+        self.faulty: list[Optional[int]] = [None] * kern.num_nets
+        self._imply_full()
+
+    # ------------------------------------------------------------------ #
+    # Implication
+    # ------------------------------------------------------------------ #
+    def _eval_gate(self, op: int, out: int, ins: tuple[int, ...]) -> None:
+        """Re-evaluate one gate's good and faulty values in place."""
+        good = self.good
+        faulty = self.faulty
+        good_out = eval3_op(op, [good[i] for i in ins])
+        if out == self._stem_site:
+            faulty_out: Optional[int] = self.fault.value
+        elif out == self._branch_owner:
+            pin = self._branch_pin
+            faulty_ins = [
+                self.fault.value if index == pin else faulty[i]
+                for index, i in enumerate(ins)
+            ]
+            faulty_out = eval3_op(op, faulty_ins)
+        else:
+            faulty_out = eval3_op(op, [faulty[i] for i in ins])
+        good[out] = good_out
+        faulty[out] = faulty_out
+
+    def _imply_full(self) -> None:
+        """One full forward pass (engine construction / bulk reset)."""
+        stem = self._stem_site
+        fault_value = self.fault.value
+        for sid in self.kernel.stimulus_ids:
+            self.good[sid] = None
+            self.faulty[sid] = fault_value if sid == stem else None
+        for op, out, ins in zip(
+            self.kernel.ops, self.kernel.outs, self.kernel.operands
+        ):
+            self._eval_gate(op, out, ins)
+
+    def _propagate(self, changed_id: int) -> None:
+        """Re-evaluate the fanout cone of one changed stimulus net."""
+        plan = self.kernel.cone_plan(changed_id)
+        for op, out, ins in zip(plan.ops, plan.outs, plan.operands):
+            self._eval_gate(op, out, ins)
+
+    def assign(self, net_id: int, value: int) -> None:
+        """Set one stimulus net to 0/1 and incrementally re-implicate."""
+        self.good[net_id] = value
+        self.faulty[net_id] = (
+            self.fault.value if net_id == self._stem_site else value
+        )
+        self._propagate(net_id)
+
+    def retract(self, net_id: int) -> None:
+        """Return one stimulus net to X and incrementally re-implicate."""
+        self.good[net_id] = None
+        self.faulty[net_id] = (
+            self.fault.value if net_id == self._stem_site else None
+        )
+        self._propagate(net_id)
+
+    # ------------------------------------------------------------------ #
+    # PODEM queries
+    # ------------------------------------------------------------------ #
+    def is_test(self) -> bool:
+        """True when some observation net carries D or D'."""
+        good = self.good
+        faulty = self.faulty
+        for oid in self.observe_ids:
+            g = good[oid]
+            if g is not None:
+                f = faulty[oid]
+                if f is not None and f != g:
+                    return True
+        if self._flop_pseudo:
+            g = good[self.site_net_id]
+            if g is not None and g != self.fault.value:
+                return True
+        return False
+
+    def fault_activated(self) -> Optional[bool]:
+        """Good value at the fault site vs the stuck value (None while X)."""
+        g = self.good[self.site_net_id]
+        if g is None:
+            return None
+        return g != self.fault.value
+
+    def d_frontier(self) -> list[int]:
+        """Output IDs of D-frontier gates, in schedule (topological) order."""
+        good = self.good
+        faulty = self.faulty
+        frontier: list[int] = []
+        branch_owner = self._branch_owner
+        for op, out, ins in self._frontier_schedule:
+            if good[out] is not None and faulty[out] is not None:
+                continue
+            advanced = False
+            for i in ins:
+                g = good[i]
+                if g is not None:
+                    f = faulty[i]
+                    if f is not None and f != g:
+                        frontier.append(out)
+                        advanced = True
+                        break
+            if advanced:
+                continue
+            if out == branch_owner:
+                site_good = good[ins[self._branch_pin]]
+                if site_good is not None and site_good != self.fault.value:
+                    frontier.append(out)
+        return frontier
+
+    def x_path_exists(self, frontier: Sequence[int]) -> bool:
+        """Can a frontier discrepancy still reach an observation net?"""
+        good = self.good
+        faulty = self.faulty
+        observe = self._observe_mask
+        feeds_flop_d = self.adjacency.feeds_flop_d
+        readers = self.adjacency.comb_readers
+        visited = bytearray(self.kernel.num_nets)
+        stack = list(frontier)
+        while stack:
+            nid = stack.pop()
+            if visited[nid]:
+                continue
+            visited[nid] = 1
+            if observe[nid] or feeds_flop_d[nid]:
+                return True
+            for successor in readers[nid]:
+                if good[successor] is None or faulty[successor] is None:
+                    stack.append(successor)
+        return False
+
+    def is_x(self, net_id: int) -> bool:
+        """True when the net's composite value is not fully known."""
+        return self.good[net_id] is None or self.faulty[net_id] is None
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def values_by_name(self):
+        """Name-keyed :class:`~repro.atpg.dcalc.Value5` view of the state.
+
+        Shaped exactly like the reference engine's ``implied_values`` return
+        (including the pseudo ``<flop>.D`` net for flop-D-pin branch faults),
+        so differential tests can compare the two engines dict-for-dict.
+        Diagnostics only -- the search itself never materialises this.
+        """
+        from .dcalc import value5
+
+        values = {
+            name: value5(self.good[nid], self.faulty[nid])
+            for nid, name in enumerate(self.kernel.net_names)
+        }
+        if self._flop_pseudo:
+            values[f"{self.fault.gate}.D"] = value5(
+                self.good[self.site_net_id], self.fault.value
+            )
+        return values

@@ -63,6 +63,21 @@ X = Value5(None, None)
 D = Value5(1, 0)
 D_BAR = Value5(0, 1)
 
+#: The nine possible composite values, interned so the implication engines
+#: never allocate per-net objects (the reference engine re-implies the whole
+#: netlist on every PODEM decision; the compiled engine materialises
+#: :class:`Value5` views only for diagnostics and differential tests).
+VALUE_TABLE: dict[tuple[Optional[int], Optional[int]], Value5] = {
+    (good, faulty): Value5(good, faulty)
+    for good in (0, 1, None)
+    for faulty in (0, 1, None)
+}
+
+
+def value5(good: Optional[int], faulty: Optional[int]) -> Value5:
+    """Interned :class:`Value5` lookup (avoids per-net object construction)."""
+    return VALUE_TABLE[(good, faulty)]
+
 
 def from_symbol(symbol: str) -> Value5:
     """Parse a textbook symbol back into a :class:`Value5`."""

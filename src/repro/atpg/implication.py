@@ -10,6 +10,11 @@ on every decision:
 * which gates form the D-frontier (``d_frontier``),
 * can the discrepancy still reach an observation net through X-valued nets
   (``x_path_exists``) -- the classical X-path check used to prune dead ends.
+
+This is the *reference* engine: it re-implies the whole netlist through
+name-keyed dicts on every decision, and is preserved as the bit-exactness
+oracle and benchmark baseline of the kernel-indexed incremental engine in
+:mod:`repro.atpg.compiled` (the default since the compiled ATPG refactor).
 """
 
 from __future__ import annotations
@@ -19,20 +24,7 @@ from typing import Mapping, Optional, Sequence
 from ..netlist.circuit import Circuit
 from ..netlist.gates import GateType
 from ..faults.models import StuckAtFault
-from .dcalc import Value5
-
-#: The nine possible composite values, interned so the implication loop never
-#: allocates (PODEM re-implies the whole netlist on every decision).
-_VALUE_TABLE: dict[tuple[Optional[int], Optional[int]], Value5] = {
-    (good, faulty): Value5(good, faulty)
-    for good in (0, 1, None)
-    for faulty in (0, 1, None)
-}
-
-
-def _value5(good: Optional[int], faulty: Optional[int]) -> Value5:
-    """Interned :class:`Value5` lookup (avoids per-net object construction)."""
-    return _VALUE_TABLE[(good, faulty)]
+from .dcalc import Value5, value5 as _value5
 
 
 def _eval3(gate_type: GateType, inputs: Sequence[Optional[int]]) -> Optional[int]:

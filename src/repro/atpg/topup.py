@@ -7,23 +7,61 @@ resulting cubes are compacted, X bits are random-filled, and every new pattern
 is fault-simulated against the whole remaining fault population (with
 dropping) so that one deterministic pattern usually retires many faults.
 
+Two execution paths produce bit-identical results:
+
+* ``engine="compiled"`` (the default) runs PODEM on the kernel-indexed
+  incremental implication engine and **block-batches the candidate
+  screening**: generated patterns are buffered, incrementally packed into
+  ``block_size``-wide words, and retired against the remaining fault
+  population with *one* PPSFP scan per block (either simulation backend)
+  instead of one width-1 scan of the whole population per pattern -- which
+  is where most of the top-up wall time used to go.  Whether a pending
+  target is already covered by a buffered (not yet flushed) pattern is
+  answered by a single cone resimulation of that fault over the packed
+  buffer, so the skip decisions -- and with them the PODEM invocations, the
+  random-fill RNG stream and every pattern byte -- exactly match the serial
+  walk.
+* ``engine="reference"`` preserves the original name-keyed
+  one-pattern-at-a-time walk as the bit-exactness oracle and benchmark
+  baseline.
+
 The top-up patterns are applied through the input selector of the BIST
 architecture (Fig. 1) -- in silicon they would be scanned in through the
-Boundary-Scan port instead of coming from the PRPG.
+Boundary-Scan port instead of coming from the PRPG.  Their campaign pattern
+indices live in their own range starting at :data:`TOPUP_PATTERN_BASE`, so
+they can never collide with random-phase indices.
 """
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from ..faults.fault_list import FaultList
 from ..faults.fault_sim import FaultSimulator
-from ..faults.models import StuckAtFault
+from ..faults.models import FaultStatus, StuckAtFault
 from ..netlist.circuit import Circuit
+from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock, mask_for
 from .compaction import merge_compatible_cubes
-from .podem import AtpgOutcome, PodemAtpg, TestCube
+from .podem import (
+    BACKTRACE_FIRST_X,
+    BACKTRACE_SCOAP,
+    COMPILED_ENGINE,
+    REFERENCE_ENGINE,
+    AtpgOutcome,
+    AtpgResult,
+    PodemAtpg,
+    TestCube,
+)
+
+logger = logging.getLogger(__name__)
+
+#: First campaign pattern index of the top-up phase.  Random-phase indices
+#: are always below this base (a 20 K-pattern session uses [0, 20480)), so
+#: top-up first-detection indices can never collide with random-phase ones.
+TOPUP_PATTERN_BASE = 1_000_000
 
 
 @dataclass
@@ -39,11 +77,108 @@ class TopUpResult:
     coverage_before: float = 0.0
     coverage_after: float = 0.0
     backtracks: int = 0
+    #: Targets dropped by the ``max_faults`` cap before any ATPG ran (0 when
+    #: every undetected fault was eligible) -- recorded so a capped run can
+    #: never silently masquerade as a full one.
+    skipped_targets: int = 0
 
     @property
     def pattern_count(self) -> int:
         """Number of top-up patterns produced (post compaction and random fill)."""
         return len(self.patterns)
+
+
+class _ScreenBuffer:
+    """Block-batched screening state: buffered patterns, packed incrementally.
+
+    Patterns append into per-net packed words (bit *i* = pattern *i* of the
+    buffer); :meth:`detects` answers "does any buffered pattern detect this
+    fault?" with one fault-free evaluation per buffer change plus one cone
+    resimulation per query, and :meth:`flush` retires the whole buffer
+    against a fault list with a single PPSFP block scan.
+    """
+
+    def __init__(
+        self,
+        simulator: FaultSimulator,
+        stimulus_nets: Sequence[str],
+        block_size: int,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.simulator = simulator
+        self.stimulus_nets = list(stimulus_nets)
+        self.block_size = block_size
+        self._count = 0
+        self._words: dict[str, int] = {}
+        self._table = simulator.kernel.make_table()
+        self._dirty = False
+        #: Patterns already flushed (the buffer's base offset within the
+        #: top-up phase).
+        self.flushed = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def emitted(self) -> int:
+        """Total patterns seen (flushed + buffered)."""
+        return self.flushed + self._count
+
+    def append(self, pattern: Mapping[str, int]) -> None:
+        """Buffer one fully-specified pattern (flush separately when full).
+
+        Packing is incremental -- the per-net words *are* the buffer; no
+        per-pattern dict is retained or re-packed at flush time.
+        """
+        bit = 1 << self._count
+        words = self._words
+        for net, value in pattern.items():
+            if value:
+                words[net] = words.get(net, 0) | bit
+        self._count += 1
+        self._dirty = True
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self.block_size
+
+    def detects(self, fault: StuckAtFault) -> bool:
+        """Does any *buffered* (unflushed) pattern detect ``fault``?"""
+        num = self._count
+        if not num:
+            return False
+        if self._dirty:
+            mask = mask_for(num)
+            kernel = self.simulator.kernel
+            kernel.set_stimulus(self._table, self._words, mask)
+            kernel.evaluate(self._table, mask)
+            self._dirty = False
+        return bool(self.simulator.detection_mask_ids(fault, self._table, num))
+
+    def flush(self, fault_list: FaultList, pattern_offset_base: Optional[int]) -> None:
+        """Retire the buffered patterns with one PPSFP scan (with dropping).
+
+        ``pattern_offset_base`` is the global index of the *phase's* first
+        pattern (detections are credited at ``base + position``); ``None``
+        runs the scan purely for its dropping side effect (scratch lists).
+        """
+        if not self._count:
+            return
+        block = PatternBlock(
+            {net: self._words.get(net, 0) for net in self.stimulus_nets},
+            self._count,
+        )
+        self.simulator.simulate_blocks(
+            fault_list,
+            [block],
+            drop_detected=True,
+            pattern_offset=(pattern_offset_base or 0) + self.flushed,
+        )
+        self.flushed += self._count
+        self._count = 0
+        self._words = {}
+        self._dirty = False
 
 
 @dataclass
@@ -56,11 +191,70 @@ class TopUpAtpg:
     seed: int = 2005
     #: Upper bound on targeted faults (None = all undetected faults).
     max_faults: Optional[int] = None
+    #: Execution engine: "compiled" (kernel-indexed PODEM + block-batched
+    #: screening, the default) or "reference" (the name-keyed oracle walk).
+    engine: str = COMPILED_ENGINE
+    #: PODEM backtrace heuristic (compiled engine only; see PodemAtpg).
+    backtrace: str = BACKTRACE_FIRST_X
+    #: Screening block width: generated patterns buffered per PPSFP scan.
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: Simulation backend for the screening scans ("python" or "numpy").
+    sim_backend: str = "python"
     _rng: random.Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.engine not in (COMPILED_ENGINE, REFERENCE_ENGINE):
+            raise ValueError(f"unknown ATPG engine {self.engine!r}")
+        if self.backtrace not in (BACKTRACE_FIRST_X, BACKTRACE_SCOAP):
+            raise ValueError(f"unknown backtrace heuristic {self.backtrace!r}")
         self._rng = random.Random(self.seed)
 
+    # ------------------------------------------------------------------ #
+    # Target planning (shared by every path, including the campaign stage)
+    # ------------------------------------------------------------------ #
+    def plan_targets(
+        self, fault_list: FaultList, log: bool = True
+    ) -> tuple[list[StuckAtFault], int]:
+        """The ordered ATPG target list and the count dropped by ``max_faults``.
+
+        Deterministic given the fault list state, so the campaign's pooled
+        top-up expander and the serial walk always agree on the targets.
+        ``log=False`` silences the dropped-target notice for the planning
+        re-runs the campaign stages perform (the count is always recorded in
+        ``TopUpResult.skipped_targets`` regardless).
+        """
+        targets = [f for f in fault_list.undetected() if isinstance(f, StuckAtFault)]
+        skipped = 0
+        if self.max_faults is not None and len(targets) > self.max_faults:
+            skipped = len(targets) - self.max_faults
+            targets = targets[: self.max_faults]
+            if log:
+                logger.info(
+                    "top-up max_faults=%d drops %d of %d undetected targets",
+                    self.max_faults,
+                    skipped,
+                    skipped + len(targets),
+                )
+        return targets, skipped
+
+    def podem(self) -> PodemAtpg:
+        """The PODEM generator this driver's runs use.
+
+        Public because the campaign's :class:`PodemShardStage` workers must
+        generate with exactly the engine and heuristic the merge replay
+        assumes.
+        """
+        return PodemAtpg(
+            self.circuit,
+            self.observe_nets,
+            self.backtrack_limit,
+            engine=self.engine,
+            backtrace=self.backtrace,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
     def run(self, fault_list: FaultList) -> TopUpResult:
         """Generate top-up patterns for the undetected faults in ``fault_list``.
 
@@ -68,16 +262,199 @@ class TopUpAtpg:
         patterns are marked detected, proven-redundant faults are marked
         untestable, and aborted faults are marked aborted.
         """
-        atpg = PodemAtpg(self.circuit, self.observe_nets, self.backtrack_limit)
-        simulator = FaultSimulator(self.circuit, self.observe_nets)
-        result = TopUpResult(patterns=[], cubes=[], coverage_before=fault_list.coverage())
+        if self.engine == REFERENCE_ENGINE:
+            return self._run_reference(fault_list)
+        targets, skipped = self.plan_targets(fault_list)
+        return self._run_batched(fault_list, targets, skipped, self.podem().generate)
 
-        targets = [f for f in fault_list.undetected() if isinstance(f, StuckAtFault)]
-        if self.max_faults is not None:
-            targets = targets[: self.max_faults]
+    def run_with_compaction(self, fault_list: FaultList) -> TopUpResult:
+        """Like :meth:`run`, but merge compatible cubes into the final pattern set.
+
+        The generation loop is incremental (faults already covered by earlier
+        cubes are skipped, so PODEM is only invoked for faults that still
+        need a pattern).  The collected cubes are then merged, random-filled,
+        and the *merged* patterns are fault-simulated against the real fault
+        list -- so both the reported pattern count and the final coverage
+        describe exactly the pattern set that would be scanned into silicon.
+        """
+        if self.engine == REFERENCE_ENGINE:
+            return self._run_with_compaction_reference(fault_list)
+        targets, skipped = self.plan_targets(fault_list)
+        return self._run_with_compaction_batched(
+            fault_list, targets, skipped, self.podem().generate
+        )
+
+    def run_prepared(
+        self,
+        fault_list: FaultList,
+        prepared: Mapping[StuckAtFault, AtpgResult],
+        compaction: bool = True,
+    ) -> TopUpResult:
+        """Replay a top-up campaign from pre-generated PODEM attempts.
+
+        ``prepared`` maps every planned target to its (speculatively
+        generated) :class:`AtpgResult` -- the campaign pipeline fans PODEM
+        out across pool workers and then calls this to screen and compact
+        deterministically.  Because a PODEM attempt depends only on the
+        circuit and the fault, replaying the serial skip/fill/screen walk
+        over prepared attempts is byte-identical to generating lazily.
+        """
+        targets, skipped = self.plan_targets(fault_list)
+        missing = [fault for fault in targets if fault not in prepared]
+        if missing:
+            raise KeyError(
+                f"run_prepared is missing attempts for {len(missing)} targets "
+                f"(first: {missing[0]})"
+            )
+        generate = prepared.__getitem__
+        if compaction:
+            return self._run_with_compaction_batched(
+                fault_list, targets, skipped, generate
+            )
+        return self._run_batched(fault_list, targets, skipped, generate)
+
+    # ------------------------------------------------------------------ #
+    # Compiled paths (block-batched screening)
+    # ------------------------------------------------------------------ #
+    def _run_batched(
+        self,
+        fault_list: FaultList,
+        targets: Sequence[StuckAtFault],
+        skipped: int,
+        generate: Callable[[StuckAtFault], AtpgResult],
+    ) -> TopUpResult:
+        simulator = FaultSimulator(
+            self.circuit, self.observe_nets, backend=self.sim_backend
+        )
+        result = TopUpResult(
+            patterns=[],
+            cubes=[],
+            coverage_before=fault_list.coverage(),
+            skipped_targets=skipped,
+        )
+        stimulus_nets = self.circuit.stimulus_nets()
+        screen = _ScreenBuffer(simulator, stimulus_nets, self.block_size)
+        for fault in targets:
+            # The fault may have been covered by a pattern generated for an
+            # earlier fault in this very loop -- either one already flushed
+            # into the fault list or one still sitting in the buffer.
+            if fault_list.record(fault).status is FaultStatus.DETECTED:
+                continue
+            if screen.detects(fault):
+                continue
+            result.attempted_faults += 1
+            attempt = generate(fault)
+            result.backtracks += attempt.backtracks
+            if attempt.outcome is AtpgOutcome.UNTESTABLE:
+                fault_list.mark_untestable(fault)
+                result.untestable_faults += 1
+                continue
+            if attempt.outcome is AtpgOutcome.ABORTED:
+                fault_list.mark_aborted(fault)
+                result.aborted_faults += 1
+                continue
+            result.successful_faults += 1
+            result.cubes.append(attempt.cube)
+            pattern = attempt.cube.fill_random(self._rng, stimulus_nets)
+            screen.append(pattern)
+            result.patterns.append(pattern)
+            if screen.full:
+                screen.flush(fault_list, TOPUP_PATTERN_BASE)
+        screen.flush(fault_list, TOPUP_PATTERN_BASE)
+        result.coverage_after = fault_list.coverage()
+        return result
+
+    def _run_with_compaction_batched(
+        self,
+        fault_list: FaultList,
+        targets: Sequence[StuckAtFault],
+        skipped: int,
+        generate: Callable[[StuckAtFault], AtpgResult],
+    ) -> TopUpResult:
+        result = TopUpResult(
+            patterns=[],
+            cubes=[],
+            coverage_before=fault_list.coverage(),
+            skipped_targets=skipped,
+        )
+        # Scratch list used only to skip faults already covered by a cube
+        # generated earlier in this loop.
+        scratch = FaultList(targets)
+        scratch_sim = FaultSimulator(
+            self.circuit, self.observe_nets, backend=self.sim_backend
+        )
+        stimulus_nets = self.circuit.stimulus_nets()
+        screen = _ScreenBuffer(scratch_sim, stimulus_nets, self.block_size)
+        cubes: list[TestCube] = []
+        untestable: list[StuckAtFault] = []
+        aborted: list[StuckAtFault] = []
+        for fault in targets:
+            if scratch.record(fault).status is FaultStatus.DETECTED:
+                continue
+            if screen.detects(fault):
+                continue
+            result.attempted_faults += 1
+            attempt = generate(fault)
+            result.backtracks += attempt.backtracks
+            if attempt.outcome is AtpgOutcome.UNTESTABLE:
+                untestable.append(fault)
+                result.untestable_faults += 1
+                continue
+            if attempt.outcome is AtpgOutcome.ABORTED:
+                aborted.append(fault)
+                result.aborted_faults += 1
+                continue
+            result.successful_faults += 1
+            cubes.append(attempt.cube)
+            filled = attempt.cube.fill_random(self._rng, stimulus_nets)
+            screen.append(filled)
+            if screen.full:
+                screen.flush(scratch, None)
+
+        result.cubes = cubes
+        merged = merge_compatible_cubes(cubes)
+        patterns = [cube.fill_random(self._rng, stimulus_nets) for cube in merged]
+
+        # Apply the final (compacted) pattern set to the real fault list in
+        # block_size-wide packed words (detections are block-size invariant).
+        simulator = FaultSimulator(
+            self.circuit, self.observe_nets, backend=self.sim_backend
+        )
+        simulator.simulate(
+            fault_list,
+            patterns,
+            block_size=self.block_size,
+            drop_detected=True,
+            pattern_offset=TOPUP_PATTERN_BASE,
+        )
+        for fault in untestable:
+            fault_list.mark_untestable(fault)
+        for fault in aborted:
+            fault_list.mark_aborted(fault)
+        result.patterns = patterns
+        result.coverage_after = fault_list.coverage()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Reference paths (the preserved name-keyed oracle walk)
+    # ------------------------------------------------------------------ #
+    def _run_reference(self, fault_list: FaultList) -> TopUpResult:
+        atpg = PodemAtpg(
+            self.circuit,
+            self.observe_nets,
+            self.backtrack_limit,
+            engine=REFERENCE_ENGINE,
+        )
+        simulator = FaultSimulator(self.circuit, self.observe_nets)
+        targets, skipped = self.plan_targets(fault_list)
+        result = TopUpResult(
+            patterns=[],
+            cubes=[],
+            coverage_before=fault_list.coverage(),
+            skipped_targets=skipped,
+        )
 
         stimulus_nets = self.circuit.stimulus_nets()
-        pattern_base = 1_000_000  # top-up pattern indices live in their own range
         for fault in targets:
             # The fault may have been covered by a pattern generated for an
             # earlier fault in this very loop.
@@ -97,7 +474,7 @@ class TopUpAtpg:
             result.successful_faults += 1
             result.cubes.append(attempt.cube)
             pattern = attempt.cube.fill_random(self._rng, stimulus_nets)
-            pattern_index = pattern_base + len(result.patterns)
+            pattern_index = TOPUP_PATTERN_BASE + len(result.patterns)
             simulator.simulate(
                 fault_list, [pattern], drop_detected=True, pattern_offset=pattern_index
             )
@@ -106,23 +483,20 @@ class TopUpAtpg:
         result.coverage_after = fault_list.coverage()
         return result
 
-    def run_with_compaction(self, fault_list: FaultList) -> TopUpResult:
-        """Like :meth:`run`, but merge compatible cubes into the final pattern set.
-
-        The generation loop is incremental (a scratch fault list drops faults
-        already covered by earlier cubes, so PODEM is only invoked for faults
-        that still need a pattern).  The collected cubes are then merged,
-        random-filled, and the *merged* patterns are fault-simulated against
-        the real fault list -- so both the reported pattern count and the
-        final coverage describe exactly the pattern set that would be scanned
-        into silicon.
-        """
-        atpg = PodemAtpg(self.circuit, self.observe_nets, self.backtrack_limit)
-        result = TopUpResult(patterns=[], cubes=[], coverage_before=fault_list.coverage())
-
-        targets = [f for f in fault_list.undetected() if isinstance(f, StuckAtFault)]
-        if self.max_faults is not None:
-            targets = targets[: self.max_faults]
+    def _run_with_compaction_reference(self, fault_list: FaultList) -> TopUpResult:
+        atpg = PodemAtpg(
+            self.circuit,
+            self.observe_nets,
+            self.backtrack_limit,
+            engine=REFERENCE_ENGINE,
+        )
+        targets, skipped = self.plan_targets(fault_list)
+        result = TopUpResult(
+            patterns=[],
+            cubes=[],
+            coverage_before=fault_list.coverage(),
+            skipped_targets=skipped,
+        )
 
         # Scratch list used only to skip faults already covered by a cube
         # generated earlier in this loop.
@@ -157,7 +531,9 @@ class TopUpAtpg:
 
         # Apply the final (compacted) pattern set to the real fault list.
         simulator = FaultSimulator(self.circuit, self.observe_nets)
-        simulator.simulate(fault_list, patterns, drop_detected=True, pattern_offset=1_000_000)
+        simulator.simulate(
+            fault_list, patterns, drop_detected=True, pattern_offset=TOPUP_PATTERN_BASE
+        )
         for fault in untestable:
             fault_list.mark_untestable(fault)
         for fault in aborted:

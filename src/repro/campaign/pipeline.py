@@ -39,6 +39,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
+from ..atpg.podem import AtpgResult
 from ..atpg.topup import TopUpAtpg, TopUpResult
 from ..bist.input_selector import InputSelector, InputSource
 from ..bist.stumps import StumpsArchitecture
@@ -80,6 +81,7 @@ from .scheduler import (
     Expansion,
     StageNode,
 )
+from .sharding import fault_site_keys, keyed_round_robin_shards
 
 #: Flow phase names the stage graph accounts its time to -- exactly the
 #: five :class:`~repro.core.flow.PhaseTiming` buckets the flow has always
@@ -552,30 +554,170 @@ class TrimTopUpInputStage:
         )
 
 
+def build_topup_atpg(circuit: Circuit, config: LogicBistConfig) -> TopUpAtpg:
+    """The flow's top-up driver for ``circuit`` under ``config``.
+
+    The single construction path shared by the serial top-up stage, the
+    pooled merge replay and the PODEM shard workers, so every stage agrees
+    on the engine, backtrace heuristic, screening width and RNG seed.
+    """
+    return TopUpAtpg(
+        circuit,
+        backtrack_limit=config.topup_backtrack_limit,
+        seed=config.topup_seed,
+        max_faults=config.topup_max_faults,
+        engine=config.atpg_engine,
+        backtrace=config.atpg_backtrace,
+        block_size=(
+            config.topup_block_size
+            if config.topup_block_size is not None
+            else config.block_size
+        ),
+        sim_backend=config.sim_backend,
+    )
+
+
+def _apply_input_selector(core: BistReadyCore, config: LogicBistConfig,
+                          result: TopUpResult) -> None:
+    """Route the generated top-up patterns through the Fig. 1 input selector."""
+    if result.patterns:
+        selector = InputSelector(build_stumps(core, config))
+        selector.load_external_patterns(result.patterns)
+        selector.select(InputSource.EXTERNAL)
+
+
 @dataclass(frozen=True)
 class TopUpStage:
-    """Phase 5: PODEM top-up ATPG on the post-random fault list."""
+    """Phase 5 fan-out rule: PODEM top-up ATPG on the post-random fault list.
+
+    A local expander (mirrors :class:`FaultSimStage`): the undetected
+    stuck-at targets are partitioned with the PR-2 site-local keyed
+    round-robin (faults sharing a fault site stay in one shard, so each
+    site's cone plans compile in exactly one worker's shared kernel), one
+    :class:`PodemShardStage` per shard speculatively generates every
+    target's cube in a pool worker, and :class:`TopUpMergeStage` replays the
+    serial skip/fill/screen/compact walk over the pre-generated attempts.
+
+    Because a PODEM attempt depends only on the circuit and the fault --
+    never on the detection state -- the replay consumes exactly the cubes
+    the serial walk would have generated and discards the speculated
+    attempts for targets the screen skips; the merged result is therefore
+    byte-identical to the serial walk at any shard/worker count.  With one
+    shard (the serial schedule) the expansion degenerates to a single
+    :class:`TopUpSerialStage`, which generates lazily and never speculates.
+    """
+
+    input_key: str
+    prefix: str
+    scenario: str
+    config: LogicBistConfig
+    fault_shards: int = 1
+
+    def run(self, inputs: TopUpInput) -> Expansion:
+        circuit = inputs.core.circuit
+        topup = build_topup_atpg(circuit, self.config)
+        targets, _skipped = topup.plan_targets(inputs.fault_list, log=False)
+        if self.fault_shards <= 1 or len(targets) <= 1:
+            serial_key = f"{self.prefix}/serial"
+            node = StageNode(
+                key=serial_key,
+                task=TopUpSerialStage(self.config),
+                deps=(self.input_key,),
+                phase=PHASE_TOPUP,
+                scenario=self.scenario,
+                category=CATEGORY_PREP,
+            )
+            return Expansion(nodes=(node,), result=serial_key)
+        groups = keyed_round_robin_shards(
+            fault_site_keys(circuit, targets), self.fault_shards
+        )
+        shard_nodes = tuple(
+            StageNode(
+                key=f"{self.prefix}/podem{shard_id}",
+                task=PodemShardStage(
+                    circuit=circuit,
+                    config=self.config,
+                    targets=tuple((index, targets[index]) for index in group),
+                ),
+                phase=PHASE_TOPUP,
+                scenario=self.scenario,
+                category=CATEGORY_PREP,
+            )
+            for shard_id, group in enumerate(groups)
+        )
+        merge_key = f"{self.prefix}/merged"
+        merge = StageNode(
+            key=merge_key,
+            task=TopUpMergeStage(self.config),
+            deps=(self.input_key, *(node.key for node in shard_nodes)),
+            phase=PHASE_TOPUP,
+            scenario=self.scenario,
+            category=CATEGORY_SIM,
+        )
+        return Expansion(nodes=(*shard_nodes, merge), result=merge_key)
+
+
+@dataclass(frozen=True)
+class TopUpSerialStage:
+    """The unsharded top-up stage: generate lazily, screen in blocks."""
 
     config: LogicBistConfig
 
     def run(self, inputs: TopUpInput) -> TopUpOutcome:
         config = self.config
         fault_list = inputs.fault_list
-        topup = TopUpAtpg(
-            inputs.core.circuit,
-            backtrack_limit=config.topup_backtrack_limit,
-            seed=config.topup_seed,
-            max_faults=config.topup_max_faults,
-        )
+        topup = build_topup_atpg(inputs.core.circuit, config)
         if config.topup_compaction:
             result = topup.run_with_compaction(fault_list)
         else:
             result = topup.run(fault_list)
         # The top-up patterns reach the core through the input selector.
-        if result.patterns:
-            selector = InputSelector(build_stumps(inputs.core, config))
-            selector.load_external_patterns(result.patterns)
-            selector.select(InputSource.EXTERNAL)
+        _apply_input_selector(inputs.core, config, result)
+        return TopUpOutcome(result=result, fault_list=fault_list)
+
+
+@dataclass(frozen=True)
+class PodemShardStage:
+    """Speculative PODEM generation for one site-local target shard.
+
+    Returns ``(target index, AtpgResult)`` pairs keyed by the target's
+    position in the scenario's canonical target order -- the merge indexes
+    by position, so shard order and worker count cannot leak into the
+    replay.  Screening is deliberately absent here: whether a target's cube
+    is *used* depends on the global pattern order, which only the merge
+    stage knows.
+    """
+
+    circuit: Circuit
+    config: LogicBistConfig
+    targets: tuple[tuple[int, StuckAtFault], ...]
+
+    def run(self) -> tuple[tuple[int, AtpgResult], ...]:
+        atpg = build_topup_atpg(self.circuit, self.config).podem()
+        return tuple(
+            (index, atpg.generate(fault)) for index, fault in self.targets
+        )
+
+
+@dataclass(frozen=True)
+class TopUpMergeStage:
+    """Deterministic screen/compact replay over the shards' PODEM attempts."""
+
+    config: LogicBistConfig
+
+    def run(self, inputs: TopUpInput, *shard_results) -> TopUpOutcome:
+        config = self.config
+        fault_list = inputs.fault_list
+        topup = build_topup_atpg(inputs.core.circuit, config)
+        targets, _skipped = topup.plan_targets(fault_list, log=False)
+        prepared: dict[StuckAtFault, AtpgResult] = {}
+        for shard in shard_results:
+            for index, attempt in shard:
+                prepared[targets[index]] = attempt
+        result = topup.run_prepared(
+            fault_list, prepared, compaction=config.topup_compaction
+        )
+        _apply_input_selector(inputs.core, config, result)
         return TopUpOutcome(result=result, fault_list=fault_list)
 
 
@@ -710,7 +852,14 @@ class TransitionMergeStage:
 
 @dataclass(frozen=True)
 class ReportStage:
-    """Assemble one scenario's canonical campaign report."""
+    """Assemble one scenario's canonical campaign report.
+
+    With a top-up outcome in its inputs the report covers both phases: the
+    fault list (and hence coverage and first detections, top-up indices >=
+    ``TOPUP_PATTERN_BASE`` included) comes from the top-up stage's
+    authoritative copy, and the deterministic top-up accounting lands in the
+    report's ``topup`` section.
+    """
 
     name: str
     core_name: str
@@ -721,14 +870,18 @@ class ReportStage:
         bundle: ScenarioBundle,
         random_outcome: RandomPhaseOutcome,
         signatures: dict[str, int],
+        topup: Optional[TopUpOutcome] = None,
     ) -> ScenarioResult:
-        fault_list = bundle.fault_list
+        # Post-top-up detection state: with a pooled scheduler the top-up
+        # stage credited its own pickled copy, so the outcome's list -- not
+        # the bundle's -- is authoritative whenever top-up ran.
+        fault_list = topup.fault_list if topup is not None else bundle.fault_list
         first_detections = {
             str(fault): fault_list.record(fault).first_detection
             for fault in fault_list.detected()
             if fault_list.record(fault).first_detection is not None
         }
-        return ScenarioResult(
+        result = ScenarioResult(
             name=self.name,
             core_name=self.core_name,
             total_faults=len(fault_list),
@@ -743,6 +896,15 @@ class ReportStage:
             seconds=random_outcome.seconds,
             fault_list=fault_list,
         )
+        if topup is not None:
+            result.coverage_random = random_outcome.coverage_random
+            result.topup_pattern_count = topup.result.pattern_count
+            result.topup_attempted = topup.result.attempted_faults
+            result.topup_successful = topup.result.successful_faults
+            result.topup_untestable = topup.result.untestable_faults
+            result.topup_aborted = topup.result.aborted_faults
+            result.topup_skipped_targets = topup.result.skipped_targets
+        return result
 
 
 # --------------------------------------------------------------------- #
@@ -851,11 +1013,18 @@ def scenario_stage_nodes(
         nodes.append(
             StageNode(
                 key=keys["topup"],
-                task=TopUpStage(config),
+                task=TopUpStage(
+                    input_key=keys["topup_input"],
+                    prefix=keys["topup"],
+                    scenario=name,
+                    config=config,
+                    fault_shards=max(1, fault_shards),
+                ),
                 deps=(keys["topup_input"],),
+                local=True,
                 phase=PHASE_TOPUP,
                 scenario=name,
-                category=CATEGORY_PREP,
+                category=CATEGORY_CONTROL,
             )
         )
     if include_transition:
@@ -902,13 +1071,16 @@ def scenario_stage_nodes(
         )
     if include_report:
         keys["report"] = f"{scenario_key}/report"
+        report_deps = [keys["bundle"], keys["fault_sim"], keys["signatures"]]
+        if include_topup:
+            report_deps.append(keys["topup"])
         nodes.append(
             StageNode(
                 key=keys["report"],
                 task=ReportStage(
                     name=name, core_name=circuit.name, num_workers=num_workers
                 ),
-                deps=(keys["bundle"], keys["fault_sim"], keys["signatures"]),
+                deps=tuple(report_deps),
                 local=True,
                 phase=PHASE_RANDOM,
                 scenario=name,

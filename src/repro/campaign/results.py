@@ -165,10 +165,21 @@ class ScenarioResult:
     patterns_simulated: int
     coverage: float
     coverage_curve: list[tuple[int, float]]
-    #: ``str(fault)`` -> global first-detection pattern index (-1 = chain flush).
+    #: ``str(fault)`` -> global first-detection pattern index (-1 = chain
+    #: flush; >= ``TOPUP_PATTERN_BASE`` = top-up pattern).
     first_detections: dict[str, int]
     #: Per-clock-domain MISR signatures (empty when signatures are disabled).
     signatures: dict[str, int] = field(default_factory=dict)
+    #: Top-up phase accounting (populated only when the scenario ran the
+    #: deterministic ATPG top-up; ``coverage`` is then post-top-up while
+    #: ``coverage_random`` preserves the random-phase plateau).
+    coverage_random: Optional[float] = None
+    topup_pattern_count: Optional[int] = None
+    topup_attempted: int = 0
+    topup_successful: int = 0
+    topup_untestable: int = 0
+    topup_aborted: int = 0
+    topup_skipped_targets: int = 0
     #: Diagnostics (excluded from the canonical report bytes).
     num_shards: int = 1
     num_workers: int = 1
@@ -178,7 +189,7 @@ class ScenarioResult:
 
     def canonical_dict(self) -> dict:
         """Deterministic content-only view (no timings, no worker counts)."""
-        return {
+        canonical = {
             "name": self.name,
             "core": self.core_name,
             "total_faults": self.total_faults,
@@ -188,6 +199,17 @@ class ScenarioResult:
             "first_detections": dict(sorted(self.first_detections.items())),
             "signatures": dict(sorted(self.signatures.items())),
         }
+        if self.topup_pattern_count is not None:
+            canonical["coverage_random"] = self.coverage_random
+            canonical["topup"] = {
+                "patterns": self.topup_pattern_count,
+                "attempted": self.topup_attempted,
+                "successful": self.topup_successful,
+                "untestable": self.topup_untestable,
+                "aborted": self.topup_aborted,
+                "skipped_targets": self.topup_skipped_targets,
+            }
+        return canonical
 
     def report_bytes(self) -> bytes:
         """Canonical byte-exact report: equal results <=> equal bytes.

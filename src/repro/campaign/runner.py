@@ -67,7 +67,7 @@ from .results import (
     merge_first_detections,
 )
 from .scheduler import make_pool_context
-from .sharding import plan_grid
+from .sharding import fault_site_keys, plan_grid
 
 #: Blocks may be given bare or as (global pattern offset, block) pairs.
 OffsetBlocks = Sequence[Union[PatternBlock, tuple[int, PatternBlock]]]
@@ -298,25 +298,10 @@ def execute_tasks(
 # --------------------------------------------------------------------- #
 # Shard planning helpers
 # --------------------------------------------------------------------- #
-def _site_keys(circuit: Circuit, faults: Sequence[object]) -> list[str]:
-    """Resolved fault-site net per fault (the shard-locality key).
-
-    Stem and combinational input-branch faults of a gate share the gate's
-    own fanout-cone plan; a branch fault on a flop's D pin resimulates the
-    D-driver's site instead.  Keying fault shards by this net keeps every
-    site's cone-plan compilation inside a single worker.
-    """
-    keys: list[str] = []
-    for fault in faults:
-        if fault.is_stem:
-            keys.append(fault.gate)
-            continue
-        gate = circuit.gate(fault.gate)
-        if gate.is_flop:
-            keys.append(gate.inputs[fault.pin])
-        else:
-            keys.append(fault.gate)
-    return keys
+#: Backwards-compatible alias -- the site-key planner moved to
+#: :func:`repro.campaign.sharding.fault_site_keys` so the top-up PODEM
+#: fan-out (and future planners) can share it without importing the runner.
+_site_keys = fault_site_keys
 
 
 def plan_shard_tasks(
@@ -342,7 +327,7 @@ def plan_shard_tasks(
                 num_blocks,
                 fault_shards,
                 pattern_shards,
-                fault_keys=_site_keys(circuit, faults),
+                fault_keys=fault_site_keys(circuit, faults),
             )
         )
     ]
@@ -592,7 +577,17 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------ #
     def run(self, scenarios: Iterable[CampaignScenario]) -> CampaignResult:
-        """Run every scenario's random-pattern fault-sim + signature session."""
+        """Run every scenario's random-pattern fault-sim + signature session.
+
+        Scenarios whose config sets ``campaign_topup=True`` additionally run
+        the deterministic ATPG top-up phase: PODEM target shards fan out
+        through the same pool as everything else (site-local keyed
+        round-robin, the PR-2 partitioning), and a deterministic screen /
+        compact replay merges the cubes -- the scenario's reported coverage
+        and first detections then include the top-up patterns (indices >=
+        :data:`repro.atpg.topup.TOPUP_PATTERN_BASE`), byte-identical to the
+        serial walk at any worker count.
+        """
         from .pipeline import release_scenario_engines, scenario_stage_nodes
         from .scheduler import PooledScheduler, SerialScheduler
 
@@ -620,6 +615,7 @@ class CampaignRunner:
                 fault_shards=self.fault_shards,
                 pattern_shards=self.pattern_shards,
                 num_workers=self.num_workers,
+                include_topup=scenario.config.campaign_topup,
                 include_report=True,
             )
             nodes.extend(scenario_nodes)

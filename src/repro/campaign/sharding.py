@@ -31,6 +31,29 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 
+def fault_site_keys(circuit, faults: Sequence[object]) -> list[str]:
+    """Resolved fault-site net per fault (the shard-locality key).
+
+    Stem and combinational input-branch faults of a gate share the gate's
+    own fanout-cone plan; a branch fault on a flop's D pin resimulates the
+    D-driver's site instead.  Keying fault shards by this net keeps every
+    site's cone-plan compilation inside a single worker -- for fault-sim
+    shards *and* for the pooled top-up PODEM shards, whose compiled
+    evaluators pull the very same cone plans from the shared kernel.
+    """
+    keys: list[str] = []
+    for fault in faults:
+        if fault.is_stem:
+            keys.append(fault.gate)
+            continue
+        gate = circuit.gate(fault.gate)
+        if gate.is_flop:
+            keys.append(gate.inputs[fault.pin])
+        else:
+            keys.append(fault.gate)
+    return keys
+
+
 def round_robin_shards(count: int, num_shards: int) -> tuple[tuple[int, ...], ...]:
     """Partition ``range(count)`` into ``num_shards`` interleaved index groups.
 

@@ -56,6 +56,8 @@ class LogicBistConfig:
     #: Random (PRPG) patterns for the main BIST session (paper: 20 K).
     random_patterns: int = 2048
     #: Upper bound on top-up ATPG targets (None = every remaining fault).
+    #: When the cap drops targets, the count lands in
+    #: ``TopUpResult.skipped_targets`` -- a capped run is never silent.
     topup_max_faults: Optional[int] = None
     #: PODEM backtrack limit for top-up ATPG.
     topup_backtrack_limit: int = 100
@@ -63,6 +65,20 @@ class LogicBistConfig:
     topup_compaction: bool = True
     #: Seed for top-up random fill.
     topup_seed: int = 2005
+    #: ATPG implication engine: ``"compiled"`` (kernel-indexed incremental
+    #: implication + block-batched candidate screening, the default) or
+    #: ``"reference"`` (the name-keyed oracle walk, preserved for
+    #: differential testing and benchmarking).  Both produce bit-identical
+    #: cubes, patterns and fault dispositions.
+    atpg_engine: str = "compiled"
+    #: PODEM backtrace heuristic: ``"first_x"`` (classical deterministic
+    #: first-X-input descent, identical to the reference engine) or
+    #: ``"scoap"`` (SCOAP-guided easiest-to-justify descent; guidance tables
+    #: are computed once per compiled kernel and shared across faults).
+    atpg_backtrace: str = "first_x"
+    #: Screening block width for top-up candidate patterns (patterns
+    #: buffered per PPSFP retirement scan).  ``None`` follows ``block_size``.
+    topup_block_size: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Clocking
@@ -130,3 +146,11 @@ class LogicBistConfig:
     #: :class:`~repro.campaign.runner.CampaignRunner` manages its own pool
     #: and ignores this field.
     pipeline_workers: int = 0
+    #: Run the deterministic ATPG top-up phase inside campaign scenarios
+    #: (:class:`~repro.campaign.runner.CampaignRunner`): PODEM target shards
+    #: fan out through the campaign pool (site-local keyed round-robin) and
+    #: a deterministic screen/compact replay merges the cubes, so reported
+    #: coverage and first detections include the top-up patterns and stay
+    #: byte-identical across worker counts.  The flow always runs top-up;
+    #: this knob only gates the campaign runner's scenarios.
+    campaign_topup: bool = False

@@ -222,6 +222,13 @@ class CompiledKernel:
         self._cone_plans: dict[int, ConePlan] = {}
         #: Shared scratch table for cone resimulation (single-threaded reuse).
         self.scratch: list[int] = [0] * self.num_nets
+        #: Per-kernel memo for derived circuit analyses (ATPG fanout
+        #: adjacency, SCOAP backtrace guidance, ...).  Entries are keyed by
+        #: analysis name and computed lazily by their consumers; because
+        #: :func:`shared_kernel` hands every engine of a circuit revision the
+        #: same kernel object, an analysis is computed at most once per
+        #: revision per process, exactly like the cone plans.
+        self.analysis_cache: dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # Value tables and stimulus
@@ -331,10 +338,10 @@ def shared_kernel(circuit: Circuit) -> CompiledKernel:
     while any netlist mutation (test-point insertion, scan stitching)
     transparently forces a fresh compile.
 
-    Sharing is safe because the kernel itself is immutable apart from two
-    single-threaded caches: the cone-plan dict (append-only) and the scratch
-    table, whose contract already requires callers to consume results before
-    the next kernel call.
+    Sharing is safe because the kernel itself is immutable apart from three
+    single-threaded caches: the cone-plan dict and the analysis cache (both
+    append-only) and the scratch table, whose contract already requires
+    callers to consume results before the next kernel call.
     """
     cached = _SHARED_KERNELS.get(circuit)
     revision = circuit.revision

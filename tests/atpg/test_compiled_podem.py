@@ -1,0 +1,211 @@
+"""Differential tests: compiled kernel-indexed ATPG vs the name-keyed oracle.
+
+The compiled engine (:mod:`repro.atpg.compiled`) is the default; the
+reference :class:`~repro.atpg.implication.FaultedEvaluator` and the
+reference PODEM walk are preserved as the bit-exactness oracle.  These tests
+pin the equivalence at both levels:
+
+* evaluator level -- after any interleaving of assignments and retractions
+  the incremental engine's flat arrays hold exactly the values a full
+  reference re-implication produces, and every PODEM predicate (test check,
+  activation, D-frontier, X-path) agrees,
+* search level -- ``PodemAtpg`` produces identical outcomes, cubes,
+  backtrack and decision counts under both engines, fault for fault.
+
+Plus the compiled-only features: per-kernel analysis caching via
+``shared_kernel`` and the SCOAP-guided backtrace mode.
+"""
+
+import random
+
+import pytest
+
+from repro.atpg import (
+    AtpgOutcome,
+    CompiledFaultedEvaluator,
+    FaultedEvaluator,
+    PodemAtpg,
+    scoap_guidance,
+)
+from repro.faults import OUTPUT_PIN, FaultSimulator, StuckAtFault, collapse_stuck_at
+from repro.netlist import CircuitBuilder, parse_bench_text
+from repro.simulation.kernel import shared_kernel
+from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
+
+C17_TEXT = """
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17():
+    return parse_bench_text(C17_TEXT, name="c17")
+
+
+def hard_core(seed=77):
+    config = SyntheticCoreConfig(
+        name=f"hard_core_{seed}",
+        clock_domains=("clk1",),
+        num_inputs=10,
+        num_outputs=5,
+        register_width=5,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(9, 8),
+        decode_cone_width=8,
+        cross_domain_links=0,
+        seed=seed,
+    )
+    return generate_synthetic_core(config).circuit
+
+
+def flop_branch_circuit():
+    """A circuit with a flop whose D-pin branch fault needs the pseudo net."""
+    builder = CircuitBuilder(name="flopd")
+    d = builder.input("d")
+    e = builder.input("e")
+    shared = builder.and_(d, e, name="shared")
+    ff = builder.flop(shared, name="ff")
+    y = builder.or_(ff, shared, name="y")
+    builder.output(y)
+    return builder.build()
+
+
+def assert_engines_agree(circuit, fault, seed, steps=25):
+    """Drive both evaluators through one assign/retract walk and compare."""
+    rng = random.Random(seed)
+    reference = FaultedEvaluator(circuit, fault)
+    compiled = CompiledFaultedEvaluator(circuit, fault)
+    net_id = compiled.kernel.net_id
+    nets = circuit.stimulus_nets()
+    assignment = {}
+    for _ in range(steps):
+        if assignment and rng.random() < 0.35:
+            net = rng.choice(sorted(assignment))
+            del assignment[net]
+            compiled.retract(net_id[net])
+        else:
+            net = rng.choice(nets)
+            if net in assignment:
+                continue
+            value = rng.randint(0, 1)
+            assignment[net] = value
+            compiled.assign(net_id[net], value)
+        values = reference.implied_values(assignment)
+        assert values == compiled.values_by_name()
+        assert reference.is_test(values) == compiled.is_test()
+        assert reference.fault_activated(values) == compiled.fault_activated()
+        ref_frontier = reference.d_frontier(values)
+        compiled_frontier = [
+            compiled.kernel.net_names[nid] for nid in compiled.d_frontier()
+        ]
+        assert ref_frontier == compiled_frontier
+        assert reference.x_path_exists(values, ref_frontier) == (
+            compiled.x_path_exists(compiled.d_frontier())
+        )
+
+
+class TestEvaluatorEquivalence:
+    def test_c17_all_collapsed_faults(self):
+        circuit = c17()
+        for index, fault in enumerate(collapse_stuck_at(circuit).representatives):
+            assert_engines_agree(circuit, fault, seed=index)
+
+    def test_hard_core_sampled_faults(self):
+        circuit = hard_core()
+        faults = collapse_stuck_at(circuit).representatives
+        rng = random.Random(5)
+        for fault in rng.sample(faults, 25):
+            assert_engines_agree(circuit, fault, seed=hash(fault) & 0xFFFF)
+
+    def test_flop_d_branch_pseudo_net(self):
+        circuit = flop_branch_circuit()
+        fault = StuckAtFault("ff", 0, 1)
+        assert_engines_agree(circuit, fault, seed=3)
+        # The pseudo net appears in the diagnostic view, like the reference.
+        compiled = CompiledFaultedEvaluator(circuit, fault)
+        assert "ff.D" in compiled.values_by_name()
+
+    def test_custom_observe_nets(self):
+        circuit = c17()
+        fault = StuckAtFault("G11", OUTPUT_PIN, 0)
+        reference = FaultedEvaluator(circuit, fault, observe_nets=["G11"])
+        compiled = CompiledFaultedEvaluator(circuit, fault, observe_nets=["G11"])
+        values = reference.implied_values({"G3": 1, "G6": 0})
+        compiled.assign(compiled.kernel.net_id["G3"], 1)
+        compiled.assign(compiled.kernel.net_id["G6"], 0)
+        assert reference.is_test(values) and compiled.is_test()
+
+
+class TestPodemEquivalence:
+    @pytest.mark.parametrize("circuit_factory", [c17, hard_core])
+    def test_identical_results_fault_for_fault(self, circuit_factory):
+        circuit = circuit_factory()
+        faults = collapse_stuck_at(circuit).representatives
+        reference = PodemAtpg(circuit, backtrack_limit=60, engine="reference")
+        compiled = PodemAtpg(circuit, backtrack_limit=60, engine="compiled")
+        for fault in faults:
+            expected = reference.generate(fault)
+            actual = compiled.generate(fault)
+            assert expected.outcome is actual.outcome, str(fault)
+            assert expected.backtracks == actual.backtracks, str(fault)
+            assert expected.decisions == actual.decisions, str(fault)
+            if expected.outcome is AtpgOutcome.SUCCESS:
+                assert expected.cube.assignments == actual.cube.assignments, str(fault)
+
+    def test_unknown_engine_rejected(self):
+        atpg = PodemAtpg(c17(), engine="bogus")
+        with pytest.raises(ValueError, match="unknown ATPG engine"):
+            atpg.generate(StuckAtFault("G10", OUTPUT_PIN, 0))
+
+
+class TestScoapBacktrace:
+    def test_guided_cubes_detect_their_faults(self):
+        circuit = hard_core(81)
+        faults = collapse_stuck_at(circuit).representatives
+        atpg = PodemAtpg(circuit, backtrack_limit=200, backtrace="scoap")
+        checker = FaultSimulator(circuit)
+        rng = random.Random(1)
+        successes = 0
+        for fault in rng.sample(faults, 30):
+            result = atpg.generate(fault)
+            if result.outcome is AtpgOutcome.SUCCESS:
+                successes += 1
+                pattern = result.cube.fill_random(rng, circuit.stimulus_nets())
+                assert checker.detects(pattern, fault), str(fault)
+        assert successes > 0
+
+    def test_guidance_cached_per_kernel(self):
+        circuit = c17()
+        kernel = shared_kernel(circuit)
+        first = scoap_guidance(kernel)
+        assert scoap_guidance(kernel) is first
+        assert "scoap_guidance" in kernel.analysis_cache
+        # A structural mutation recompiles the kernel and refreshes guidance.
+        circuit.add_output("G16")
+        refreshed = shared_kernel(circuit)
+        assert refreshed is not kernel
+        assert scoap_guidance(refreshed) is not first
+
+
+class TestAnalysisCache:
+    def test_adjacency_shared_between_evaluators(self):
+        circuit = c17()
+        fault_a = StuckAtFault("G10", OUTPUT_PIN, 0)
+        fault_b = StuckAtFault("G16", OUTPUT_PIN, 1)
+        first = CompiledFaultedEvaluator(circuit, fault_a)
+        second = CompiledFaultedEvaluator(circuit, fault_b)
+        assert first.kernel is second.kernel
+        assert first.adjacency is second.adjacency

@@ -1,0 +1,158 @@
+"""Differential harness for the campaign-pooled ATPG top-up stage.
+
+The top-up expansion's claim: fanning PODEM targets out across site-local
+shards and replaying the screen/compact walk over the speculative attempts
+changes **nothing** -- campaign reports (coverage, first detections
+including top-up indices, per-domain signatures, top-up accounting) are
+byte-identical to the serial walk at any shard count, worker count and
+execution backend.  This suite asserts exactly that, plus the report-shape
+invariants the new ``topup`` section introduces.
+"""
+
+import pytest
+
+from repro.atpg import TOPUP_PATTERN_BASE
+from repro.campaign import CampaignRunner, CampaignScenario
+from repro.core import LogicBistConfig
+from repro.cores import comparator_core
+from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
+
+
+def make_core(seed: int, domains: int = 2):
+    config = SyntheticCoreConfig(
+        name=f"topup_core_{seed}",
+        clock_domains=tuple(f"clk{i + 1}" for i in range(domains)),
+        num_inputs=8,
+        num_outputs=5,
+        register_width=6,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(7,),
+        decode_cone_width=5,
+        cross_domain_links=1,
+        seed=seed,
+    )
+    return generate_synthetic_core(config).circuit
+
+
+def topup_config(**overrides):
+    defaults = dict(
+        total_scan_chains=2,
+        tpi_method="none",
+        observation_point_budget=0,
+        random_patterns=64,
+        signature_patterns=16,
+        topup_backtrack_limit=100,
+        campaign_topup=True,
+    )
+    defaults.update(overrides)
+    return LogicBistConfig(**defaults)
+
+
+def scenarios(sim_backend="python"):
+    return [
+        CampaignScenario(
+            "cmp10",
+            comparator_core(width=10, easy_outputs=4),
+            topup_config(sim_backend=sim_backend),
+        ),
+        CampaignScenario(
+            "synth",
+            make_core(61),
+            topup_config(sim_backend=sim_backend, topup_max_faults=40),
+        ),
+    ]
+
+
+def run_campaign(num_workers=1, fault_shards=None, sim_backend="python"):
+    runner = CampaignRunner(num_workers=num_workers, fault_shards=fault_shards)
+    return runner.run(scenarios(sim_backend))
+
+
+@pytest.fixture(scope="module")
+def serial_report_bytes():
+    return run_campaign().report_bytes()
+
+
+class TestSerialShardEquivalence:
+    """The expansion itself (no pools): shard count must not matter."""
+
+    @pytest.mark.parametrize("fault_shards", [2, 4, 7])
+    def test_sharded_topup_byte_identical_serial(
+        self, fault_shards, serial_report_bytes
+    ):
+        sharded = run_campaign(fault_shards=fault_shards).report_bytes()
+        assert sharded == serial_report_bytes
+
+    @pytest.mark.numpy
+    def test_numpy_backend_byte_identical(self, serial_report_bytes):
+        assert (
+            run_campaign(sim_backend="numpy").report_bytes()
+            == serial_report_bytes
+        )
+
+
+@pytest.mark.multiprocess
+class TestPooledEquivalence:
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_pooled_topup_byte_identical(self, num_workers, serial_report_bytes):
+        pooled = run_campaign(num_workers=num_workers).report_bytes()
+        assert pooled == serial_report_bytes
+
+    @pytest.mark.numpy
+    def test_pooled_numpy_byte_identical(self, serial_report_bytes):
+        pooled = run_campaign(num_workers=2, sim_backend="numpy").report_bytes()
+        assert pooled == serial_report_bytes
+
+
+class TestReportShape:
+    def test_topup_section_and_index_ranges(self):
+        result = run_campaign()
+        for name in ("cmp10", "synth"):
+            scenario = result[name]
+            assert scenario.topup_pattern_count is not None
+            assert scenario.coverage_random is not None
+            assert scenario.coverage >= scenario.coverage_random
+            canonical = scenario.canonical_dict()
+            assert canonical["topup"]["patterns"] == scenario.topup_pattern_count
+            assert (
+                canonical["topup"]["attempted"]
+                == scenario.topup_successful
+                + scenario.topup_untestable
+                + scenario.topup_aborted
+            )
+            # Random-phase and top-up detections live in disjoint ranges.
+            random_indices = [
+                v
+                for v in scenario.first_detections.values()
+                if v < TOPUP_PATTERN_BASE
+            ]
+            topup_indices = [
+                v
+                for v in scenario.first_detections.values()
+                if v >= TOPUP_PATTERN_BASE
+            ]
+            assert random_indices, name
+            assert topup_indices, name
+
+    def test_capped_scenario_records_skips(self):
+        result = run_campaign()
+        assert result["synth"].topup_skipped_targets >= 0
+        assert result["synth"].topup_attempted <= 40
+
+    def test_topup_disabled_report_unchanged(self):
+        """Without campaign_topup the canonical report has no topup section."""
+        config = topup_config(campaign_topup=False)
+        runner = CampaignRunner(num_workers=1)
+        result = runner.run(
+            [
+                CampaignScenario(
+                    "plain", comparator_core(width=8, easy_outputs=2), config
+                )
+            ]
+        )
+        scenario = result["plain"]
+        assert scenario.topup_pattern_count is None
+        assert "topup" not in scenario.canonical_dict()
+        assert "coverage_random" not in scenario.canonical_dict()
