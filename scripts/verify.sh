@@ -21,12 +21,21 @@
 #                                 and pytest-benchmark timing loops are
 #                                 disabled so every benchmarked body runs
 #                                 exactly once.
+#   scripts/verify.sh transition  serial at-speed smoke subset: the
+#                                 transition-marked campaign/timing tests
+#                                 with multiprocess pools deselected -- the
+#                                 quick check after touching the transition
+#                                 fan-out, skew sweep or timing/ layer.
+#                                 (These tests also run in the fast tier;
+#                                 this tier just isolates them.)
 #
 # Markers:
 #   slow          exhaustive LFSR period walks (widths 14-20)
 #   multiprocess  tests that spawn real multiprocessing pools
 #                 (campaign shard pools, the pipeline PooledScheduler)
 #   numpy         optional numpy-backend tests; auto-skip without NumPy
+#   transition    at-speed (transition / skew-sweep) campaign and timing
+#                 tests; the serial subset is the transition tier above
 #
 # Extra arguments after the tier name pass straight to pytest, e.g.
 #   scripts/verify.sh fast tests/campaign -k pipeline
@@ -50,8 +59,11 @@ case "$tier" in
     BENCH_SMOKE=1 exec python -m pytest -x -q --benchmark-disable \
       benchmarks/bench_*.py "$@"
     ;;
+  transition)
+    exec python -m pytest -x -q -m "transition and not multiprocess" "$@"
+    ;;
   *)
-    echo "usage: scripts/verify.sh [fast|full|bench-smoke] [pytest args...]" >&2
+    echo "usage: scripts/verify.sh [fast|full|bench-smoke|transition] [pytest args...]" >&2
     exit 2
     ;;
 esac

@@ -71,8 +71,12 @@ from .pipeline import (
     ReportStage,
     ScenarioBundle,
     SignatureStage,
+    SkewOutcome,
+    SkewSweepStage,
+    SkewTrialsStage,
     TopUpStage,
     TpiProfileStage,
+    TransitionOutcome,
     TransitionStage,
     release_scenario_engines,
     scenario_stage_nodes,
@@ -117,8 +121,12 @@ __all__ = [
     "ReportStage",
     "ScenarioBundle",
     "SignatureStage",
+    "SkewOutcome",
+    "SkewSweepStage",
+    "SkewTrialsStage",
     "TopUpStage",
     "TpiProfileStage",
+    "TransitionOutcome",
     "TransitionStage",
     "release_scenario_engines",
     "scenario_stage_nodes",

@@ -47,6 +47,7 @@ from ..core.bist_ready import BistReadyCore, prepare_scan_core
 from ..core.config import LogicBistConfig
 from ..core.flow import (
     build_clock_tree,
+    build_shift_path_parameters,
     build_stumps,
     credit_chain_flush,
     derive_signature_responses,
@@ -63,6 +64,11 @@ from ..netlist.library import CellLibrary
 from ..simulation.packed import PatternBlock
 from ..timing.clocks import ClockTreeModel
 from ..timing.double_capture import CaptureSchedule, CaptureWindowScheduler
+from ..timing.skew_analysis import (
+    MonteCarloSummary,
+    ShiftPathParameters,
+    run_skew_trials,
+)
 from ..tpi.observation_points import ObservationPointPlan
 from .results import ScenarioResult, merge_first_detections, build_simulation_result
 from .runner import (
@@ -81,7 +87,7 @@ from .scheduler import (
     Expansion,
     StageNode,
 )
-from .sharding import fault_site_keys, keyed_round_robin_shards
+from .sharding import contiguous_shards, fault_site_keys, keyed_round_robin_shards
 
 #: Flow phase names the stage graph accounts its time to -- exactly the
 #: five :class:`~repro.core.flow.PhaseTiming` buckets the flow has always
@@ -205,6 +211,70 @@ class TransitionBundle:
     pair_blocks: tuple[tuple[int, PatternBlock, PatternBlock], ...]
     fault_list: FaultList
     boundaries: tuple[int, ...]
+
+
+@dataclass
+class TransitionOutcome:
+    """Merged result of the at-speed transition-fault fan-out.
+
+    Everything the canonical report's ``transition`` section needs, in
+    deterministic (shard/worker-invariant) form: the min-merged first
+    detections use ``str(fault)`` keys exactly as the stuck-at report does.
+    """
+
+    coverage: float
+    total_faults: int
+    detected: int
+    patterns_simulated: int
+    coverage_curve: list[tuple[int, float]]
+    #: ``str(fault)`` (e.g. ``"g12 STR"``) -> global first-detection index.
+    first_detections: dict[str, int]
+    #: Diagnostics (never serialised into report bytes).
+    num_shards: int = 1
+    gate_evals: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class SkewInput:
+    """Trimmed bundle slice for the Monte-Carlo skew sweep.
+
+    Carries the double-capture schedule's verdict alongside the timing
+    numbers: the sweep reports the schedule's validity so one campaign
+    report answers both Fig. 2 (is the capture window sound?) and Fig. 3
+    (do the shift-path interfaces survive the sampled skew?).
+    """
+
+    schedule_valid: bool
+    schedule_problems: tuple[str, ...]
+    d3_ns: float
+    max_skew_ns: float
+
+
+@dataclass
+class SkewOutcome:
+    """Merged result of the sharded Fig. 3 Monte-Carlo skew sweep."""
+
+    summary: MonteCarloSummary
+    schedule_valid: bool
+    schedule_problems: tuple[str, ...]
+    d3_ns: float
+    max_skew_ns: float
+    skew_range_ns: float
+    bist_clock_advance_ns: float
+    num_shards: int = 1
+
+    def canonical_dict(self) -> dict:
+        """Deterministic content-only view for the scenario report bytes."""
+        return {
+            "schedule_valid": self.schedule_valid,
+            "schedule_problems": list(self.schedule_problems),
+            "d3_ns": self.d3_ns,
+            "max_skew_ns": self.max_skew_ns,
+            "skew_range_ns": self.skew_range_ns,
+            "bist_clock_advance_ns": self.bist_clock_advance_ns,
+            "monte_carlo": self.summary.as_dict(),
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -840,14 +910,154 @@ class TransitionShardStage:
 
 @dataclass(frozen=True)
 class TransitionMergeStage:
-    """Merge transition shard outcomes into the at-speed coverage figure."""
+    """Merge transition shard outcomes into the at-speed measurement.
 
-    def run(self, prep: TransitionBundle, *outcomes) -> float:
+    The same min-merge + curve rebuild as :class:`MergeDetectionsStage`, so
+    the outcome (coverage, curve and first detections alike) is identical to
+    the serial transition simulation at any shard/worker count.
+    """
+
+    def run(self, prep: TransitionBundle, *outcomes) -> TransitionOutcome:
         merged = merge_first_detections(outcomes)
-        build_simulation_result(
+        result = build_simulation_result(
             prep.fault_list, prep.state.faults, merged, list(prep.boundaries)
         )
-        return prep.fault_list.coverage()
+        fault_list = prep.fault_list
+        first_detections = {
+            str(fault): fault_list.record(fault).first_detection
+            for fault in fault_list.detected()
+            if fault_list.record(fault).first_detection is not None
+        }
+        return TransitionOutcome(
+            coverage=fault_list.coverage(),
+            total_faults=len(fault_list),
+            detected=sum(1 for _ in fault_list.detected()),
+            patterns_simulated=result.patterns_simulated,
+            coverage_curve=list(result.coverage_curve),
+            first_detections=first_detections,
+            num_shards=len(outcomes),
+            gate_evals=sum(outcome.gate_evals for outcome in outcomes),
+            seconds=sum(outcome.seconds for outcome in outcomes),
+        )
+
+
+@dataclass(frozen=True)
+class TrimSkewInputStage:
+    """Repackage the bundle's capture schedule into the skew sweep's inputs.
+
+    Validates the double-capture schedule on the way: cheap, local, and it
+    keeps the pooled trial stages free of the (unpicklable-size) bundle.
+    """
+
+    def run(self, bundle: ScenarioBundle) -> SkewInput:
+        schedule = bundle.capture_schedule
+        problems = tuple(schedule.validate())
+        return SkewInput(
+            schedule_valid=not problems,
+            schedule_problems=problems,
+            d3_ns=schedule.d3_ns,
+            max_skew_ns=schedule.max_skew_ns,
+        )
+
+
+@dataclass(frozen=True)
+class SkewSweepStage:
+    """Fig. 3 Monte-Carlo fan-out rule (mirrors :class:`FaultSimStage`).
+
+    A local expander: ``config.skew_trials`` trial indices split into
+    balanced contiguous runs, one pooled :class:`SkewTrialsStage` per run,
+    and a :class:`SkewMergeStage` absorbing the per-run summaries.  Because
+    every trial seeds its own RNG from its index
+    (:func:`~repro.timing.skew_analysis.sample_shift_path_report`), the
+    merged counters are identical to the unsharded
+    :func:`~repro.timing.skew_analysis.run_skew_trials` sweep at any
+    shard/worker count.
+    """
+
+    input_key: str
+    prefix: str
+    scenario: str
+    config: LogicBistConfig
+    trial_shards: int = 1
+
+    def run(self, skew_input: SkewInput) -> Expansion:
+        config = self.config
+        parameters = build_shift_path_parameters(config)
+        runs = contiguous_shards(
+            config.skew_trials, max(1, min(self.trial_shards, config.skew_trials))
+        )
+        shard_nodes = tuple(
+            StageNode(
+                key=f"{self.prefix}/trials{shard_id}",
+                task=SkewTrialsStage(
+                    parameters=parameters,
+                    skew_range_ns=config.skew_range_ns,
+                    bist_clock_advance_ns=config.bist_clock_advance_ns,
+                    seed=config.skew_seed,
+                    trial_indices=run,
+                ),
+                phase=PHASE_AT_SPEED,
+                scenario=self.scenario,
+                category=CATEGORY_SIM,
+            )
+            for shard_id, run in enumerate(runs)
+        )
+        merge_key = f"{self.prefix}/merged"
+        merge = StageNode(
+            key=merge_key,
+            task=SkewMergeStage(self.config),
+            deps=(self.input_key, *(node.key for node in shard_nodes)),
+            local=True,
+            phase=PHASE_AT_SPEED,
+            scenario=self.scenario,
+            category=CATEGORY_CONTROL,
+        )
+        return Expansion(nodes=(*shard_nodes, merge), result=merge_key)
+
+
+@dataclass(frozen=True)
+class SkewTrialsStage:
+    """One contiguous run of trial-indexed shift-path skew samples."""
+
+    parameters: ShiftPathParameters
+    skew_range_ns: float
+    bist_clock_advance_ns: float
+    seed: int
+    trial_indices: tuple[int, ...]
+
+    def run(self) -> MonteCarloSummary:
+        return run_skew_trials(
+            self.parameters,
+            self.skew_range_ns,
+            self.trial_indices,
+            bist_clock_advance_ns=self.bist_clock_advance_ns,
+            # The paper's deployment always applies the re-timing fix (the
+            # parent-side shift-path check does the same).
+            retiming=True,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class SkewMergeStage:
+    """Absorb per-run skew summaries (additive counters, order-independent)."""
+
+    config: LogicBistConfig
+
+    def run(self, skew_input: SkewInput, *summaries) -> SkewOutcome:
+        merged = MonteCarloSummary()
+        for summary in summaries:
+            merged.absorb(summary)
+        return SkewOutcome(
+            summary=merged,
+            schedule_valid=skew_input.schedule_valid,
+            schedule_problems=skew_input.schedule_problems,
+            d3_ns=skew_input.d3_ns,
+            max_skew_ns=skew_input.max_skew_ns,
+            skew_range_ns=self.config.skew_range_ns,
+            bist_clock_advance_ns=self.config.bist_clock_advance_ns,
+            num_shards=len(summaries),
+        )
 
 
 @dataclass(frozen=True)
@@ -858,20 +1068,41 @@ class ReportStage:
     fault list (and hence coverage and first detections, top-up indices >=
     ``TOPUP_PATTERN_BASE`` included) comes from the top-up stage's
     authoritative copy, and the deterministic top-up accounting lands in the
-    report's ``topup`` section.
+    report's ``topup`` section.  The optional at-speed artifacts arrive as
+    trailing positional deps in declared order (top-up, transition, skew);
+    the ``has_*`` flags say which are present, so a missing section can
+    never mis-bind to another's parameter.
     """
 
     name: str
     core_name: str
     num_workers: int = 1
+    has_topup: bool = False
+    has_transition: bool = False
+    has_skew: bool = False
 
     def run(
         self,
         bundle: ScenarioBundle,
         random_outcome: RandomPhaseOutcome,
         signatures: dict[str, int],
-        topup: Optional[TopUpOutcome] = None,
+        *extras,
     ) -> ScenarioResult:
+        expected = self.has_topup + self.has_transition + self.has_skew
+        if len(extras) != expected:
+            raise ValueError(
+                f"report stage expected {expected} optional inputs, got {len(extras)}"
+            )
+        remaining = list(extras)
+        topup: Optional[TopUpOutcome] = (
+            remaining.pop(0) if self.has_topup else None
+        )
+        transition: Optional[TransitionOutcome] = (
+            remaining.pop(0) if self.has_transition else None
+        )
+        skew: Optional[SkewOutcome] = (
+            remaining.pop(0) if self.has_skew else None
+        )
         # Post-top-up detection state: with a pooled scheduler the top-up
         # stage credited its own pickled copy, so the outcome's list -- not
         # the bundle's -- is authoritative whenever top-up ran.
@@ -904,6 +1135,17 @@ class ReportStage:
             result.topup_untestable = topup.result.untestable_faults
             result.topup_aborted = topup.result.aborted_faults
             result.topup_skipped_targets = topup.result.skipped_targets
+        if transition is not None:
+            result.transition_coverage = transition.coverage
+            result.transition_total_faults = transition.total_faults
+            result.transition_detected = transition.detected
+            result.transition_patterns = transition.patterns_simulated
+            result.transition_coverage_curve = list(transition.coverage_curve)
+            result.transition_first_detections = dict(
+                transition.first_detections
+            )
+        if skew is not None:
+            result.skew = skew.canonical_dict()
         return result
 
 
@@ -921,19 +1163,31 @@ def scenario_stage_nodes(
     pattern_shards: int = 1,
     num_workers: int = 1,
     include_topup: bool = False,
-    include_transition: bool = False,
+    include_transition: Optional[bool] = None,
+    include_skew: Optional[bool] = None,
     include_report: bool = False,
 ) -> tuple[list[StageNode], dict[str, str]]:
     """Wire one (core, config) scenario into stage-graph nodes.
 
     Returns ``(nodes, artifacts)`` where ``artifacts`` maps logical names
     (``"core"``, ``"tpi"``, ``"bundle"``, ``"fault_sim"``, ``"signatures"``,
-    and, when included, ``"topup"`` / ``"transition"`` / ``"report"``) to the
-    node keys whose values a finished
+    and, when included, ``"topup"`` / ``"transition"`` / ``"skew"`` /
+    ``"report"``) to the node keys whose values a finished
     :class:`~repro.campaign.scheduler.PipelineRun` holds.  Many scenarios'
     node lists concatenate into one multi-scenario DAG; ``scenario_key`` must
     be campaign-unique (see :func:`unique_scenario_key`).
+
+    ``include_transition`` / ``include_skew`` default to the scenario
+    config's own measurement requests (``measure_transition_coverage`` /
+    ``skew_trials > 0``): a config asking for an at-speed measurement gets
+    the stages without every caller having to re-plumb the flags -- the
+    campaign runner dropped ``measure_transition_coverage`` silently for
+    exactly that reason.  Pass an explicit bool to override either way.
     """
+    if include_transition is None:
+        include_transition = config.measure_transition_coverage
+    if include_skew is None:
+        include_skew = config.skew_trials > 0
     name = scenario_name or circuit.name
     keys = {
         "core": f"{scenario_key}/core",
@@ -1069,16 +1323,56 @@ def scenario_stage_nodes(
                 category=CATEGORY_CONTROL,
             )
         )
+    if include_skew:
+        keys["skew_input"] = f"{scenario_key}/skew_input"
+        keys["skew"] = f"{scenario_key}/skew"
+        nodes.append(
+            StageNode(
+                key=keys["skew_input"],
+                task=TrimSkewInputStage(),
+                deps=(keys["bundle"],),
+                local=True,
+                phase=PHASE_AT_SPEED,
+                scenario=name,
+                category=CATEGORY_CONTROL,
+            )
+        )
+        nodes.append(
+            StageNode(
+                key=keys["skew"],
+                task=SkewSweepStage(
+                    input_key=keys["skew_input"],
+                    prefix=keys["skew"],
+                    scenario=name,
+                    config=config,
+                    trial_shards=max(1, fault_shards),
+                ),
+                deps=(keys["skew_input"],),
+                local=True,
+                phase=PHASE_AT_SPEED,
+                scenario=name,
+                category=CATEGORY_CONTROL,
+            )
+        )
     if include_report:
         keys["report"] = f"{scenario_key}/report"
         report_deps = [keys["bundle"], keys["fault_sim"], keys["signatures"]]
         if include_topup:
             report_deps.append(keys["topup"])
+        if include_transition:
+            report_deps.append(keys["transition"])
+        if include_skew:
+            report_deps.append(keys["skew"])
         nodes.append(
             StageNode(
                 key=keys["report"],
                 task=ReportStage(
-                    name=name, core_name=circuit.name, num_workers=num_workers
+                    name=name,
+                    core_name=circuit.name,
+                    num_workers=num_workers,
+                    has_topup=include_topup,
+                    has_transition=include_transition,
+                    has_skew=include_skew,
                 ),
                 deps=tuple(report_deps),
                 local=True,

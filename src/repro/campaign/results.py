@@ -180,6 +180,18 @@ class ScenarioResult:
     topup_untestable: int = 0
     topup_aborted: int = 0
     topup_skipped_targets: int = 0
+    #: At-speed transition measurement (populated only when the scenario's
+    #: config set ``measure_transition_coverage``; the ``transition`` section
+    #: of the canonical report).
+    transition_coverage: Optional[float] = None
+    transition_total_faults: int = 0
+    transition_detected: int = 0
+    transition_patterns: int = 0
+    transition_coverage_curve: list[tuple[int, float]] = field(default_factory=list)
+    transition_first_detections: dict[str, int] = field(default_factory=dict)
+    #: Fig. 3 Monte-Carlo skew sweep (populated when ``skew_trials > 0``):
+    #: the canonical dict of a :class:`~repro.campaign.pipeline.SkewOutcome`.
+    skew: Optional[dict] = None
     #: Diagnostics (excluded from the canonical report bytes).
     num_shards: int = 1
     num_workers: int = 1
@@ -209,6 +221,21 @@ class ScenarioResult:
                 "aborted": self.topup_aborted,
                 "skipped_targets": self.topup_skipped_targets,
             }
+        if self.transition_coverage is not None:
+            canonical["transition"] = {
+                "coverage": self.transition_coverage,
+                "total_faults": self.transition_total_faults,
+                "detected": self.transition_detected,
+                "patterns": self.transition_patterns,
+                "coverage_curve": [
+                    list(point) for point in self.transition_coverage_curve
+                ],
+                "first_detections": dict(
+                    sorted(self.transition_first_detections.items())
+                ),
+            }
+        if self.skew is not None:
+            canonical["skew"] = self.skew
         return canonical
 
     def report_bytes(self) -> bytes:

@@ -587,6 +587,13 @@ class CampaignRunner:
         and first detections then include the top-up patterns (indices >=
         :data:`repro.atpg.topup.TOPUP_PATTERN_BASE`), byte-identical to the
         serial walk at any worker count.
+
+        Scenarios whose config sets ``measure_transition_coverage`` run the
+        launch-on-capture transition fan-out and their canonical report
+        gains a ``transition`` section; ``skew_trials > 0`` adds the sharded
+        Fig. 3 Monte-Carlo skew sweep as a ``skew`` section.  Both are
+        sharded through the same pool and byte-identical to the serial walk
+        at any worker/shard count.
         """
         from .pipeline import release_scenario_engines, scenario_stage_nodes
         from .scheduler import PooledScheduler, SerialScheduler
@@ -616,6 +623,8 @@ class CampaignRunner:
                 pattern_shards=self.pattern_shards,
                 num_workers=self.num_workers,
                 include_topup=scenario.config.campaign_topup,
+                include_transition=scenario.config.measure_transition_coverage,
+                include_skew=scenario.config.skew_trials > 0,
                 include_report=True,
             )
             nodes.extend(scenario_nodes)

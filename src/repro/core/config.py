@@ -97,9 +97,23 @@ class LogicBistConfig:
     # Measurement options
     # ------------------------------------------------------------------ #
     #: Also run launch-on-capture transition-fault simulation (at-speed value).
+    #: Honoured by the flow *and* by campaign scenarios: the scenario graph
+    #: grows the transition stages and the canonical report gains a
+    #: ``transition`` section (coverage, detected/total faults, pattern
+    #: budget) whenever this is set.
     measure_transition_coverage: bool = False
     #: Patterns used for the transition-coverage measurement.
     transition_patterns: int = 256
+    #: Monte-Carlo shift-path skew trials (the Fig. 3 sweep) run per
+    #: scenario; 0 disables the sweep.  Trials are trial-index-seeded
+    #: (:func:`~repro.timing.skew_analysis.sample_shift_path_report`), so
+    #: campaign shards partition the index range freely and the merged
+    #: counters are identical at any shard/worker count.
+    skew_trials: int = 0
+    #: Chain-clock arrival range (ns) the skew trials sample uniformly.
+    skew_range_ns: float = 2.0
+    #: Seed of the trial-indexed skew sampling.
+    skew_seed: int = 2005
     #: Compute per-domain MISR signatures for this many leading random patterns
     #: (0 disables signature emulation; coverage never depends on it).
     signature_patterns: int = 64

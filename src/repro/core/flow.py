@@ -77,6 +77,18 @@ class PhaseTiming:
 # Structure builders (module-level so the sharded campaign runner can
 # assemble the exact same STUMPS / clock-tree structures the flow uses)
 # --------------------------------------------------------------------- #
+def build_shift_path_parameters(config: LogicBistConfig) -> ShiftPathParameters:
+    """The flow's Fig. 3 shift-path electrical parameters under ``config``.
+
+    One construction path shared by the parent-side shift-path check and the
+    campaign's sharded Monte-Carlo skew stage, so both analyses always agree
+    on the compactor depth the chain->MISR interface sees.
+    """
+    return ShiftPathParameters(
+        compactor_depth=0 if not config.use_space_compactor else 3
+    )
+
+
 def build_clock_tree(circuit: Circuit, config: LogicBistConfig) -> ClockTreeModel:
     """The flow's clock-tree model for ``circuit`` under ``config``."""
     frequencies = {
@@ -263,6 +275,13 @@ class LogicBistResult:
     # Extras beyond Table 1.
     coverage_curve: list[tuple[int, float]] = field(default_factory=list)
     transition_coverage: Optional[float] = None
+    #: Full at-speed measurement (detected/total transition faults, pattern
+    #: budget, curve) -- a :class:`~repro.campaign.pipeline.TransitionOutcome`
+    #: when ``measure_transition_coverage`` is set, else ``None``.
+    transition: Optional[object] = None
+    #: Sharded Fig. 3 Monte-Carlo sweep -- a
+    #: :class:`~repro.campaign.pipeline.SkewOutcome` when ``skew_trials > 0``.
+    skew_sweep: Optional[object] = None
     signatures: dict[str, int] = field(default_factory=dict)
     shift_path_report: Optional[ShiftPathReport] = None
     topup: Optional[TopUpResult] = None
@@ -349,10 +368,13 @@ class LogicBistFlow:
         random_outcome = pipeline_run.value(keys["fault_sim"])
         signatures: dict[str, int] = pipeline_run.value(keys["signatures"])
         topup_outcome = pipeline_run.value(keys["topup"])
-        transition_coverage = (
+        transition_outcome = (
             pipeline_run.value(keys["transition"])
-            if config.measure_transition_coverage
+            if "transition" in keys
             else None
+        )
+        skew_outcome = (
+            pipeline_run.value(keys["skew"]) if "skew" in keys else None
         )
 
         # The shift-path (Fig. 3) analysis is parent-side: it reads only the
@@ -404,7 +426,13 @@ class LogicBistFlow:
             area_overhead_fraction=self._area_overhead(core, stumps),
             cpu_time_seconds=total_seconds,
             coverage_curve=random_outcome.result.coverage_curve,
-            transition_coverage=transition_coverage,
+            transition_coverage=(
+                transition_outcome.coverage
+                if transition_outcome is not None
+                else None
+            ),
+            transition=transition_outcome,
+            skew_sweep=skew_outcome,
             signatures=signatures,
             shift_path_report=shift_report,
             topup=topup_outcome.result,
@@ -419,10 +447,7 @@ class LogicBistFlow:
     # ------------------------------------------------------------------ #
     def _shift_path_check(self, clock_tree: ClockTreeModel) -> ShiftPathReport:
         config = self.config
-        parameters = ShiftPathParameters(
-            compactor_depth=0 if not config.use_space_compactor else 3
-        )
-        analyzer = ShiftPathAnalyzer(parameters)
+        analyzer = ShiftPathAnalyzer(build_shift_path_parameters(config))
         skew = clock_tree.max_skew_overall()
         return analyzer.analyze(
             chain_clock_arrival_ns=skew + config.bist_clock_advance_ns,

@@ -26,6 +26,8 @@ from .skew_analysis import (
     ShiftPathParameters,
     ShiftPathReport,
     monte_carlo_violations,
+    run_skew_trials,
+    sample_shift_path_report,
 )
 from .waveform_gen import (
     BistWaveformConfig,
@@ -51,6 +53,8 @@ __all__ = [
     "ShiftPathParameters",
     "ShiftPathReport",
     "monte_carlo_violations",
+    "run_skew_trials",
+    "sample_shift_path_report",
     "BistWaveformConfig",
     "domain_capture_pulse_times",
     "generate_bist_waveform",

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..netlist.library import CellLibrary
 from ..netlist.gates import GateType
@@ -217,6 +217,34 @@ class MonteCarloSummary:
         if report.only_fixable_violations:
             self.only_fixable += 1
 
+    def absorb(self, other: "MonteCarloSummary") -> None:
+        """Add another summary's counters into this one.
+
+        Every field is an additive count, so absorbing per-shard summaries in
+        any order reproduces the single-sweep summary exactly -- the property
+        the campaign's sharded skew stage relies on.
+        """
+        self.trials += other.trials
+        self.clean += other.clean
+        self.prpg_to_chain_setup += other.prpg_to_chain_setup
+        self.prpg_to_chain_hold += other.prpg_to_chain_hold
+        self.chain_to_misr_setup += other.chain_to_misr_setup
+        self.chain_to_misr_hold += other.chain_to_misr_hold
+        self.only_fixable += other.only_fixable
+
+    def as_dict(self) -> dict[str, int]:
+        """Canonical integer-only view (stable keys, deterministic values)."""
+        return {
+            "trials": self.trials,
+            "clean": self.clean,
+            "prpg_to_chain_setup": self.prpg_to_chain_setup,
+            "prpg_to_chain_hold": self.prpg_to_chain_hold,
+            "chain_to_misr_setup": self.chain_to_misr_setup,
+            "chain_to_misr_hold": self.chain_to_misr_hold,
+            "only_fixable": self.only_fixable,
+            "unfixable": self.unfixable,
+        }
+
     @property
     def unfixable(self) -> int:
         """Trials with at least one violation the paper's fixes do not cover."""
@@ -250,4 +278,61 @@ def monte_carlo_violations(
         )
         report = analyzer.analyze(chain_arrival, bist_arrival, retiming=retiming)
         summary.record(report)
+    return summary
+
+
+def sample_shift_path_report(
+    parameters: ShiftPathParameters,
+    skew_range_ns: float,
+    trial: int,
+    seed: int = 2005,
+    bist_clock_advance_ns: float = 0.0,
+    retiming: bool = False,
+) -> ShiftPathReport:
+    """One trial-indexed Monte-Carlo shift-path sample.
+
+    Draws the same distribution as :func:`monte_carlo_violations` but seeds a
+    fresh RNG from ``(seed, trial)`` instead of advancing one sequential
+    stream: trial ``k`` produces the same sample whether it runs first, last,
+    or in another process.  Any partition of a trial-index range therefore
+    reproduces the unsharded sweep exactly, which is what lets the campaign
+    shard Fig. 3 sweeps across workers like fault shards.
+    """
+    rng = random.Random(f"{seed}:trial:{trial}")
+    nominal_chain_arrival = skew_range_ns / 2
+    chain_arrival = rng.uniform(0.0, skew_range_ns)
+    bist_arrival = nominal_chain_arrival - bist_clock_advance_ns + rng.uniform(
+        -0.1 * skew_range_ns, 0.1 * skew_range_ns
+    )
+    return ShiftPathAnalyzer(parameters).analyze(
+        chain_arrival, bist_arrival, retiming=retiming
+    )
+
+
+def run_skew_trials(
+    parameters: ShiftPathParameters,
+    skew_range_ns: float,
+    trials: Iterable[int],
+    bist_clock_advance_ns: float = 0.0,
+    retiming: bool = False,
+    seed: int = 2005,
+) -> MonteCarloSummary:
+    """Aggregate trial-indexed skew samples for the given trial indices.
+
+    ``run_skew_trials(p, r, range(n))`` is the serial oracle; summing (via
+    :meth:`MonteCarloSummary.absorb`) the summaries of any partition of
+    ``range(n)`` yields the identical counters.
+    """
+    summary = MonteCarloSummary()
+    for trial in trials:
+        summary.record(
+            sample_shift_path_report(
+                parameters,
+                skew_range_ns,
+                trial,
+                seed=seed,
+                bist_clock_advance_ns=bist_clock_advance_ns,
+                retiming=retiming,
+            )
+        )
     return summary

@@ -104,3 +104,38 @@ class TestEvictionDoesNotChangeResults:
         thrashed = CampaignRunner(num_workers=1, fault_shards=2).run(scenarios)
         assert thrashed.report_bytes() == reference.report_bytes()
         assert len(runner_module._ENGINE_CACHE) <= 1
+
+    @pytest.mark.transition
+    def test_at_speed_campaign_identical_under_thrashing_cache(self, monkeypatch):
+        """Transition shards thrash the same LRU: a scenario's stuck-at and
+        transition engines are distinct entries, so maxsize=1 forces an
+        eviction between the two kinds *within* each scenario -- and the
+        transition shard states must neither leak kernels past the bound
+        nor change a byte of the report."""
+        scenarios = [
+            CampaignScenario(
+                f"atspeed{seed}",
+                make_core(seed),
+                LogicBistConfig(
+                    total_scan_chains=4,
+                    tpi_method="none",
+                    observation_point_budget=0,
+                    random_patterns=64,
+                    signature_patterns=8,
+                    measure_transition_coverage=True,
+                    transition_patterns=32,
+                    skew_trials=20,
+                ),
+            )
+            for seed in (53, 54)
+        ]
+        reference = CampaignRunner(num_workers=1, fault_shards=2).run(scenarios)
+        monkeypatch.setattr(runner_module, "_ENGINE_CACHE", EngineCache(maxsize=1))
+        thrashed = CampaignRunner(num_workers=1, fault_shards=2).run(scenarios)
+        assert thrashed.report_bytes() == reference.report_bytes()
+        assert b'"transition"' in thrashed.report_bytes()  # section really ran
+        cache = runner_module._ENGINE_CACHE
+        assert len(cache) <= 1
+        # The serial run released its scenario engines on completion: no
+        # transition kernel outlives the campaign.
+        assert not [key for key in cache.keys() if key[1] == "transition"]

@@ -79,9 +79,40 @@ def golden_cases() -> dict[str, tuple[SyntheticCoreConfig, LogicBistConfig]]:
         clock_frequencies_mhz={"clkA": 330.0, "clkB": 250.0, "clkC": 200.0},
         topup_backtrack_limit=60,
     )
+    # The at-speed golden: multi-domain with measure_transition_coverage, so
+    # the launch-on-capture transition measurement is pinned byte-for-byte
+    # alongside the stuck-at figures.
+    gamma_core = SyntheticCoreConfig(
+        name="golden_gamma",
+        clock_domains=("clkP", "clkQ", "clkR"),
+        num_inputs=10,
+        num_outputs=5,
+        register_width=6,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(6,),
+        decode_cone_width=5,
+        cross_domain_links=2,
+        seed=2026,
+    )
+    gamma_config = LogicBistConfig(
+        total_scan_chains=6,
+        observation_point_budget=3,
+        tpi_profile_patterns=48,
+        random_patterns=128,
+        signature_patterns=12,
+        measure_transition_coverage=True,
+        transition_patterns=64,
+        skew_trials=64,
+        skew_range_ns=6.0,
+        clock_frequencies_mhz={"clkP": 330.0, "clkQ": 250.0, "clkR": 125.0},
+        topup_backtrack_limit=60,
+    )
     return {
         "golden_alpha": (alpha_core, alpha_config),
         "golden_beta": (beta_core, beta_config),
+        "golden_gamma": (gamma_core, gamma_config),
     }
 
 
@@ -107,6 +138,26 @@ def run_case(core_config: SyntheticCoreConfig, config: LogicBistConfig) -> dict:
             [patterns, round(coverage, FLOAT_DECIMALS)]
             for patterns, coverage in result.coverage_curve[-3:]
         ],
+        # At-speed measurements (null unless the case sets
+        # measure_transition_coverage / skew_trials).
+        "transition_coverage": (
+            round(result.transition_coverage, FLOAT_DECIMALS)
+            if result.transition_coverage is not None
+            else None
+        ),
+        "transition_detected": (
+            result.transition.detected if result.transition is not None else None
+        ),
+        "transition_total_faults": (
+            result.transition.total_faults
+            if result.transition is not None
+            else None
+        ),
+        "skew_monte_carlo": (
+            result.skew_sweep.summary.as_dict()
+            if result.skew_sweep is not None
+            else None
+        ),
     }
 
 
