@@ -28,6 +28,14 @@
 #                                 fan-out, skew sweep or timing/ layer.
 #                                 (These tests also run in the fast tier;
 #                                 this tier just isolates them.)
+#   scripts/verify.sh service     serial campaign-service subset: the
+#                                 service-marked tests (asyncio job queue,
+#                                 crash-injection checkpoint/resume, event
+#                                 stream reassembly, service-tier kernel
+#                                 cache) on the SerialScheduler only -- the
+#                                 quick check after touching src/repro/
+#                                 service/.  The pooled service matrix runs
+#                                 in the full tier.
 #
 # Markers:
 #   slow          exhaustive LFSR period walks (widths 14-20)
@@ -36,6 +44,9 @@
 #   numpy         optional numpy-backend tests; auto-skip without NumPy
 #   transition    at-speed (transition / skew-sweep) campaign and timing
 #                 tests; the serial subset is the transition tier above
+#   service       campaign-service tests; auto-skip when asyncio or
+#                 repro.service is unavailable; the serial subset is the
+#                 service tier above
 #
 # Extra arguments after the tier name pass straight to pytest, e.g.
 #   scripts/verify.sh fast tests/campaign -k pipeline
@@ -62,8 +73,11 @@ case "$tier" in
   transition)
     exec python -m pytest -x -q -m "transition and not multiprocess" "$@"
     ;;
+  service)
+    exec python -m pytest -x -q -m "service and not multiprocess" "$@"
+    ;;
   *)
-    echo "usage: scripts/verify.sh [fast|full|bench-smoke|transition] [pytest args...]" >&2
+    echo "usage: scripts/verify.sh [fast|full|bench-smoke|transition|service] [pytest args...]" >&2
     exit 2
     ;;
 esac

@@ -38,13 +38,17 @@ from .results import (
     ScenarioResult,
     ShardOutcome,
     SignatureOutcome,
+    assemble_scenario_canonical,
     build_simulation_result,
+    canonical_report_bytes,
     merge_first_detections,
 )
 from .runner import (
+    CacheStats,
     CampaignRunner,
     CampaignScenario,
     EngineCache,
+    KeyedLruCache,
     FaultShardTask,
     ShardPayload,
     SignatureShardTask,
@@ -62,6 +66,7 @@ from .scheduler import (
     PooledScheduler,
     SerialScheduler,
     StageNode,
+    StageObserver,
     StageTrace,
 )
 from .pipeline import (
@@ -94,11 +99,15 @@ __all__ = [
     "ScenarioResult",
     "ShardOutcome",
     "SignatureOutcome",
+    "assemble_scenario_canonical",
     "build_simulation_result",
+    "canonical_report_bytes",
     "merge_first_detections",
+    "CacheStats",
     "CampaignRunner",
     "CampaignScenario",
     "EngineCache",
+    "KeyedLruCache",
     "FaultShardTask",
     "ShardPayload",
     "SignatureShardTask",
@@ -114,6 +123,7 @@ __all__ = [
     "PooledScheduler",
     "SerialScheduler",
     "StageNode",
+    "StageObserver",
     "StageTrace",
     "BuildStumpsStage",
     "FaultSimStage",

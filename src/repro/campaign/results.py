@@ -155,6 +155,52 @@ def _detected_before(fault_list: FaultList, fault: object, boundary: int) -> boo
 # --------------------------------------------------------------------- #
 # Scenario / campaign reports
 # --------------------------------------------------------------------- #
+def canonical_report_bytes(canonical: dict) -> bytes:
+    """The one canonical JSON serialisation: equal dicts <=> equal bytes.
+
+    Every report-byte producer (scenario, campaign, and the service tier's
+    stream reassembler) funnels through this function, so "byte-identical"
+    can never drift between the in-process path and a reassembled stream.
+    """
+    return json.dumps(canonical, sort_keys=True, separators=(",", ":")).encode()
+
+
+#: Names of the streamable fragments of a scenario's canonical report, in
+#: canonical-assembly order.  ``base``/``topup``/``transition``/``skew`` are
+#: :meth:`ScenarioResult.canonical_sections` payloads; the coverage curves
+#: (``random``/``transition``) stream separately as incremental deltas.
+SECTION_NAMES = ("base", "topup", "transition", "skew")
+CURVE_NAMES = ("random", "transition")
+
+
+def assemble_scenario_canonical(
+    sections: Mapping[str, dict], curves: Mapping[str, Sequence[Sequence]]
+) -> dict:
+    """Rebuild a scenario's canonical dict from streamed fragments.
+
+    Inverse of :meth:`ScenarioResult.canonical_sections` +
+    :meth:`ScenarioResult.curve_sections`: given the section payloads and the
+    (reassembled, index-ordered) coverage curves, this produces exactly
+    ``ScenarioResult.canonical_dict()`` -- the property the stream suite
+    pins down for arbitrary event interleavings.
+    """
+    if "base" not in sections:
+        raise KeyError("cannot assemble a scenario without its 'base' section")
+    canonical = dict(sections["base"])
+    canonical["coverage_curve"] = [list(point) for point in curves.get("random", ())]
+    if "topup" in sections:
+        canonical.update(sections["topup"])
+    if "transition" in sections:
+        transition = dict(sections["transition"])
+        transition["coverage_curve"] = [
+            list(point) for point in curves.get("transition", ())
+        ]
+        canonical["transition"] = transition
+    if "skew" in sections:
+        canonical["skew"] = sections["skew"]
+    return canonical
+
+
 @dataclass
 class ScenarioResult:
     """Merged, canonical outcome of one (core, config) campaign scenario."""
@@ -238,6 +284,54 @@ class ScenarioResult:
             canonical["skew"] = self.skew
         return canonical
 
+    def canonical_sections(self) -> dict[str, dict]:
+        """The streamable curve-free fragments of :meth:`canonical_dict`.
+
+        Keys are a subset of :data:`SECTION_NAMES`; ``base`` is always
+        present, the rest only when the scenario ran that phase.  Coverage
+        curves are deliberately excluded -- they stream incrementally as
+        deltas (:meth:`curve_sections`) -- and
+        :func:`assemble_scenario_canonical` recombines both halves.
+        """
+        canonical = self.canonical_dict()
+        base = {
+            key: value
+            for key, value in canonical.items()
+            if key
+            not in ("coverage_curve", "coverage_random", "topup", "transition", "skew")
+        }
+        sections: dict[str, dict] = {"base": base}
+        if "topup" in canonical:
+            sections["topup"] = {
+                "coverage_random": canonical["coverage_random"],
+                "topup": canonical["topup"],
+            }
+        if "transition" in canonical:
+            sections["transition"] = {
+                key: value
+                for key, value in canonical["transition"].items()
+                if key != "coverage_curve"
+            }
+        if "skew" in canonical:
+            sections["skew"] = canonical["skew"]
+        return sections
+
+    def curve_sections(self) -> dict[str, list[list]]:
+        """The coverage curves of the canonical report, keyed by curve name.
+
+        ``random`` is always present (possibly empty); ``transition`` only
+        when the scenario measured transition coverage.  Points are the
+        canonical ``[pattern_index, coverage]`` lists.
+        """
+        curves: dict[str, list[list]] = {
+            "random": [list(point) for point in self.coverage_curve]
+        }
+        if self.transition_coverage is not None:
+            curves["transition"] = [
+                list(point) for point in self.transition_coverage_curve
+            ]
+        return curves
+
     def report_bytes(self) -> bytes:
         """Canonical byte-exact report: equal results <=> equal bytes.
 
@@ -245,9 +339,7 @@ class ScenarioResult:
         serialisation -- the regression suite compares these bytes across
         permuted shard assignments and worker counts.
         """
-        return json.dumps(
-            self.canonical_dict(), sort_keys=True, separators=(",", ":")
-        ).encode()
+        return canonical_report_bytes(self.canonical_dict())
 
 
 @dataclass
@@ -269,6 +361,4 @@ class CampaignResult:
 
     def report_bytes(self) -> bytes:
         """Canonical byte-exact report across every scenario."""
-        return json.dumps(
-            self.canonical_dict(), sort_keys=True, separators=(",", ":")
-        ).encode()
+        return canonical_report_bytes(self.canonical_dict())

@@ -27,6 +27,18 @@ Determinism: artifact values are keyed, never ordered, and every merge stage
 downstream is order-independent by construction, so the pooled schedule --
 whatever interleaving the pool produces -- yields byte-identical results to
 the serial walk (``tests/campaign`` asserts this end to end).
+
+Both schedulers additionally support the service tier
+(:mod:`repro.service`):
+
+* a :class:`StageObserver` receives start/finish/error callbacks as stages
+  execute -- the hook the service uses to stream incremental events and to
+  persist checkpoints at stage boundaries, and
+* ``run(nodes, preloaded=..., expansions=...)`` resumes a half-finished
+  graph: preloaded artifact values are injected into the store and their
+  nodes are skipped, while preloaded :class:`Expansion` records splice their
+  recorded children without re-running the expander (so e.g. signature fold
+  stages keep the exact per-domain copies the original run embedded).
 """
 
 from __future__ import annotations
@@ -35,7 +47,7 @@ import multiprocessing
 import queue
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 #: Stage categories, used by the benchmark layer to attribute compute:
 #: ``prep`` covers scenario preparation (scan insertion, TPI profiling,
@@ -83,6 +95,34 @@ class Expansion:
     result: str
 
 
+class StageObserver:
+    """No-op base class for schedule observers (service tier hooks).
+
+    An observer rides one graph execution: :meth:`on_run_begin` fires once
+    the graph state (preloaded artifacts and expansions included) is
+    assembled but before any stage executes; the per-stage callbacks fire in
+    the parent process as stages start and land.  ``on_stage_finish`` runs
+    *after* the stage's artifact is recorded, so the :class:`PipelineRun`
+    the observer holds is always a consistent resume point -- the service's
+    checkpointer snapshots it there.  Callbacks execute on the scheduler's
+    thread; an exception raised from one aborts the schedule (the pooled
+    scheduler tears its pool down), which is exactly the semantics a failed
+    checkpoint write wants.
+    """
+
+    def on_run_begin(self, run: "PipelineRun") -> None:
+        """The graph is assembled; ``run`` already holds preloaded state."""
+
+    def on_stage_start(self, node: "StageNode") -> None:
+        """``node`` is about to execute (or was just submitted to the pool)."""
+
+    def on_stage_finish(self, node: "StageNode", value, seconds: float) -> None:
+        """``node`` finished; its artifact/expansion is recorded in the run."""
+
+    def on_stage_error(self, node: "StageNode", error: BaseException) -> None:
+        """``node`` raised; the schedule is about to abort with ``error``."""
+
+
 @dataclass(frozen=True)
 class StageTrace:
     """Timing record of one executed stage (feeds benchmarks and reports)."""
@@ -101,11 +141,19 @@ class PipelineRun:
 
     ``store`` maps artifact keys to values; ``aliases`` maps expander keys to
     the keys they resolved to.  Use :meth:`value` to read an artifact through
-    the alias chain.
+    the alias chain.  ``expansions`` keeps each expander's spliced
+    :class:`Expansion` record -- together with ``store`` it is a complete
+    resume point: re-running the same node list with ``store``/``expansions``
+    preloaded replays only the unfinished stages (see
+    :mod:`repro.service.checkpoint`).
     """
 
     store: dict[str, object] = field(default_factory=dict)
     aliases: dict[str, str] = field(default_factory=dict)
+    #: Expander key -> the Expansion it produced (resume replays these
+    #: instead of re-running the expander, preserving any per-run copies the
+    #: expansion's child tasks embedded).
+    expansions: dict[str, Expansion] = field(default_factory=dict)
     trace: list[StageTrace] = field(default_factory=list)
     #: End-to-end wall-clock of the schedule.
     seconds: float = 0.0
@@ -139,11 +187,11 @@ class PipelineRun:
     def trace_only(self) -> "PipelineRun":
         """A retention-safe copy: the trace and timings without the artifacts.
 
-        The store (and with it every scenario's packed session, core and
-        fault list) is dropped, so :meth:`value` on the copy raises
-        ``KeyError`` by design -- use it where only the timing diagnostics
-        (:meth:`seconds_by_phase` / :meth:`seconds_by_category`) should
-        outlive the run, e.g. ``CampaignRunner.last_run``.
+        The store and expansions (and with them every scenario's packed
+        session, core and fault list) are dropped, so :meth:`value` on the
+        copy raises ``KeyError`` by design -- use it where only the timing
+        diagnostics (:meth:`seconds_by_phase` / :meth:`seconds_by_category`)
+        should outlive the run, e.g. ``CampaignRunner.last_run``.
         """
         return PipelineRun(trace=list(self.trace), seconds=self.seconds)
 
@@ -181,18 +229,51 @@ def run_stage(task, inputs: Sequence[object]) -> tuple[object, float]:
 
 
 class _GraphState:
-    """Shared bookkeeping of both schedulers: pending nodes, store, aliases."""
+    """Shared bookkeeping of both schedulers: pending nodes, store, aliases.
 
-    def __init__(self, nodes: Sequence[StageNode]) -> None:
+    ``preloaded`` / ``expansions`` resume a half-finished schedule: preloaded
+    artifact values land in the store up front and their nodes are *skipped*
+    when added (original or spliced alike); preloaded expansions splice their
+    recorded children in place of re-running the expander.  Each preloaded
+    key is consumed exactly once, so a genuinely duplicated stage key still
+    raises.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[StageNode],
+        preloaded: Optional[Mapping[str, object]] = None,
+        expansions: Optional[Mapping[str, Expansion]] = None,
+    ) -> None:
         self.pending: dict[str, StageNode] = {}
         #: Keys handed to the pool and not yet finished -- an expansion must
         #: not be able to silently shadow an in-flight node's artifact.
         self.reserved: set[str] = set()
         self.run = PipelineRun()
+        self._skip = set(preloaded or ())
+        self._preexpanded = dict(expansions or {})
+        self.run.store.update(preloaded or {})
+        #: Keys whose stages were satisfied from a checkpoint, not executed.
+        self.resumed: set[str] = set(self._skip)
         for node in nodes:
             self.add(node)
 
     def add(self, node: StageNode) -> None:
+        if node.key in self._skip:
+            # Satisfied from a checkpoint: value is already in the store.
+            self._skip.discard(node.key)
+            return
+        if node.key in self._preexpanded:
+            # Replay the recorded expansion instead of re-running the
+            # expander: its children splice in (each possibly preloaded
+            # itself) with the exact task objects the original run built.
+            expansion = self._preexpanded.pop(node.key)
+            self.resumed.add(node.key)
+            self.run.aliases[node.key] = expansion.result
+            self.run.expansions[node.key] = expansion
+            for child in expansion.nodes:
+                self.add(child)
+            return
         if (
             node.key in self.pending
             or node.key in self.reserved
@@ -218,6 +299,7 @@ class _GraphState:
             for child in value.nodes:
                 self.add(child)
             self.run.aliases[node.key] = value.result
+            self.run.expansions[node.key] = value
         else:
             self.run.store[node.key] = value
         self.run.trace.append(
@@ -251,8 +333,16 @@ class SerialScheduler:
     flow's phase order when the graph is authored topologically.
     """
 
-    def run(self, nodes: Sequence[StageNode]) -> PipelineRun:
-        state = _GraphState(nodes)
+    def run(
+        self,
+        nodes: Sequence[StageNode],
+        observer: Optional[StageObserver] = None,
+        preloaded: Optional[Mapping[str, object]] = None,
+        expansions: Optional[Mapping[str, Expansion]] = None,
+    ) -> PipelineRun:
+        state = _GraphState(nodes, preloaded=preloaded, expansions=expansions)
+        observer = observer or StageObserver()
+        observer.on_run_begin(state.run)
         start = time.perf_counter()
         while state.pending:
             progressed = False
@@ -264,9 +354,16 @@ class SerialScheduler:
                 if inputs is None:
                     continue
                 del state.pending[key]
+                observer.on_stage_start(node)
                 stage_start = time.perf_counter()
-                value = node.task.run(*inputs)
-                state.finish(node, value, time.perf_counter() - stage_start)
+                try:
+                    value = node.task.run(*inputs)
+                except BaseException as error:
+                    observer.on_stage_error(node, error)
+                    raise
+                seconds = time.perf_counter() - stage_start
+                state.finish(node, value, seconds)
+                observer.on_stage_finish(node, value, seconds)
                 progressed = True
             if not progressed:
                 raise RuntimeError(state.unsatisfied())
@@ -293,8 +390,16 @@ class PooledScheduler:
         self.num_workers = num_workers
         self.mp_context = mp_context
 
-    def run(self, nodes: Sequence[StageNode]) -> PipelineRun:
-        state = _GraphState(nodes)
+    def run(
+        self,
+        nodes: Sequence[StageNode],
+        observer: Optional[StageObserver] = None,
+        preloaded: Optional[Mapping[str, object]] = None,
+        expansions: Optional[Mapping[str, Expansion]] = None,
+    ) -> PipelineRun:
+        state = _GraphState(nodes, preloaded=preloaded, expansions=expansions)
+        observer = observer or StageObserver()
+        observer.on_run_begin(state.run)
         start = time.perf_counter()
         completions: "queue.SimpleQueue[tuple[str, object, object]]" = (
             queue.SimpleQueue()
@@ -312,6 +417,7 @@ class PooledScheduler:
 
                 in_flight[node.key] = node
                 state.reserved.add(node.key)
+                observer.on_stage_start(node)
                 pool.apply_async(
                     run_stage,
                     (node.task, inputs),
@@ -333,11 +439,16 @@ class PooledScheduler:
                         del state.pending[key]
                         progressed = True
                         if node.local:
+                            observer.on_stage_start(node)
                             stage_start = time.perf_counter()
-                            value = node.task.run(*inputs)
-                            state.finish(
-                                node, value, time.perf_counter() - stage_start
-                            )
+                            try:
+                                value = node.task.run(*inputs)
+                            except BaseException as error:
+                                observer.on_stage_error(node, error)
+                                raise
+                            seconds = time.perf_counter() - stage_start
+                            state.finish(node, value, seconds)
+                            observer.on_stage_finish(node, value, seconds)
                         else:
                             submit(node, inputs)
 
@@ -347,9 +458,11 @@ class PooledScheduler:
                 node = in_flight.pop(key)
                 state.reserved.discard(key)
                 if error is not None:
+                    observer.on_stage_error(node, error)
                     raise error
                 value, seconds = result
                 state.finish(node, value, seconds)
+                observer.on_stage_finish(node, value, seconds)
                 launch_ready()
             if state.pending:
                 raise RuntimeError(state.unsatisfied())

@@ -168,3 +168,47 @@ class LogicBistConfig:
     #: byte-identical across worker counts.  The flow always runs top-up;
     #: this knob only gates the campaign runner's scenarios.
     campaign_topup: bool = False
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of the long-lived :class:`~repro.service.CampaignService`.
+
+    None of these affect result *content* -- checkpoints, event chunking and
+    caching are byte-invisible by construction (and by the crash-injection /
+    stream-replay suites under ``tests/service``).
+    """
+
+    #: Persist a job checkpoint after every N completed stages (1 = after
+    #: every stage, the tightest resume granularity; larger values trade
+    #: re-executed stages on resume for fewer pickle writes).
+    checkpoint_every: int = 1
+    #: Maximum coverage-curve points per streamed ``CoverageDelta`` event;
+    #: longer curves are split into consecutive chunks (the reassembled
+    #: curve is chunking-invariant).
+    event_chunk: int = 32
+    #: Capacity of the service-tier prepared-scenario cache
+    #: (:class:`~repro.service.cache.ScenarioPrepCache`): distinct
+    #: (circuit revision, config) pairs whose scan-inserted + TPI-profiled
+    #: cores -- and therefore their shared compiled kernels and
+    #: ``analysis_cache`` entries -- stay warm across jobs.
+    kernel_cache_size: int = 8
+    #: Completed/failed jobs whose in-memory records (event logs, results)
+    #: the service retains for late subscribers before discarding the
+    #: oldest (checkpointed reports on disk are never discarded).
+    retain_jobs: int = 16
+    #: Submissions allowed to wait in the queue before ``submit`` raises
+    #: (0 = unbounded).
+    max_queue_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.event_chunk < 1:
+            raise ValueError("event_chunk must be >= 1")
+        if self.kernel_cache_size < 1:
+            raise ValueError("kernel_cache_size must be >= 1")
+        if self.retain_jobs < 0:
+            raise ValueError("retain_jobs must be >= 0")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")

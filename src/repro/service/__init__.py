@@ -1,0 +1,66 @@
+"""Campaign-as-a-service: a long-lived front-end over the stage graph.
+
+The :mod:`repro.campaign` schedulers run one campaign per call; this package
+turns them into infrastructure:
+
+* :mod:`repro.service.queue` -- :class:`CampaignService`, an asyncio job
+  queue accepting scenario submissions and draining them through the
+  existing :class:`~repro.campaign.scheduler.PooledScheduler` /
+  :class:`~repro.campaign.scheduler.SerialScheduler`,
+* :mod:`repro.service.events` -- the incremental event stream (stage
+  start/done/error, coverage-curve deltas, section completions) published
+  to subscribers *while the campaign runs*, plus the reassembler that
+  rebuilds the canonical report bytes from any event interleaving,
+* :mod:`repro.service.checkpoint` -- durable per-job checkpoints of the
+  canonical merged partials (the :class:`~repro.campaign.scheduler.PipelineRun`
+  store + expansions), so a killed service restarts and replays only the
+  unfinished stages, byte-identical by test,
+* :mod:`repro.service.cache` -- the service-tier prepared-scenario LRU that
+  keeps compiled kernels and their ``analysis_cache`` warm across jobs
+  sharing a ``Circuit.revision``.
+
+Everything here is observability and durability *around* the campaign; the
+report bytes a service job produces are identical to an in-process
+:class:`~repro.campaign.runner.CampaignRunner` run of the same scenarios
+(``tests/service`` pins this down with crash injection and stream replay).
+"""
+
+from .cache import ScenarioPrepCache
+from .checkpoint import CheckpointStore
+from .events import (
+    CoverageDelta,
+    EventReassembler,
+    JobAccepted,
+    JobCounters,
+    JobEvent,
+    JobFailed,
+    JobFinished,
+    JobStarted,
+    ScenarioCompleted,
+    SectionCompleted,
+    StageFailed,
+    StageFinished,
+    StageStarted,
+)
+from .queue import CampaignService, JobRecord, JobSpec
+
+__all__ = [
+    "CampaignService",
+    "CheckpointStore",
+    "CoverageDelta",
+    "EventReassembler",
+    "JobAccepted",
+    "JobCounters",
+    "JobEvent",
+    "JobFailed",
+    "JobFinished",
+    "JobRecord",
+    "JobSpec",
+    "JobStarted",
+    "ScenarioCompleted",
+    "ScenarioPrepCache",
+    "SectionCompleted",
+    "StageFailed",
+    "StageFinished",
+    "StageStarted",
+]

@@ -1,0 +1,139 @@
+"""Durable per-job checkpoints: specs, merged partials, final reports.
+
+Layout (everything under one root directory, one subdirectory per job)::
+
+    <root>/<job_id>/spec.pkl      -- the pickled JobSpec (what was submitted)
+    <root>/<job_id>/progress.pkl  -- canonical merged partials (resume point)
+    <root>/<job_id>/report.json   -- final canonical report bytes
+
+``progress.pkl`` is **one** pickle dump of the run's ``{"store": ...,
+"expansions": ...}``.  The single dump matters: stage artifacts share
+mutated objects in-process (after the detection merge, the bundle's fault
+list *is* the result's fault list), and pickle's memo preserves exactly
+those identities across the dump/load boundary.  Snapshotting artifacts
+individually would silently fork shared objects and change resumed report
+bytes.  Expansions are persisted alongside the store so resume *replays*
+recorded fan-outs (with the exact task objects the original run built,
+per-run copies included) instead of re-running expanders against
+post-mutation state.
+
+All writes are atomic (temp file + ``os.replace`` in the same directory), so
+a crash mid-write -- the whole point of a checkpoint store -- leaves the
+previous consistent snapshot in place.  :class:`CheckpointStore` is the
+seam the crash-injection suite subclasses to inject failures at exact
+checkpoint boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+SPEC_FILE = "spec.pkl"
+PROGRESS_FILE = "progress.pkl"
+REPORT_FILE = "report.json"
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+class CheckpointStore:
+    """Filesystem-backed durability for :class:`~repro.service.CampaignService`.
+
+    Methods only ever raise for genuine I/O or unpickling errors; a missing
+    artifact reads as ``None`` (jobs legitimately have no progress yet, and
+    recovery probes for reports that may not exist).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------- #
+    def job_dir(self, job_id: str) -> Path:
+        return self.root / job_id
+
+    def _path(self, job_id: str, name: str) -> Path:
+        return self.job_dir(job_id) / name
+
+    # -- specs --------------------------------------------------------- #
+    def save_spec(self, job_id: str, spec) -> None:
+        """Persist the submission itself, so a restart can re-run it."""
+        self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
+        _atomic_write(self._path(job_id, SPEC_FILE), pickle.dumps(spec))
+
+    def load_spec(self, job_id: str):
+        path = self._path(job_id, SPEC_FILE)
+        if not path.exists():
+            return None
+        return pickle.loads(path.read_bytes())
+
+    # -- progress ------------------------------------------------------ #
+    def save_progress(self, job_id: str, run) -> None:
+        """Snapshot a consistent resume point of a (running) pipeline.
+
+        ``run`` is the live :class:`~repro.campaign.scheduler.PipelineRun`;
+        callers invoke this from
+        :meth:`~repro.campaign.scheduler.StageObserver.on_stage_finish`,
+        where the store/expansions are guaranteed consistent.
+        """
+        self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
+        snapshot = {"store": run.store, "expansions": run.expansions}
+        _atomic_write(self._path(job_id, PROGRESS_FILE), pickle.dumps(snapshot))
+
+    def load_progress(self, job_id: str) -> Optional[dict]:
+        """The last snapshot as ``{"store": ..., "expansions": ...}``."""
+        path = self._path(job_id, PROGRESS_FILE)
+        if not path.exists():
+            return None
+        return pickle.loads(path.read_bytes())
+
+    def discard_progress(self, job_id: str) -> None:
+        """Drop the resume point (the job finished; the report is durable)."""
+        path = self._path(job_id, PROGRESS_FILE)
+        if path.exists():
+            path.unlink()
+
+    # -- reports ------------------------------------------------------- #
+    def save_report(self, job_id: str, report: bytes) -> None:
+        """Persist the final canonical report bytes (marks the job done)."""
+        self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
+        _atomic_write(self._path(job_id, REPORT_FILE), report)
+
+    def load_report(self, job_id: str) -> Optional[bytes]:
+        path = self._path(job_id, REPORT_FILE)
+        if not path.exists():
+            return None
+        return path.read_bytes()
+
+    # -- recovery ------------------------------------------------------ #
+    def job_ids(self) -> list[str]:
+        """Every job directory, sorted (ids sort chronologically by design)."""
+        if not self.root.exists():
+            return []
+        return sorted(
+            entry.name for entry in self.root.iterdir() if entry.is_dir()
+        )
+
+    def pending_jobs(self) -> list[str]:
+        """Jobs with a spec but no final report: what a restart must resume."""
+        return [
+            job_id
+            for job_id in self.job_ids()
+            if self._path(job_id, SPEC_FILE).exists()
+            and not self._path(job_id, REPORT_FILE).exists()
+        ]
+
+    def discard(self, job_id: str) -> None:
+        """Remove every artifact of ``job_id`` (report included)."""
+        directory = self.job_dir(job_id)
+        if not directory.exists():
+            return
+        for entry in directory.iterdir():
+            entry.unlink()
+        directory.rmdir()

@@ -1,0 +1,312 @@
+"""The service's incremental event stream and its canonical reassembly.
+
+A running job publishes a totally ordered (per-job ``seq``) stream of frozen
+event records: lifecycle events (:class:`JobAccepted` ... :class:`JobFinished`),
+per-stage progress (:class:`StageStarted` / :class:`StageFinished` /
+:class:`StageFailed`), and -- the part that makes the stream more than a
+progress bar -- the *content* events :class:`CoverageDelta` and
+:class:`SectionCompleted`.  Content events carry canonical report fragments
+(:meth:`~repro.campaign.results.ScenarioResult.canonical_sections` payloads
+and chunked coverage-curve points), so a subscriber that saw every content
+event can rebuild the job's canonical report bytes without ever touching the
+service again: :class:`EventReassembler` does exactly that, and
+``tests/service/test_stream_properties.py`` proves the rebuild is invariant
+under arbitrary event interleavings and chunk boundaries.
+
+Events are plain frozen dataclasses (pickleable, hashable-by-field) rather
+than serialised wire messages: transports can attach whatever encoding they
+like later, while in-process subscribers (and the test suite) consume them
+directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..campaign.results import (
+    CURVE_NAMES,
+    SECTION_NAMES,
+    assemble_scenario_canonical,
+    canonical_report_bytes,
+)
+
+
+def report_checksum(report: bytes) -> str:
+    """Hex digest identifying a canonical report (cheap byte-identity probe)."""
+    return hashlib.sha256(report).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Event records
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class JobEvent:
+    """Base record: every event names its job and its per-job sequence slot.
+
+    ``seq`` increases strictly (by one) within a job's stream; subscribers
+    detect gaps/reordering with it, and the property suite asserts the
+    service never violates it.
+    """
+
+    job_id: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class JobAccepted(JobEvent):
+    """The submission was validated and queued at ``position``."""
+
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class JobStarted(JobEvent):
+    """The job left the queue and its stage graph is about to execute.
+
+    ``resumed`` jobs were recovered from a checkpoint: ``preloaded_stages``
+    of their stage graph (artifacts + replayed expansions) were satisfied
+    from disk and will not execute again.
+    """
+
+    resumed: bool = False
+    preloaded_stages: int = 0
+
+
+@dataclass(frozen=True)
+class StageStarted(JobEvent):
+    """A stage node began executing (or was submitted to the pool)."""
+
+    stage: str = ""
+    phase: str = ""
+    scenario: str = ""
+
+
+@dataclass(frozen=True)
+class StageFinished(JobEvent):
+    """A stage node finished and its artifact is merged into the run."""
+
+    stage: str = ""
+    phase: str = ""
+    scenario: str = ""
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class StageFailed(JobEvent):
+    """A stage node raised; the job is about to abort with this error."""
+
+    stage: str = ""
+    phase: str = ""
+    scenario: str = ""
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class CoverageDelta(JobEvent):
+    """A chunk of one scenario's coverage curve, streamed as it merges.
+
+    ``points`` are consecutive canonical curve points ``(pattern_index,
+    coverage)`` starting at curve position ``start_index`` of the ``section``
+    curve (:data:`~repro.campaign.results.CURVE_NAMES`); ``coverage`` is the
+    running coverage after this chunk (the last point's value), monotone
+    non-decreasing along each section's stream.
+    """
+
+    scenario: str = ""
+    section: str = "random"
+    start_index: int = 0
+    points: tuple = ()
+    coverage: float = 0.0
+
+
+@dataclass(frozen=True)
+class SectionCompleted(JobEvent):
+    """One curve-free canonical report section of a scenario is final.
+
+    ``payload`` is the exact
+    :meth:`~repro.campaign.results.ScenarioResult.canonical_sections` entry
+    for ``section`` (:data:`~repro.campaign.results.SECTION_NAMES`).
+    """
+
+    scenario: str = ""
+    section: str = "base"
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScenarioCompleted(JobEvent):
+    """Every section and curve of ``scenario`` has been streamed."""
+
+    scenario: str = ""
+    checksum: str = ""
+
+
+@dataclass(frozen=True)
+class JobFinished(JobEvent):
+    """The job's canonical report is final (and checkpointed when enabled)."""
+
+    scenarios: tuple = ()
+    checksum: str = ""
+
+
+@dataclass(frozen=True)
+class JobFailed(JobEvent):
+    """The job aborted; ``error`` is the stringified cause.
+
+    An ``interrupted`` failure left a resumable checkpoint behind (the
+    crash-injection suite resumes exactly these).
+    """
+
+    error: str = ""
+    interrupted: bool = False
+
+
+TERMINAL_EVENTS = (JobFinished, JobFailed)
+
+
+# --------------------------------------------------------------------- #
+# Counters
+# --------------------------------------------------------------------- #
+@dataclass
+class JobCounters:
+    """Monotone progress counters, observable while the job runs.
+
+    Mirrors the LiteX BIST generator/checker shape: start/done/error tallies
+    a poller can watch without subscribing to the full stream.  Every field
+    only ever increases (asserted by the stream property suite).
+    """
+
+    stages_started: int = 0
+    stages_finished: int = 0
+    stages_failed: int = 0
+    scenarios_completed: int = 0
+    events: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "stages_started": self.stages_started,
+            "stages_finished": self.stages_finished,
+            "stages_failed": self.stages_failed,
+            "scenarios_completed": self.scenarios_completed,
+            "events": self.events,
+        }
+
+    def observe(self, event: JobEvent) -> None:
+        self.events += 1
+        if isinstance(event, StageStarted):
+            self.stages_started += 1
+        elif isinstance(event, StageFinished):
+            self.stages_finished += 1
+        elif isinstance(event, StageFailed):
+            self.stages_failed += 1
+        elif isinstance(event, ScenarioCompleted):
+            self.scenarios_completed += 1
+
+
+# --------------------------------------------------------------------- #
+# Reassembly
+# --------------------------------------------------------------------- #
+class EventReassembler:
+    """Rebuild canonical report bytes from a job's content events.
+
+    Feed events in *any* order (the stream is totally ordered, but a
+    subscriber may buffer, shard or replay it): curve chunks carry their
+    ``start_index`` and sections are keyed, so assembly is
+    interleaving-invariant.  After every :class:`ScenarioCompleted` scenario
+    has been fed, :meth:`report_bytes` equals the
+    :meth:`~repro.campaign.results.CampaignResult.report_bytes` of the
+    uninterrupted in-process run, byte for byte.
+    """
+
+    def __init__(self) -> None:
+        self._sections: dict[str, dict[str, dict]] = {}
+        self._chunks: dict[str, dict[str, dict[int, Sequence]]] = {}
+        self._completed: dict[str, str] = {}
+
+    # -- feeding ------------------------------------------------------- #
+    def feed(self, event: JobEvent) -> None:
+        """Absorb one event (non-content events are ignored)."""
+        if isinstance(event, CoverageDelta):
+            if event.section not in CURVE_NAMES:
+                raise ValueError(f"unknown curve section {event.section!r}")
+            curves = self._chunks.setdefault(event.scenario, {})
+            chunks = curves.setdefault(event.section, {})
+            existing = chunks.get(event.start_index)
+            if existing is not None and tuple(existing) != tuple(event.points):
+                raise ValueError(
+                    f"conflicting curve chunk at {event.scenario!r}/"
+                    f"{event.section!r}[{event.start_index}]"
+                )
+            chunks[event.start_index] = event.points
+        elif isinstance(event, SectionCompleted):
+            if event.section not in SECTION_NAMES:
+                raise ValueError(f"unknown report section {event.section!r}")
+            self._sections.setdefault(event.scenario, {})[event.section] = (
+                event.payload
+            )
+        elif isinstance(event, ScenarioCompleted):
+            self._completed[event.scenario] = event.checksum
+
+    def feed_all(self, events) -> "EventReassembler":
+        for event in events:
+            self.feed(event)
+        return self
+
+    # -- assembly ------------------------------------------------------ #
+    def curve(self, scenario: str, section: str) -> list[list]:
+        """The reassembled ``section`` curve of ``scenario``, index-ordered."""
+        chunks = self._chunks.get(scenario, {}).get(section, {})
+        points: list[list] = []
+        for start_index in sorted(chunks):
+            if start_index != len(points):
+                raise ValueError(
+                    f"curve {scenario!r}/{section!r} is missing points before "
+                    f"index {start_index} (have {len(points)})"
+                )
+            points.extend(list(point) for point in chunks[start_index])
+        return points
+
+    def scenario_canonical(self, scenario: str) -> dict:
+        """The reassembled canonical dict of one scenario."""
+        sections = self._sections.get(scenario)
+        if not sections:
+            raise KeyError(f"no sections streamed for scenario {scenario!r}")
+        curves = {
+            section: self.curve(scenario, section)
+            for section in self._chunks.get(scenario, {})
+        }
+        return assemble_scenario_canonical(sections, curves)
+
+    def scenarios(self) -> list[str]:
+        """Scenario names with streamed content, sorted."""
+        return sorted(set(self._sections) | set(self._chunks))
+
+    def completed_scenarios(self) -> dict[str, str]:
+        """Scenario -> streamed checksum, for scenarios marked complete."""
+        return dict(self._completed)
+
+    def campaign_canonical(self) -> dict:
+        """The reassembled canonical dict of the whole job."""
+        return {name: self.scenario_canonical(name) for name in self.scenarios()}
+
+    def report_bytes(self) -> bytes:
+        """Canonical report bytes of the reassembled campaign."""
+        return canonical_report_bytes(self.campaign_canonical())
+
+    def verify(self) -> None:
+        """Check every completed scenario's bytes against its checksum.
+
+        Raises ``ValueError`` on any mismatch -- the end-to-end guard a
+        subscriber runs after a stream terminates.
+        """
+        for name, expected in sorted(self._completed.items()):
+            actual = report_checksum(
+                canonical_report_bytes(self.scenario_canonical(name))
+            )
+            if actual != expected:
+                raise ValueError(
+                    f"scenario {name!r} reassembled to checksum {actual}, "
+                    f"stream promised {expected}"
+                )

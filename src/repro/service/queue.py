@@ -1,0 +1,594 @@
+"""The asyncio campaign service: submit, stream, checkpoint, resume.
+
+:class:`CampaignService` is the long-lived front-end over the stage-graph
+schedulers.  Submissions (lists of
+:class:`~repro.campaign.runner.CampaignScenario`) enter an asyncio queue;
+one drain task executes jobs in submission order, each job building the
+same multi-scenario DAG a :class:`~repro.campaign.runner.CampaignRunner`
+would and draining it through a
+:class:`~repro.campaign.scheduler.PooledScheduler` (or the serial walk).
+The blocking schedule runs in a worker thread (``asyncio.to_thread``);
+a :class:`~repro.campaign.scheduler.StageObserver` bridges its progress
+back onto the event loop with ``call_soon_threadsafe``, so subscribers see
+stage starts/finishes, coverage-curve deltas and section completions *live*
+(:mod:`repro.service.events`).
+
+Durability: with a checkpoint directory, every job persists its spec at
+submission, a consistent merged-partials snapshot every
+``checkpoint_every`` finished stages, and the final canonical report bytes
+(:mod:`repro.service.checkpoint`).  A service killed mid-job restarts,
+recovers the pending jobs from disk, preloads the checkpointed artifacts
+and replayed expansions into a fresh schedule, and re-executes only the
+unfinished stages -- the resumed report bytes are identical to an
+uninterrupted run (``tests/service/test_checkpoint_resume.py``).
+
+Scenario keys are **deterministic** here (``<job_id>/s<i>:<name>``), unlike
+the invocation-unique keys of the one-shot runner: a resumed schedule must
+address the same artifacts the crashed one checkpointed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import re
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..campaign.pipeline import (
+    RandomPhaseOutcome,
+    TransitionOutcome,
+    release_scenario_engines,
+    scenario_stage_nodes,
+)
+from ..campaign.results import CampaignResult, ScenarioResult
+from ..campaign.runner import CampaignScenario
+from ..campaign.scheduler import PooledScheduler, SerialScheduler, StageObserver
+from ..core.config import ServiceConfig
+from ..netlist.library import CellLibrary
+from .cache import ScenarioPrepCache
+from .checkpoint import CheckpointStore
+from .events import (
+    TERMINAL_EVENTS,
+    CoverageDelta,
+    JobAccepted,
+    JobCounters,
+    JobEvent,
+    JobFailed,
+    JobFinished,
+    JobStarted,
+    ScenarioCompleted,
+    SectionCompleted,
+    StageFailed,
+    StageFinished,
+    StageStarted,
+    report_checksum,
+)
+
+_JOB_ID_PATTERN = re.compile(r"^job-(\d+)$")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The durable submission record: everything needed to (re-)run a job."""
+
+    job_id: str
+    scenarios: tuple
+
+
+class JobRecord:
+    """In-memory state of one job: its spec, event log and final artifacts.
+
+    Event ``seq`` numbers are allocated from the record (strictly
+    increasing per job); events are appended only on the event loop thread,
+    so readers on that thread never see partial updates.
+    """
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+        self.job_id = spec.job_id
+        #: "queued" -> "running" -> "finished" | "failed".
+        self.state = "queued"
+        self.events: list[JobEvent] = []
+        self.counters = JobCounters()
+        self.result: Optional[CampaignResult] = None
+        self.report: Optional[bytes] = None
+        self.error: Optional[str] = None
+        self.resumed = False
+        self.preloaded_stages = 0
+        self._seq = itertools.count()
+        self._new_event = asyncio.Event()
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("finished", "failed")
+
+
+class _JobEmitter:
+    """Constructs sequenced events in the worker thread and hands them off.
+
+    ``sink`` must be thread-safe (the service passes a
+    ``call_soon_threadsafe`` bridge); one emitter serves one job execution,
+    and jobs execute one at a time, so seq allocation needs no locking.
+    """
+
+    def __init__(self, job_id: str, next_seq, sink, chunk: int) -> None:
+        self.job_id = job_id
+        self._next_seq = next_seq
+        self._sink = sink
+        self.chunk = chunk
+
+    def emit(self, event_type, **fields) -> JobEvent:
+        event = event_type(job_id=self.job_id, seq=self._next_seq(), **fields)
+        self._sink(event)
+        return event
+
+    def emit_curve(self, scenario: str, section: str, curve) -> None:
+        """Stream one coverage curve as consecutive chunked deltas."""
+        points = [tuple(point) for point in curve]
+        for start in range(0, len(points), self.chunk):
+            chunk = tuple(points[start : start + self.chunk])
+            self.emit(
+                CoverageDelta,
+                scenario=scenario,
+                section=section,
+                start_index=start,
+                points=chunk,
+                coverage=chunk[-1][1],
+            )
+
+
+class _JobObserver(StageObserver):
+    """Bridges one schedule's progress into events and checkpoints.
+
+    Content events are dispatched on artifact *type* as stages land
+    (:class:`~repro.campaign.pipeline.RandomPhaseOutcome` -> ``random``
+    curve deltas, :class:`~repro.campaign.pipeline.TransitionOutcome` ->
+    ``transition`` deltas, :class:`~repro.campaign.results.ScenarioResult`
+    -> section completions + scenario checksum).  On a resumed schedule the
+    preloaded artifacts never re-execute, so :meth:`on_run_begin` replays
+    their content events from the restored store -- a fresh subscriber's
+    stream still reassembles into the *full* canonical report.
+    """
+
+    def __init__(
+        self,
+        emitter: _JobEmitter,
+        scenario_artifacts,
+        checkpoints: Optional[CheckpointStore],
+        job_id: str,
+        checkpoint_every: int,
+    ) -> None:
+        self._emitter = emitter
+        #: ``(scenario name, artifact-key mapping)`` per scenario, in
+        #: submission order -- the replay walk on resume.
+        self._scenario_artifacts = list(scenario_artifacts)
+        self._checkpoints = checkpoints
+        self._job_id = job_id
+        self._checkpoint_every = checkpoint_every
+        self._since_save = 0
+        self._run = None
+
+    # -- schedule callbacks -------------------------------------------- #
+    def on_run_begin(self, run) -> None:
+        self._run = run
+        for name, keys in self._scenario_artifacts:
+            for logical in ("fault_sim", "transition", "report"):
+                key = keys.get(logical)
+                if key is None:
+                    continue
+                resolved = run.resolve_key(key)
+                if resolved in run.store:
+                    self._emit_content(name, run.store[resolved])
+
+    def on_stage_start(self, node) -> None:
+        self._emitter.emit(
+            StageStarted, stage=node.key, phase=node.phase, scenario=node.scenario
+        )
+
+    def on_stage_finish(self, node, value, seconds: float) -> None:
+        self._emitter.emit(
+            StageFinished,
+            stage=node.key,
+            phase=node.phase,
+            scenario=node.scenario,
+            seconds=seconds,
+        )
+        self._emit_content(node.scenario, value)
+        if self._checkpoints is not None:
+            self._since_save += 1
+            if self._since_save >= self._checkpoint_every:
+                self._checkpoints.save_progress(self._job_id, self._run)
+                self._since_save = 0
+
+    def on_stage_error(self, node, error: BaseException) -> None:
+        self._emitter.emit(
+            StageFailed,
+            stage=node.key,
+            phase=node.phase,
+            scenario=node.scenario,
+            error=str(error),
+        )
+
+    # -- content dispatch ---------------------------------------------- #
+    def _emit_content(self, scenario: str, value) -> None:
+        if isinstance(value, RandomPhaseOutcome):
+            self._emitter.emit_curve(scenario, "random", value.result.coverage_curve)
+        elif isinstance(value, TransitionOutcome):
+            self._emitter.emit_curve(scenario, "transition", value.coverage_curve)
+        elif isinstance(value, ScenarioResult):
+            for section, payload in value.canonical_sections().items():
+                self._emitter.emit(
+                    SectionCompleted,
+                    scenario=scenario,
+                    section=section,
+                    payload=payload,
+                )
+            self._emitter.emit(
+                ScenarioCompleted,
+                scenario=scenario,
+                checksum=report_checksum(value.report_bytes()),
+            )
+
+
+class CampaignService:
+    """Long-lived asyncio front-end over the campaign stage graph.
+
+    Parameters mirror :class:`~repro.campaign.runner.CampaignRunner`
+    (worker count, shard geometry, mp context) plus the service tier:
+    ``checkpoint_dir`` enables durability/resume, ``service_config``
+    (:class:`~repro.core.config.ServiceConfig`) tunes checkpoint cadence,
+    event chunking and cache sizes.  Use as::
+
+        service = CampaignService(checkpoint_dir=path)
+        await service.start()
+        job_id = await service.submit([CampaignScenario(...), ...])
+        async for event in service.stream(job_id):
+            ...
+        record = await service.wait(job_id)
+        await service.stop()
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 1,
+        fault_shards: Optional[int] = None,
+        pattern_shards: int = 1,
+        checkpoint_dir=None,
+        service_config: Optional[ServiceConfig] = None,
+        mp_context=None,
+    ) -> None:
+        self.num_workers = num_workers
+        self.fault_shards = (
+            fault_shards if fault_shards is not None else max(1, num_workers)
+        )
+        self.pattern_shards = pattern_shards
+        self.mp_context = mp_context
+        self.config = service_config or ServiceConfig()
+        self.library = CellLibrary()
+        self.checkpoints = (
+            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.prep_cache = ScenarioPrepCache(self.config.kernel_cache_size)
+        self._jobs: dict[str, JobRecord] = {}
+        self._totals = JobCounters()
+        self._queue: Optional[asyncio.Queue] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._job_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> list[str]:
+        """Start draining; recover and re-enqueue checkpointed pending jobs.
+
+        Returns the recovered job ids (oldest first).  Recovered jobs run
+        before anything submitted afterwards and resume from their last
+        progress snapshot.
+        """
+        if self._drain_task is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        recovered: list[str] = []
+        if self.checkpoints is not None:
+            highest = 0
+            for job_id in self.checkpoints.job_ids():
+                match = _JOB_ID_PATTERN.match(job_id)
+                if match:
+                    highest = max(highest, int(match.group(1)))
+            self._job_counter = itertools.count(highest + 1)
+            for job_id in self.checkpoints.pending_jobs():
+                spec = self.checkpoints.load_spec(job_id)
+                if spec is None:
+                    continue
+                record = JobRecord(spec)
+                record.resumed = True
+                self._jobs[job_id] = record
+                self._record_event(
+                    record,
+                    JobAccepted(
+                        job_id=job_id,
+                        seq=record.next_seq(),
+                        position=self._queue.qsize(),
+                    ),
+                )
+                self._queue.put_nowait(record)
+                recovered.append(job_id)
+        self._drain_task = asyncio.create_task(self._drain())
+        return recovered
+
+    async def stop(self) -> None:
+        """Drain the queue to completion, then stop (idempotent)."""
+        if self._drain_task is None:
+            return
+        assert self._queue is not None
+        self._queue.put_nowait(None)
+        await self._drain_task
+        self._drain_task = None
+
+    # ------------------------------------------------------------------ #
+    # Submission / observation
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        scenarios: Iterable[CampaignScenario],
+        job_id: Optional[str] = None,
+    ) -> str:
+        """Queue a campaign; returns its job id immediately."""
+        if self._queue is None:
+            raise RuntimeError("service not started; await service.start() first")
+        scenarios = tuple(scenarios)
+        if not scenarios:
+            raise ValueError("a job needs at least one scenario")
+        names = [scenario.name for scenario in scenarios]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate scenario names {duplicates!r}: results are keyed "
+                "by name, so every scenario needs a distinct one"
+            )
+        depth = self.config.max_queue_depth
+        if depth and self._queue.qsize() >= depth:
+            raise RuntimeError(f"job queue is full (max_queue_depth={depth})")
+        if job_id is None:
+            job_id = f"job-{next(self._job_counter):06d}"
+        if job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job_id!r}")
+        spec = JobSpec(job_id=job_id, scenarios=scenarios)
+        record = JobRecord(spec)
+        self._jobs[job_id] = record
+        if self.checkpoints is not None:
+            self.checkpoints.save_spec(job_id, spec)
+        self._record_event(
+            record,
+            JobAccepted(
+                job_id=job_id, seq=record.next_seq(), position=self._queue.qsize()
+            ),
+        )
+        self._queue.put_nowait(record)
+        return job_id
+
+    def job(self, job_id: str) -> JobRecord:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    async def stream(self, job_id: str):
+        """Async-iterate a job's events: full history, then live to the end.
+
+        Yields every recorded event from ``seq`` 0 (late subscribers replay
+        the log first) and terminates after the job's terminal event.
+        """
+        record = self.job(job_id)
+        index = 0
+        while True:
+            record._new_event.clear()
+            if index < len(record.events):
+                event = record.events[index]
+                index += 1
+                yield event
+                if isinstance(event, TERMINAL_EVENTS):
+                    return
+                continue
+            await record._new_event.wait()
+
+    async def wait(self, job_id: str) -> JobRecord:
+        """Block until the job reaches a terminal state; returns its record."""
+        record = self.job(job_id)
+        while True:
+            record._new_event.clear()
+            if record.done:
+                return record
+            await record._new_event.wait()
+
+    def report_bytes(self, job_id: str) -> Optional[bytes]:
+        """The finished job's canonical report bytes (memory, then disk)."""
+        record = self._jobs.get(job_id)
+        if record is not None and record.report is not None:
+            return record.report
+        if self.checkpoints is not None:
+            return self.checkpoints.load_report(job_id)
+        return None
+
+    def status(self) -> dict:
+        """Service-level observability snapshot (the "status endpoint").
+
+        Counters and cache statistics are monotone; ``engine_cache`` reports
+        the parent process's shard-engine LRU (pool workers hold their own).
+        """
+        from ..campaign.runner import _ENGINE_CACHE
+
+        return {
+            "queued": self._queue.qsize() if self._queue is not None else 0,
+            "jobs": {
+                job_id: record.state for job_id, record in sorted(self._jobs.items())
+            },
+            "counters": self._totals.as_dict(),
+            "prep_cache": {
+                **self.prep_cache.stats.as_dict(),
+                "entries": len(self.prep_cache),
+            },
+            "engine_cache": {
+                **_ENGINE_CACHE.stats.as_dict(),
+                "entries": len(_ENGINE_CACHE),
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    async def _drain(self) -> None:
+        assert self._queue is not None
+        while True:
+            record = await self._queue.get()
+            try:
+                if record is None:
+                    return
+                await asyncio.to_thread(self._execute_job, record)
+            finally:
+                self._queue.task_done()
+                self._prune_records()
+
+    def _record_event(self, record: JobRecord, event: JobEvent) -> None:
+        """Append one event (event-loop thread only) and wake subscribers."""
+        record.events.append(event)
+        record.counters.observe(event)
+        self._totals.observe(event)
+        if isinstance(event, JobStarted):
+            record.state = "running"
+            record.resumed = event.resumed
+            record.preloaded_stages = event.preloaded_stages
+        elif isinstance(event, JobFinished):
+            record.state = "finished"
+        elif isinstance(event, JobFailed):
+            record.state = "failed"
+            record.error = event.error
+        record._new_event.set()
+
+    def _prune_records(self) -> None:
+        """Forget the oldest terminal jobs beyond ``retain_jobs``.
+
+        Only in-memory records are pruned; checkpointed reports stay on
+        disk and remain readable through :meth:`report_bytes`.
+        """
+        done = [job_id for job_id, record in self._jobs.items() if record.done]
+        excess = len(done) - self.config.retain_jobs
+        for job_id in done[:max(0, excess)]:
+            del self._jobs[job_id]
+
+    def _execute_job(self, record: JobRecord) -> None:
+        """Run one job to completion (worker thread; blocking)."""
+        assert self._loop is not None
+        loop = self._loop
+
+        def sink(event: JobEvent) -> None:
+            loop.call_soon_threadsafe(self._record_event, record, event)
+
+        emitter = _JobEmitter(
+            record.job_id, record.next_seq, sink, self.config.event_chunk
+        )
+        start = time.perf_counter()
+        scenario_keys: list[str] = []
+        try:
+            nodes = []
+            scenario_meta = []
+            preloads: dict[str, object] = {}
+            for index, scenario in enumerate(record.spec.scenarios):
+                key = f"{record.job_id}/s{index}:{scenario.name}"
+                scenario_keys.append(key)
+                scenario_nodes, artifact_keys = scenario_stage_nodes(
+                    key,
+                    scenario.circuit,
+                    scenario.config,
+                    library=self.library,
+                    scenario_name=scenario.name,
+                    fault_shards=self.fault_shards,
+                    pattern_shards=self.pattern_shards,
+                    num_workers=self.num_workers,
+                    include_topup=scenario.config.campaign_topup,
+                    include_report=True,
+                )
+                nodes.extend(scenario_nodes)
+                scenario_meta.append((scenario, artifact_keys))
+                preloads.update(
+                    self.prep_cache.preloads(
+                        scenario.circuit, scenario.config, artifact_keys
+                    )
+                )
+
+            progress = (
+                self.checkpoints.load_progress(record.job_id)
+                if self.checkpoints is not None
+                else None
+            )
+            expansions = None
+            if progress is not None:
+                # Checkpointed values win over cache preloads: the restored
+                # store is one identity-consistent snapshot.
+                preloads = {**preloads, **progress["store"]}
+                expansions = progress["expansions"]
+            emitter.emit(
+                JobStarted,
+                resumed=progress is not None,
+                preloaded_stages=len(preloads) + len(expansions or ()),
+            )
+
+            observer = _JobObserver(
+                emitter,
+                [(scenario.name, keys) for scenario, keys in scenario_meta],
+                checkpoints=self.checkpoints,
+                job_id=record.job_id,
+                checkpoint_every=self.config.checkpoint_every,
+            )
+            if self.num_workers >= 2:
+                scheduler = PooledScheduler(self.num_workers, mp_context=self.mp_context)
+            else:
+                scheduler = SerialScheduler()
+            try:
+                run = scheduler.run(
+                    nodes,
+                    observer=observer,
+                    preloaded=preloads,
+                    expansions=expansions,
+                )
+            finally:
+                release_scenario_engines(scenario_keys)
+
+            results = {
+                scenario.name: run.value(keys["report"])
+                for scenario, keys in scenario_meta
+            }
+            campaign = CampaignResult(
+                scenarios=results,
+                num_workers=self.num_workers,
+                seconds=time.perf_counter() - start,
+            )
+            report = campaign.report_bytes()
+            for scenario, keys in scenario_meta:
+                self.prep_cache.harvest(scenario.circuit, scenario.config, run, keys)
+            record.result = campaign
+            record.report = report
+            if self.checkpoints is not None:
+                self.checkpoints.save_report(record.job_id, report)
+                self.checkpoints.discard_progress(record.job_id)
+            emitter.emit(
+                JobFinished,
+                scenarios=tuple(sorted(results)),
+                checksum=report_checksum(report),
+            )
+        except BaseException as error:
+            # With a checkpoint store the failure is resumable: the spec and
+            # the last progress snapshot survive; a restarted service picks
+            # the job up from CheckpointStore.pending_jobs().
+            emitter.emit(
+                JobFailed,
+                error=str(error),
+                interrupted=self.checkpoints is not None,
+            )

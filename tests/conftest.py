@@ -5,6 +5,11 @@ backend (:mod:`repro.simulation.numpy_backend`).  NumPy is an optional
 dependency (``pip install "repro[fast]"``), so those tests auto-skip --
 rather than error -- on a dependency-free interpreter, keeping the fast
 serial tier runnable with nothing but pytest installed.
+
+The ``service`` marker follows the same pattern for the campaign-service
+tier (:mod:`repro.service`): it needs a working ``asyncio`` (absent on
+some stripped-down embedded interpreters), so service tests auto-skip
+rather than error when the runtime cannot provide it.
 """
 
 import pytest
@@ -14,11 +19,23 @@ try:
 except ImportError:  # pragma: no cover - repro itself not importable
     HAVE_NUMPY = False
 
+try:
+    import asyncio  # noqa: F401
+
+    import repro.service  # noqa: F401
+
+    HAVE_SERVICE = True
+except ImportError:  # pragma: no cover - stripped-down interpreter
+    HAVE_SERVICE = False
+
 
 def pytest_collection_modifyitems(config, items):
-    if HAVE_NUMPY:
-        return
     skip_numpy = pytest.mark.skip(reason="NumPy not installed (repro[fast] extra)")
+    skip_service = pytest.mark.skip(
+        reason="asyncio / repro.service unavailable on this interpreter"
+    )
     for item in items:
-        if "numpy" in item.keywords:
+        if not HAVE_NUMPY and "numpy" in item.keywords:
             item.add_marker(skip_numpy)
+        if not HAVE_SERVICE and "service" in item.keywords:
+            item.add_marker(skip_service)

@@ -1,0 +1,280 @@
+"""Property suite for the service event stream and its reassembly.
+
+The stream contract: content events (coverage-curve deltas, section
+completions) are self-describing fragments of the canonical report, so a
+subscriber can rebuild the exact report bytes no matter how its transport
+delivered them.  Hypothesis drives the adversarial part -- arbitrary
+interleavings, arbitrary re-chunking of the curves, duplicate delivery --
+against an event log recorded from one real (full-featured) service job,
+and every case must reassemble to the recorded job's byte-exact report.
+
+Also pinned here: per-job ``seq`` is strictly increasing, progress
+counters are monotone non-decreasing event over event, streamed coverage
+is monotone along each curve, and the reassembler *detects* (rather than
+papers over) missing or truncated curve data.
+"""
+
+import asyncio
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.campaign import CampaignScenario
+from repro.core.config import LogicBistConfig, ServiceConfig
+from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
+from repro.service import CampaignService, EventReassembler
+from repro.service.events import (
+    CoverageDelta,
+    JobCounters,
+    ScenarioCompleted,
+    SectionCompleted,
+)
+
+pytestmark = pytest.mark.service
+
+PROPERTY_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_core(seed: int = 41, domains: int = 2):
+    config = SyntheticCoreConfig(
+        name=f"stream_core_{seed}",
+        clock_domains=tuple(f"clk{i + 1}" for i in range(domains)),
+        num_inputs=8,
+        num_outputs=5,
+        register_width=6,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(6,),
+        decode_cone_width=5,
+        cross_domain_links=1,
+        seed=seed,
+    )
+    return generate_synthetic_core(config).circuit
+
+
+_RECORDED: dict = {}
+
+
+def recorded_stream():
+    """One real service job's full event log + report bytes (cached).
+
+    Full-featured scenario (top-up + transition + skew) with a small event
+    chunk so every curve splits into several deltas -- the richest stream
+    shape the service produces.
+    """
+    if not _RECORDED:
+        # block_size=8 gives the random curve 48/8 = 6 sample points, so
+        # with event_chunk=5 every curve splits into several deltas.
+        config = LogicBistConfig(
+            random_patterns=48,
+            signature_patterns=8,
+            total_scan_chains=4,
+            block_size=8,
+            campaign_topup=True,
+            measure_transition_coverage=True,
+            skew_trials=6,
+        )
+        scenarios = [CampaignScenario("svc", make_core(), config)]
+
+        async def main():
+            service = CampaignService(
+                num_workers=1, service_config=ServiceConfig(event_chunk=5)
+            )
+            await service.start()
+            job_id = await service.submit(scenarios)
+            events = []
+            async for event in service.stream(job_id):
+                events.append(event)
+            record = await service.wait(job_id)
+            await service.stop()
+            assert record.state == "finished"
+            return events, record.report
+
+        _RECORDED["events"], _RECORDED["report"] = asyncio.run(main())
+    return _RECORDED["events"], _RECORDED["report"]
+
+
+def content_events(events):
+    return [
+        event
+        for event in events
+        if isinstance(event, (CoverageDelta, SectionCompleted, ScenarioCompleted))
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Reassembly properties
+# --------------------------------------------------------------------- #
+@given(rnd=st.randoms(use_true_random=False))
+@PROPERTY_SETTINGS
+def test_any_interleaving_reassembles_canonically(rnd):
+    events, report = recorded_stream()
+    shuffled = list(events)
+    rnd.shuffle(shuffled)
+    reassembled = EventReassembler().feed_all(shuffled)
+    assert reassembled.report_bytes() == report
+    reassembled.verify()
+
+
+@given(data=st.data())
+@PROPERTY_SETTINGS
+def test_rechunked_curves_reassemble_canonically(data):
+    """Chunk boundaries are transport detail: any split of the curves works."""
+    events, report = recorded_stream()
+    curves: dict = {}
+    rest = []
+    for event in content_events(events):
+        if isinstance(event, CoverageDelta):
+            chunks = curves.setdefault((event.scenario, event.section), {})
+            chunks[event.start_index] = event.points
+        else:
+            rest.append(event)
+
+    rebuilt = list(rest)
+    for (scenario, section), chunks in sorted(curves.items()):
+        points = []
+        for start_index in sorted(chunks):
+            points.extend(chunks[start_index])
+        cuts = data.draw(
+            st.lists(
+                st.integers(1, max(1, len(points) - 1)),
+                unique=True,
+                max_size=len(points),
+            ),
+            label=f"cuts:{scenario}/{section}",
+        )
+        bounds = [0] + sorted(cuts) + [len(points)]
+        for start, stop in zip(bounds, bounds[1:]):
+            if start >= stop:
+                continue
+            piece = tuple(points[start:stop])
+            rebuilt.append(
+                CoverageDelta(
+                    job_id="rechunk",
+                    seq=0,
+                    scenario=scenario,
+                    section=section,
+                    start_index=start,
+                    points=piece,
+                    coverage=piece[-1][1],
+                )
+            )
+    rnd = data.draw(st.randoms(use_true_random=False), label="shuffle")
+    rnd.shuffle(rebuilt)
+    reassembled = EventReassembler().feed_all(rebuilt)
+    assert reassembled.report_bytes() == report
+    reassembled.verify()
+
+
+@given(rnd=st.randoms(use_true_random=False))
+@PROPERTY_SETTINGS
+def test_duplicate_delivery_is_idempotent(rnd):
+    """At-least-once transports are fine: duplicates change nothing."""
+    events, report = recorded_stream()
+    doubled = list(events) + list(content_events(events))
+    rnd.shuffle(doubled)
+    assert EventReassembler().feed_all(doubled).report_bytes() == report
+
+
+def test_content_events_alone_suffice():
+    """Lifecycle/stage events are progress, not content: dropping them all
+    still reassembles the full report."""
+    events, report = recorded_stream()
+    only_content = content_events(events)
+    assert len(only_content) < len(events)
+    assert EventReassembler().feed_all(only_content).report_bytes() == report
+
+
+# --------------------------------------------------------------------- #
+# Stream invariants
+# --------------------------------------------------------------------- #
+def test_seq_strictly_increasing_and_gapless():
+    events, _ = recorded_stream()
+    assert [event.seq for event in events] == list(range(len(events)))
+
+
+def test_counters_monotone_non_decreasing():
+    events, _ = recorded_stream()
+    counters = JobCounters()
+    previous = counters.as_dict()
+    for event in events:
+        counters.observe(event)
+        current = counters.as_dict()
+        assert all(current[key] >= previous[key] for key in current)
+        previous = current
+    assert counters.stages_finished <= counters.stages_started
+    assert counters.stages_failed == 0
+    assert counters.scenarios_completed == 1
+
+
+def test_streamed_coverage_monotone_per_curve():
+    events, _ = recorded_stream()
+    deltas: dict = {}
+    for event in events:
+        if isinstance(event, CoverageDelta):
+            deltas.setdefault((event.scenario, event.section), []).append(event)
+    assert deltas, "expected curve deltas in the stream"
+    for (scenario, section), chunk_events in deltas.items():
+        ordered = sorted(chunk_events, key=lambda event: event.start_index)
+        coverages = []
+        for event in ordered:
+            coverages.extend(point[1] for point in event.points)
+            assert event.coverage == event.points[-1][1]
+        assert coverages == sorted(coverages), (scenario, section)
+
+
+# --------------------------------------------------------------------- #
+# Loss detection
+# --------------------------------------------------------------------- #
+def test_missing_leading_chunk_is_detected():
+    events, _ = recorded_stream()
+    first_delta = next(
+        event
+        for event in events
+        if isinstance(event, CoverageDelta)
+        and event.section == "random"
+        and event.start_index == 0
+    )
+    pruned = [event for event in events if event is not first_delta]
+    reassembler = EventReassembler().feed_all(pruned)
+    with pytest.raises(ValueError, match="missing points"):
+        reassembler.report_bytes()
+
+
+def test_truncated_curve_fails_checksum_verify():
+    events, _ = recorded_stream()
+    random_deltas = [
+        event
+        for event in events
+        if isinstance(event, CoverageDelta) and event.section == "random"
+    ]
+    assert len(random_deltas) >= 2, "need a multi-chunk curve for this test"
+    last_delta = max(random_deltas, key=lambda event: event.start_index)
+    pruned = [event for event in events if event is not last_delta]
+    reassembler = EventReassembler().feed_all(pruned)
+    with pytest.raises(ValueError, match="checksum"):
+        reassembler.verify()
+
+
+def test_conflicting_chunk_is_rejected():
+    events, _ = recorded_stream()
+    delta = next(event for event in events if isinstance(event, CoverageDelta))
+    forged = CoverageDelta(
+        job_id=delta.job_id,
+        seq=delta.seq,
+        scenario=delta.scenario,
+        section=delta.section,
+        start_index=delta.start_index,
+        points=tuple(list(delta.points) + [(10**9, 1.0)]),
+        coverage=1.0,
+    )
+    reassembler = EventReassembler().feed_all(events)
+    with pytest.raises(ValueError, match="conflicting"):
+        reassembler.feed(forged)
