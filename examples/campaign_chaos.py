@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Fault-tolerant campaigns under deterministic chaos injection.
+
+PR 8 gives the campaign schedulers failure semantics: per-stage retries
+with seeded backoff, soft timeouts with worker-crash recovery, and
+graceful degradation of a permanently failing scenario into a canonical
+``failures`` report section -- all driven (and proven byte-exact) by the
+deterministic chaos harness in :mod:`repro.campaign.chaos`.  Four acts:
+
+1. **Transient faults retry to the oracle** -- a seeded chaos plan makes
+   ~a third of all stage attempts raise; the campaign retries them with
+   deterministic jittered backoff and the final report is byte-identical
+   to the clean run.
+2. **Worker death is recovered, not hung** -- an injected SIGKILL takes
+   out a pool worker mid-stage; the heartbeat detects the corpse,
+   respawns the worker, resubmits the stage, and the bytes still match.
+   (A stock ``multiprocessing.Pool`` would wait forever on the lost
+   result.)
+3. **Permanent failure degrades one scenario** -- a stage that fails on
+   every attempt quarantines only its scenario subgraph; siblings
+   finish, and the partial report carries a canonical, byte-deterministic
+   ``failures`` section identical across schedulers and worker counts.
+4. **Interrupts stay fatal** -- Ctrl-C (``KeyboardInterrupt``) aborts
+   immediately: never retried, never degraded into a partial report.
+
+Run with::
+
+    python examples/campaign_chaos.py [--workers 2] [--patterns 96]
+"""
+
+import argparse
+import json
+import time
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignScenario,
+    ExplicitChaosPlan,
+    Injection,
+    RecordingChaosPlan,
+    SeededChaosPlan,
+    SerialScheduler,
+    StageNode,
+)
+from repro.core.config import LogicBistConfig, RetryPolicy
+from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
+
+
+def make_core(name, seed, domains=2):
+    config = SyntheticCoreConfig(
+        name=name,
+        clock_domains=tuple(f"clk{i + 1}" for i in range(domains)),
+        num_inputs=10,
+        num_outputs=6,
+        register_width=7,
+        pipeline_stages=1,
+        adder_slices=1,
+        adder_width=4,
+        comparator_widths=(7,),
+        decode_cone_width=5,
+        cross_domain_links=2,
+        seed=seed,
+    )
+    return generate_synthetic_core(config).circuit
+
+
+def make_scenarios(patterns):
+    config = LogicBistConfig(
+        total_scan_chains=4,
+        tpi_method="none",
+        observation_point_budget=0,
+        random_patterns=patterns,
+        signature_patterns=12,
+        block_size=16,
+    )
+    return [
+        CampaignScenario("ip_alpha", make_core("ip_alpha", seed=201), config),
+        CampaignScenario("ip_beta", make_core("ip_beta", seed=202, domains=3), config),
+        CampaignScenario("ip_gamma", make_core("ip_gamma", seed=203, domains=1), config),
+    ]
+
+
+#: Fast-clock policy so the demo's retries are visible but not slow.
+POLICY = RetryPolicy(
+    max_attempts=4,
+    backoff_base_s=0.005,
+    backoff_max_s=0.02,
+    stage_timeout_s=5.0,
+    heartbeat_s=0.05,
+)
+
+
+def act_one_transient_chaos(scenarios, clean_bytes, workers):
+    print("== 1. transient faults retry to the oracle " + "=" * 25)
+    plan = RecordingChaosPlan(SeededChaosPlan(seed=13, rate=0.3, transient_attempts=2))
+    runner = CampaignRunner(
+        num_workers=workers, fault_shards=4, retry_policy=POLICY, chaos=plan
+    )
+    result = runner.run(scenarios)
+    retries = runner.last_run.retries
+    print(f"injected {len(plan.injected)} faults; scheduler retried {len(retries)}:")
+    for key, attempt, kind in plan.injected[:5]:
+        print(f"  {kind:<5} attempt {attempt} of {key}")
+    if len(plan.injected) > 5:
+        print(f"  ... and {len(plan.injected) - 5} more")
+    print(f"report bytes == clean oracle: {result.report_bytes() == clean_bytes}")
+    print()
+
+
+def act_two_worker_death(scenarios, clean_bytes, workers):
+    print("== 2. worker death is recovered, not hung " + "=" * 26)
+    plan = ExplicitChaosPlan.single("ip_alpha/fault_sim/shard1", kind="kill")
+    runner = CampaignRunner(
+        num_workers=workers, fault_shards=4, retry_policy=POLICY, chaos=plan
+    )
+    start = time.perf_counter()
+    result = runner.run(scenarios)
+    wall = time.perf_counter() - start
+    for retry in runner.last_run.retries:
+        print(f"  recovered: {retry.error_type}: {retry.error} -> attempt {retry.attempt + 1}")
+    print(f"campaign finished in {wall:.2f}s despite the SIGKILL")
+    print(f"report bytes == clean oracle: {result.report_bytes() == clean_bytes}")
+    print()
+
+
+def act_three_graceful_degradation(scenarios, workers):
+    print("== 3. permanent failure degrades one scenario " + "=" * 22)
+    plan = ExplicitChaosPlan(
+        [Injection(stage="ip_beta/fault_sim", attempts=(), message="flaky fixture died")]
+    )
+    runner = CampaignRunner(
+        num_workers=workers, fault_shards=4, retry_policy=POLICY, chaos=plan
+    )
+    result = runner.run(scenarios)
+    print(f"partial: {result.partial}; surviving scenarios: {sorted(result.scenarios)}")
+    print("canonical failures section:")
+    print(json.dumps(result.failures, indent=2, sort_keys=True))
+    serial = CampaignRunner(
+        num_workers=1, fault_shards=4, retry_policy=POLICY, chaos=plan
+    ).run(scenarios)
+    print(
+        "partial report byte-identical to the serial schedule: "
+        f"{result.report_bytes() == serial.report_bytes()}"
+    )
+    print()
+
+
+def act_four_interrupts_stay_fatal():
+    print("== 4. interrupts stay fatal " + "=" * 40)
+
+    class CtrlC:
+        calls = 0
+
+        def run(self):
+            CtrlC.calls += 1
+            raise KeyboardInterrupt()
+
+    scheduler = SerialScheduler(
+        retry_policy=RetryPolicy(max_attempts=5, backoff_base_s=0.0), degrade=True
+    )
+    try:
+        scheduler.run([StageNode(key="doomed", task=CtrlC(), local=True)])
+    except KeyboardInterrupt:
+        print(
+            f"KeyboardInterrupt propagated after {CtrlC.calls} attempt(s) -- "
+            "no retries, no degradation, despite max_attempts=5 and degrade=True"
+        )
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--patterns", type=int, default=96)
+    args = parser.parse_args()
+
+    scenarios = make_scenarios(args.patterns)
+    print("computing the clean serial oracle...")
+    clean_bytes = CampaignRunner(num_workers=1, fault_shards=4).run(
+        scenarios
+    ).report_bytes()
+    print(f"oracle: {len(clean_bytes)} canonical report bytes\n")
+
+    act_one_transient_chaos(scenarios, clean_bytes, args.workers)
+    act_two_worker_death(scenarios, clean_bytes, args.workers)
+    act_three_graceful_degradation(scenarios, args.workers)
+    act_four_interrupts_stay_fatal()
+
+
+if __name__ == "__main__":
+    main()

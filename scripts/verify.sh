@@ -36,6 +36,13 @@
 #                                 quick check after touching src/repro/
 #                                 service/.  The pooled service matrix runs
 #                                 in the full tier.
+#   scripts/verify.sh chaos       the fault-injection resilience suite: the
+#                                 chaos-marked tests (retry/backoff, stage
+#                                 timeouts, worker-crash recovery, scenario
+#                                 degradation, corrupt-checkpoint fallback),
+#                                 real worker pools included -- the check
+#                                 after touching the schedulers' resilience
+#                                 machinery or repro/campaign/chaos.py.
 #
 # Markers:
 #   slow          exhaustive LFSR period walks (widths 14-20)
@@ -47,6 +54,8 @@
 #   service       campaign-service tests; auto-skip when asyncio or
 #                 repro.service is unavailable; the serial subset is the
 #                 service tier above
+#   chaos         fault-injection resilience tests; auto-skip without
+#                 POSIX process primitives (os.kill / SIGKILL)
 #
 # Extra arguments after the tier name pass straight to pytest, e.g.
 #   scripts/verify.sh fast tests/campaign -k pipeline
@@ -76,8 +85,11 @@ case "$tier" in
   service)
     exec python -m pytest -x -q -m "service and not multiprocess" "$@"
     ;;
+  chaos)
+    exec python -m pytest -x -q -m "chaos" "$@"
+    ;;
   *)
-    echo "usage: scripts/verify.sh [fast|full|bench-smoke|transition|service] [pytest args...]" >&2
+    echo "usage: scripts/verify.sh [fast|full|bench-smoke|transition|service|chaos] [pytest args...]" >&2
     exit 2
     ;;
 esac

@@ -33,15 +33,27 @@ shard-assignment permutations, worker counts and execution backends --
 harness, TPI-heavy pipelined preparation included.
 """
 
+from .chaos import (
+    ChaosError,
+    ChaosFault,
+    ChaosPlan,
+    ExplicitChaosPlan,
+    Injection,
+    RecordingChaosPlan,
+    SeededChaosPlan,
+)
 from .results import (
+    FAILURES_KEY,
     CampaignResult,
     ScenarioResult,
     ShardOutcome,
     SignatureOutcome,
     assemble_scenario_canonical,
     build_simulation_result,
+    canonical_failure,
     canonical_report_bytes,
     merge_first_detections,
+    sort_failures,
 )
 from .runner import (
     CacheStats,
@@ -65,9 +77,13 @@ from .scheduler import (
     PipelineRun,
     PooledScheduler,
     SerialScheduler,
+    StageFailure,
     StageNode,
     StageObserver,
+    StageRetry,
+    StageTimeoutError,
     StageTrace,
+    WorkerCrashError,
 )
 from .pipeline import (
     BuildStumpsStage,
@@ -96,13 +112,23 @@ from .sharding import (
 
 __all__ = [
     "CampaignResult",
+    "ChaosError",
+    "ChaosFault",
+    "ChaosPlan",
+    "ExplicitChaosPlan",
+    "FAILURES_KEY",
+    "Injection",
+    "RecordingChaosPlan",
     "ScenarioResult",
+    "SeededChaosPlan",
     "ShardOutcome",
     "SignatureOutcome",
     "assemble_scenario_canonical",
     "build_simulation_result",
+    "canonical_failure",
     "canonical_report_bytes",
     "merge_first_detections",
+    "sort_failures",
     "CacheStats",
     "CampaignRunner",
     "CampaignScenario",
@@ -122,9 +148,13 @@ __all__ = [
     "PipelineRun",
     "PooledScheduler",
     "SerialScheduler",
+    "StageFailure",
     "StageNode",
     "StageObserver",
+    "StageRetry",
+    "StageTimeoutError",
     "StageTrace",
+    "WorkerCrashError",
     "BuildStumpsStage",
     "FaultSimStage",
     "PrepareCoreStage",

@@ -26,9 +26,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
+from ..core.config import canonical_stage_key
 from ..faults.fault_list import FaultList
 from ..faults.fault_sim import FaultSimulationResult
 from ..faults.models import FaultStatus
+from .scheduler import StageFailure
 
 
 @dataclass(frozen=True)
@@ -150,6 +152,57 @@ def _detected_before(fault_list: FaultList, fault: object, boundary: int) -> boo
         return False
     first = record.first_detection
     return first is None or first < boundary
+
+
+# --------------------------------------------------------------------- #
+# Canonical failure records (graceful degradation)
+# --------------------------------------------------------------------- #
+#: Reserved top-level key of the canonical campaign report holding the
+#: per-scenario failure records of a degraded (partial) run.  Scenario names
+#: must not collide with it -- the runner and the service reject the name.
+FAILURES_KEY = "failures"
+
+
+def canonical_failure(failure: StageFailure, scenario_key: str) -> dict:
+    """The byte-deterministic report record of one permanent stage failure.
+
+    The stage key is made relative to its scenario graph root (and stripped
+    of any per-run nonce), so the same logical failure -- "``tpi`` of
+    scenario X raised ``ValueError`` after 3 attempts" -- serialises
+    identically whatever worker count, run or tier produced it.  The swept
+    descendant keys stay *out* of the record: the cancelled set depends on
+    shard geometry (fan-out width follows the worker count), which would
+    break byte-identity across worker counts for no informational gain --
+    descendants are implied by "everything downstream of this stage".
+    """
+    stage = canonical_stage_key(failure.key)
+    prefix = canonical_stage_key(scenario_key) + "/"
+    if stage.startswith(prefix):
+        stage = stage[len(prefix):]
+    return {
+        "stage": stage,
+        "phase": failure.phase,
+        "error_type": failure.error_type,
+        "error": failure.error,
+        "attempts": failure.attempts,
+    }
+
+
+def sort_failures(records: Iterable[dict]) -> list[dict]:
+    """Deterministic ordering of a scenario's failure records.
+
+    Used by every producer of a ``failures`` section (runner, service,
+    stream reassembler) so partial reports agree byte for byte.
+    """
+    return sorted(
+        records,
+        key=lambda record: (
+            record["stage"],
+            record["error_type"],
+            record["error"],
+            record["attempts"],
+        ),
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -344,20 +397,42 @@ class ScenarioResult:
 
 @dataclass
 class CampaignResult:
-    """Merged outcome of a whole multi-scenario campaign."""
+    """Merged outcome of a whole multi-scenario campaign.
+
+    ``scenarios`` holds the completed scenarios; ``failures`` the canonical
+    failure records (:func:`canonical_failure`, sorted by
+    :func:`sort_failures`) of scenarios that were quarantined after a stage
+    exhausted its retries.  A clean run has an empty ``failures`` and its
+    report bytes are unchanged from the pre-resilience format; a degraded
+    run is *partial* -- sibling results intact, plus one reserved
+    ``"failures"`` top-level section.
+    """
 
     scenarios: dict[str, ScenarioResult]
+    #: Scenario name -> sorted canonical failure records.
+    failures: dict[str, list[dict]] = field(default_factory=dict)
     num_workers: int = 1
     seconds: float = 0.0
 
     def __getitem__(self, name: str) -> ScenarioResult:
         return self.scenarios[name]
 
+    @property
+    def partial(self) -> bool:
+        """Did any scenario fail permanently (degraded run)?"""
+        return bool(self.failures)
+
     def canonical_dict(self) -> dict:
-        return {
+        canonical = {
             name: result.canonical_dict()
             for name, result in sorted(self.scenarios.items())
         }
+        if self.failures:
+            canonical[FAILURES_KEY] = {
+                name: sort_failures(records)
+                for name, records in sorted(self.failures.items())
+            }
+        return canonical
 
     def report_bytes(self) -> bytes:
         """Canonical byte-exact report across every scenario."""

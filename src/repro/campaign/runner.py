@@ -608,6 +608,18 @@ class CampaignRunner:
     With ``num_workers <= 1`` the identical DAG runs on the in-process
     :class:`~repro.campaign.scheduler.SerialScheduler` -- the deterministic
     fallback and the bit-exactness oracle.
+
+    Fault tolerance: ``retry_policy`` (default: the scenarios' config
+    ``retry``, else single-attempt) grants stages retries with
+    deterministic backoff, plus soft timeouts and worker-crash recovery in
+    the pooled schedule.  With ``degrade=True`` (the default), a stage that
+    exhausts its attempts quarantines only its scenario -- siblings finish,
+    and the returned :class:`~repro.campaign.results.CampaignResult` is
+    *partial*: the failed scenario moves from ``scenarios`` into the
+    canonical ``failures`` section.  ``degrade=False`` restores
+    fail-the-whole-campaign semantics.  ``chaos`` threads a
+    :class:`~repro.campaign.chaos.ChaosPlan` through the scheduler (test /
+    drill support).
     """
 
     def __init__(
@@ -616,16 +628,23 @@ class CampaignRunner:
         fault_shards: Optional[int] = None,
         pattern_shards: int = 1,
         mp_context=None,
+        retry_policy=None,
+        chaos=None,
+        degrade: bool = True,
     ) -> None:
         self.num_workers = num_workers
         self.fault_shards = fault_shards if fault_shards is not None else max(1, num_workers)
         self.pattern_shards = pattern_shards
         self.mp_context = mp_context
+        self.retry_policy = retry_policy
+        self.chaos = chaos
+        self.degrade = degrade
         self.library = CellLibrary()
         #: The last campaign's stage trace, as a trace-only
         #: :class:`~repro.campaign.scheduler.PipelineRun` (no artifact
-        #: store) -- timing diagnostics only, never part of the canonical
-        #: report.
+        #: store) -- timing and resilience diagnostics (``trace``,
+        #: ``retries``, ``failures``, ``cancelled``) only, never part of
+        #: the canonical report.
         self.last_run = None
 
     # ------------------------------------------------------------------ #
@@ -649,6 +668,7 @@ class CampaignRunner:
         at any worker/shard count.
         """
         from .pipeline import release_scenario_engines, scenario_stage_nodes
+        from .results import FAILURES_KEY, canonical_failure, sort_failures
         from .scheduler import PooledScheduler, SerialScheduler
 
         start = time.perf_counter()
@@ -659,6 +679,11 @@ class CampaignRunner:
             raise ValueError(
                 f"duplicate scenario names {duplicates!r}: results are keyed "
                 "by name, so every scenario needs a distinct one"
+            )
+        if FAILURES_KEY in names:
+            raise ValueError(
+                f"scenario name {FAILURES_KEY!r} is reserved for the "
+                "canonical report's failure section"
             )
         nodes = []
         scenario_keys: list[str] = []
@@ -683,10 +708,26 @@ class CampaignRunner:
             nodes.extend(scenario_nodes)
             report_keys[scenario.name] = artifact_keys["report"]
 
+        retry_policy = self.retry_policy
+        if retry_policy is None:
+            # Scenario configs share one scheduler; the first explicit
+            # per-config policy governs the whole campaign.
+            retry_policy = next(
+                (s.config.retry for s in scenarios if s.config.retry is not None),
+                None,
+            )
         if self.num_workers >= 2:
-            scheduler = PooledScheduler(self.num_workers, mp_context=self.mp_context)
+            scheduler = PooledScheduler(
+                self.num_workers,
+                mp_context=self.mp_context,
+                retry_policy=retry_policy,
+                chaos=self.chaos,
+                degrade=self.degrade,
+            )
         else:
-            scheduler = SerialScheduler()
+            scheduler = SerialScheduler(
+                retry_policy=retry_policy, chaos=self.chaos, degrade=self.degrade
+            )
         try:
             pipeline_run = scheduler.run(nodes)
         finally:
@@ -695,11 +736,22 @@ class CampaignRunner:
         # artifact store: it holds every scenario's packed session.
         self.last_run = pipeline_run.trace_only()
 
+        key_by_name = dict(zip(names, scenario_keys))
+        failures: dict[str, list[dict]] = {}
+        for failure in pipeline_run.failures:
+            records = failures.setdefault(failure.scenario, [])
+            records.append(
+                canonical_failure(failure, key_by_name[failure.scenario])
+            )
+        failures = {name: sort_failures(records) for name, records in failures.items()}
         results: dict[str, ScenarioResult] = {
-            name: pipeline_run.value(key) for name, key in report_keys.items()
+            name: pipeline_run.value(key)
+            for name, key in report_keys.items()
+            if name not in failures
         }
         return CampaignResult(
             scenarios=results,
+            failures=failures,
             num_workers=self.num_workers,
             seconds=time.perf_counter() - start,
         )

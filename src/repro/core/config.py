@@ -2,11 +2,120 @@
 
 from __future__ import annotations
 
+import random
+import re
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from ..scan.insertion import ScanInsertionConfig
 from ..simulation.packed import DEFAULT_BLOCK_SIZE
+
+#: The per-invocation nonce :func:`repro.campaign.runner._unique_key` embeds
+#: in campaign stage keys (``@<pid>.<counter>``).  Resilience machinery that
+#: must be deterministic *across* runs -- retry jitter, chaos injection
+#: plans, canonical failure records -- strips it first.
+_STAGE_KEY_NONCE = re.compile(r"@\d+\.\d+")
+
+
+def canonical_stage_key(key: str) -> str:
+    """``key`` with any per-run ``@<pid>.<n>`` nonce removed.
+
+    Service-tier stage keys (``<job>/s0:name/tpi``) are already canonical;
+    runner/flow keys (``s0:name@1234.7/tpi``) are not.  Both map to a stable
+    form here, so seeded jitter and chaos plans hit the same stages whichever
+    tier built the graph.
+    """
+    return _STAGE_KEY_NONCE.sub("", key)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-stage retry/timeout policy of the campaign schedulers.
+
+    The default policy (``max_attempts=1``, no timeout) reproduces the
+    pre-resilience behavior exactly: one attempt, any stage exception is
+    terminal.  Everything here is deterministic by construction -- backoff
+    jitter is seeded per *canonical* stage key and attempt number, so the
+    serial oracle and every pooled schedule replay identical retry
+    sequences (:func:`delay_for` never consults global RNG state).
+
+    Classification: ``KeyboardInterrupt``, ``SystemExit`` and any other
+    non-``Exception`` ``BaseException`` are *always* fatal -- they abort the
+    whole schedule immediately and are never retried, regardless of
+    ``retryable_errors``.  Among ordinary exceptions, ``fatal_errors`` wins
+    over ``retryable_errors``.
+    """
+
+    #: Total attempts per stage (1 = no retries).
+    max_attempts: int = 1
+    #: First retry delay in seconds (0 disables backoff sleeps entirely).
+    backoff_base_s: float = 0.05
+    #: Multiplier applied per additional attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single backoff delay.
+    backoff_max_s: float = 2.0
+    #: +/- fraction of the delay drawn from the per-stage-key seeded RNG.
+    jitter_fraction: float = 0.1
+    #: Seed of the deterministic jitter stream.
+    seed: int = 0
+    #: Soft per-stage timeout (seconds) enforced by the pooled scheduler's
+    #: completion loop: a stage past its deadline has its worker terminated
+    #: and counts as a failed attempt.  ``None`` disables timeouts.  The
+    #: serial scheduler cannot preempt a running stage, so there the timeout
+    #: only shapes injected-chaos ``hang`` faults (kept consistent so serial
+    #: remains the oracle for chaos replays).
+    stage_timeout_s: Optional[float] = None
+    #: Pooled completion-loop heartbeat (seconds): the longest the parent
+    #: waits on results before polling worker health and stage deadlines.
+    heartbeat_s: float = 0.25
+    #: Exception types eligible for retry (subject to ``fatal_errors``).
+    retryable_errors: tuple = (Exception,)
+    #: Exception types never retried even if listed as retryable.
+    fatal_errors: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        if self.stage_timeout_s is not None and self.stage_timeout_s <= 0:
+            raise ValueError("stage_timeout_s must be positive or None")
+        if self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+
+    def retryable(self, error: BaseException) -> bool:
+        """May ``error`` consume another attempt?  (Fatal classes never.)"""
+        if isinstance(error, (KeyboardInterrupt, SystemExit)):
+            return False
+        if not isinstance(error, Exception):
+            return False
+        if self.fatal_errors and isinstance(error, tuple(self.fatal_errors)):
+            return False
+        return isinstance(error, tuple(self.retryable_errors))
+
+    def delay_for(self, stage_key: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``stage_key``.
+
+        Exponential in ``attempt``, capped, with deterministic jitter from a
+        private RNG seeded by ``(seed, canonical stage key, attempt)`` --
+        identical for the same stage whichever scheduler (or run) asks.
+        """
+        if self.backoff_base_s <= 0:
+            return 0.0
+        delay = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        if self.jitter_fraction > 0:
+            rng = random.Random(
+                f"{self.seed}:{canonical_stage_key(stage_key)}:{attempt}"
+            )
+            delay *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return delay
 
 
 @dataclass
@@ -169,6 +278,16 @@ class LogicBistConfig:
     #: this knob only gates the campaign runner's scenarios.
     campaign_topup: bool = False
 
+    # ------------------------------------------------------------------ #
+    # Fault tolerance
+    # ------------------------------------------------------------------ #
+    #: Stage retry/timeout policy applied by the flow's schedulers (and used
+    #: as the default by :class:`~repro.campaign.runner.CampaignRunner`).
+    #: ``None`` keeps the single-attempt policy.  Retries are replayed
+    #: identically by the serial oracle and every pooled schedule, so the
+    #: policy is byte-invisible on runs that eventually succeed.
+    retry: Optional[RetryPolicy] = None
+
 
 @dataclass
 class ServiceConfig:
@@ -200,6 +319,14 @@ class ServiceConfig:
     #: Submissions allowed to wait in the queue before ``submit`` raises
     #: (0 = unbounded).
     max_queue_depth: int = 0
+    #: Stage retry/timeout policy of service jobs (``None`` = the default
+    #: single-attempt :class:`RetryPolicy`).
+    retry: Optional[RetryPolicy] = None
+    #: Quarantine a scenario whose stage exhausts its retries -- cancel only
+    #: its descendant stages, let sibling scenarios finish, and finish the
+    #: job in the ``"partial"`` state with a canonical ``failures`` report
+    #: section -- instead of failing the whole job.
+    degrade_scenarios: bool = True
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:

@@ -355,8 +355,14 @@ class LogicBistFlow:
             include_topup=True,
             include_transition=config.measure_transition_coverage,
         )
+        # The flow needs every artifact below, so there is no degraded
+        # outcome here: a stage that exhausts config.retry's attempts
+        # raises.  Retries themselves (and pooled timeout/crash recovery)
+        # still apply.
         scheduler = (
-            PooledScheduler(workers) if workers >= 2 else SerialScheduler()
+            PooledScheduler(workers, retry_policy=config.retry)
+            if workers >= 2
+            else SerialScheduler(retry_policy=config.retry)
         )
         try:
             pipeline_run = scheduler.run(nodes)

@@ -37,9 +37,11 @@ from .events import (
     JobFinished,
     JobStarted,
     ScenarioCompleted,
+    ScenarioFailed,
     SectionCompleted,
     StageFailed,
     StageFinished,
+    StageRetrying,
     StageStarted,
 )
 from .queue import CampaignService, JobRecord, JobSpec
@@ -58,9 +60,11 @@ __all__ = [
     "JobSpec",
     "JobStarted",
     "ScenarioCompleted",
+    "ScenarioFailed",
     "ScenarioPrepCache",
     "SectionCompleted",
     "StageFailed",
     "StageFinished",
+    "StageRetrying",
     "StageStarted",
 ]

@@ -22,24 +22,87 @@ a crash mid-write -- the whole point of a checkpoint store -- leaves the
 previous consistent snapshot in place.  :class:`CheckpointStore` is the
 seam the crash-injection suite subclasses to inject failures at exact
 checkpoint boundaries.
+
+Pickled artifacts (spec, progress) are framed with a SHA-256 checksum so a
+corrupt or truncated blob -- a torn disk write, bit rot, a partial copy --
+is *detected* on load instead of crashing recovery deep inside the
+unpickler.  A bad snapshot reads as ``None`` (logged): a bad progress
+snapshot re-runs the job from its spec; a bad spec skips that job at
+recovery.  Unframed legacy blobs still load.
 """
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
 import pickle
 from pathlib import Path
 from typing import Optional
 
+logger = logging.getLogger(__name__)
+
 SPEC_FILE = "spec.pkl"
 PROGRESS_FILE = "progress.pkl"
 REPORT_FILE = "report.json"
+
+#: Frame layout: magic + 64 hex chars of sha256(payload) + newline + payload.
+CHECKSUM_MAGIC = b"repro-ckpt-v1\n"
+_DIGEST_LEN = 64
 
 
 def _atomic_write(path: Path, payload: bytes) -> None:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_bytes(payload)
     os.replace(tmp, path)
+
+
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return CHECKSUM_MAGIC + digest + b"\n" + payload
+
+
+def _unframe(blob: bytes, path: Path) -> Optional[bytes]:
+    """Verify and strip the checksum frame; ``None`` if corrupt/truncated."""
+    if not blob.startswith(CHECKSUM_MAGIC):
+        # Legacy unframed pickle: no integrity check available, let the
+        # (guarded) unpickler judge it.
+        return blob
+    header_end = len(CHECKSUM_MAGIC) + _DIGEST_LEN
+    if len(blob) <= header_end or blob[header_end : header_end + 1] != b"\n":
+        logger.warning(
+            "checkpoint %s: truncated checksum header; ignoring snapshot", path
+        )
+        return None
+    digest = blob[len(CHECKSUM_MAGIC) : header_end]
+    payload = blob[header_end + 1 :]
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        logger.warning(
+            "checkpoint %s: checksum mismatch (corrupt or truncated); "
+            "ignoring snapshot",
+            path,
+        )
+        return None
+    return payload
+
+
+def _load_pickle(path: Path):
+    """Load a checksum-framed pickle; corruption reads as ``None``, logged."""
+    if not path.exists():
+        return None
+    payload = _unframe(path.read_bytes(), path)
+    if payload is None:
+        return None
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        logger.warning(
+            "checkpoint %s: unreadable snapshot (%s: %s); ignoring it",
+            path,
+            type(error).__name__,
+            error,
+        )
+        return None
 
 
 class CheckpointStore:
@@ -65,13 +128,11 @@ class CheckpointStore:
     def save_spec(self, job_id: str, spec) -> None:
         """Persist the submission itself, so a restart can re-run it."""
         self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
-        _atomic_write(self._path(job_id, SPEC_FILE), pickle.dumps(spec))
+        _atomic_write(self._path(job_id, SPEC_FILE), _frame(pickle.dumps(spec)))
 
     def load_spec(self, job_id: str):
-        path = self._path(job_id, SPEC_FILE)
-        if not path.exists():
-            return None
-        return pickle.loads(path.read_bytes())
+        """The submitted spec, or ``None`` if absent or unreadable (logged)."""
+        return _load_pickle(self._path(job_id, SPEC_FILE))
 
     # -- progress ------------------------------------------------------ #
     def save_progress(self, job_id: str, run) -> None:
@@ -84,14 +145,26 @@ class CheckpointStore:
         """
         self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
         snapshot = {"store": run.store, "expansions": run.expansions}
-        _atomic_write(self._path(job_id, PROGRESS_FILE), pickle.dumps(snapshot))
+        _atomic_write(
+            self._path(job_id, PROGRESS_FILE), _frame(pickle.dumps(snapshot))
+        )
 
     def load_progress(self, job_id: str) -> Optional[dict]:
-        """The last snapshot as ``{"store": ..., "expansions": ...}``."""
-        path = self._path(job_id, PROGRESS_FILE)
-        if not path.exists():
+        """The last snapshot as ``{"store": ..., "expansions": ...}``.
+
+        A corrupt or truncated snapshot reads as ``None`` -- the job
+        re-runs from its spec instead of crashing recovery.
+        """
+        snapshot = _load_pickle(self._path(job_id, PROGRESS_FILE))
+        if snapshot is not None and not (
+            isinstance(snapshot, dict) and "store" in snapshot
+        ):
+            logger.warning(
+                "checkpoint %s: unexpected snapshot shape; ignoring it",
+                self._path(job_id, PROGRESS_FILE),
+            )
             return None
-        return pickle.loads(path.read_bytes())
+        return snapshot
 
     def discard_progress(self, job_id: str) -> None:
         """Drop the resume point (the job finished; the report is durable)."""

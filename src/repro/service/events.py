@@ -27,9 +27,11 @@ from typing import Optional, Sequence
 
 from ..campaign.results import (
     CURVE_NAMES,
+    FAILURES_KEY,
     SECTION_NAMES,
     assemble_scenario_canonical,
     canonical_report_bytes,
+    sort_failures,
 )
 
 
@@ -104,6 +106,37 @@ class StageFailed(JobEvent):
 
 
 @dataclass(frozen=True)
+class StageRetrying(JobEvent):
+    """A stage attempt failed retryably; the stage will run again.
+
+    ``attempt`` is the 1-based index of the attempt that failed; the retry
+    dispatches after ``delay_s`` of deterministic backoff.
+    """
+
+    stage: str = ""
+    phase: str = ""
+    scenario: str = ""
+    attempt: int = 0
+    delay_s: float = 0.0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioFailed(JobEvent):
+    """A scenario was quarantined: one of its stages exhausted its retries.
+
+    Sibling scenarios keep running; the job will finish ``"partial"``.
+    ``failure`` is the canonical failure record
+    (:func:`~repro.campaign.results.canonical_failure`) that will appear --
+    byte-identically -- in the partial report's ``failures`` section, so
+    the stream alone suffices to reassemble it.
+    """
+
+    scenario: str = ""
+    failure: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class CoverageDelta(JobEvent):
     """A chunk of one scenario's coverage curve, streamed as it merges.
 
@@ -145,10 +178,18 @@ class ScenarioCompleted(JobEvent):
 
 @dataclass(frozen=True)
 class JobFinished(JobEvent):
-    """The job's canonical report is final (and checkpointed when enabled)."""
+    """The job's canonical report is final (and checkpointed when enabled).
+
+    ``partial`` marks a degraded run: ``failed_scenarios`` were quarantined
+    (each previously announced by a :class:`ScenarioFailed` event) and the
+    report carries a canonical ``failures`` section; ``scenarios`` lists
+    only the completed ones.
+    """
 
     scenarios: tuple = ()
     checksum: str = ""
+    partial: bool = False
+    failed_scenarios: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -181,7 +222,9 @@ class JobCounters:
     stages_started: int = 0
     stages_finished: int = 0
     stages_failed: int = 0
+    stages_retried: int = 0
     scenarios_completed: int = 0
+    scenarios_failed: int = 0
     events: int = 0
 
     def as_dict(self) -> dict[str, int]:
@@ -189,7 +232,9 @@ class JobCounters:
             "stages_started": self.stages_started,
             "stages_finished": self.stages_finished,
             "stages_failed": self.stages_failed,
+            "stages_retried": self.stages_retried,
             "scenarios_completed": self.scenarios_completed,
+            "scenarios_failed": self.scenarios_failed,
             "events": self.events,
         }
 
@@ -201,8 +246,12 @@ class JobCounters:
             self.stages_finished += 1
         elif isinstance(event, StageFailed):
             self.stages_failed += 1
+        elif isinstance(event, StageRetrying):
+            self.stages_retried += 1
         elif isinstance(event, ScenarioCompleted):
             self.scenarios_completed += 1
+        elif isinstance(event, ScenarioFailed):
+            self.scenarios_failed += 1
 
 
 # --------------------------------------------------------------------- #
@@ -224,11 +273,16 @@ class EventReassembler:
         self._sections: dict[str, dict[str, dict]] = {}
         self._chunks: dict[str, dict[str, dict[int, Sequence]]] = {}
         self._completed: dict[str, str] = {}
+        self._failures: dict[str, list[dict]] = {}
 
     # -- feeding ------------------------------------------------------- #
     def feed(self, event: JobEvent) -> None:
         """Absorb one event (non-content events are ignored)."""
-        if isinstance(event, CoverageDelta):
+        if isinstance(event, ScenarioFailed):
+            records = self._failures.setdefault(event.scenario, [])
+            if event.failure not in records:  # replay/duplication tolerant
+                records.append(dict(event.failure))
+        elif isinstance(event, CoverageDelta):
             if event.section not in CURVE_NAMES:
                 raise ValueError(f"unknown curve section {event.section!r}")
             curves = self._chunks.setdefault(event.scenario, {})
@@ -287,9 +341,30 @@ class EventReassembler:
         """Scenario -> streamed checksum, for scenarios marked complete."""
         return dict(self._completed)
 
+    def failed_scenarios(self) -> dict[str, list[dict]]:
+        """Scenario -> sorted canonical failure records (degraded jobs)."""
+        return {
+            name: sort_failures(records)
+            for name, records in sorted(self._failures.items())
+        }
+
     def campaign_canonical(self) -> dict:
-        """The reassembled canonical dict of the whole job."""
-        return {name: self.scenario_canonical(name) for name in self.scenarios()}
+        """The reassembled canonical dict of the whole job.
+
+        A failed scenario contributes only its ``failures`` records: any
+        content it streamed before the quarantine (partial curves, early
+        sections) is deliberately dropped, exactly as the in-process
+        :meth:`~repro.campaign.results.CampaignResult.canonical_dict` holds
+        no entry for a scenario that never produced a report.
+        """
+        canonical = {
+            name: self.scenario_canonical(name)
+            for name in self.scenarios()
+            if name not in self._failures
+        }
+        if self._failures:
+            canonical[FAILURES_KEY] = self.failed_scenarios()
+        return canonical
 
     def report_bytes(self) -> bytes:
         """Canonical report bytes of the reassembled campaign."""

@@ -42,7 +42,13 @@ from ..campaign.pipeline import (
     release_scenario_engines,
     scenario_stage_nodes,
 )
-from ..campaign.results import CampaignResult, ScenarioResult
+from ..campaign.results import (
+    FAILURES_KEY,
+    CampaignResult,
+    ScenarioResult,
+    canonical_failure,
+    sort_failures,
+)
 from ..campaign.runner import CampaignScenario
 from ..campaign.scheduler import PooledScheduler, SerialScheduler, StageObserver
 from ..core.config import ServiceConfig
@@ -59,9 +65,11 @@ from .events import (
     JobFinished,
     JobStarted,
     ScenarioCompleted,
+    ScenarioFailed,
     SectionCompleted,
     StageFailed,
     StageFinished,
+    StageRetrying,
     StageStarted,
     report_checksum,
 )
@@ -88,7 +96,10 @@ class JobRecord:
     def __init__(self, spec: JobSpec) -> None:
         self.spec = spec
         self.job_id = spec.job_id
-        #: "queued" -> "running" -> "finished" | "failed".
+        #: "queued" -> "running" -> "finished" | "partial" | "failed".
+        #: "partial" is a *successful* terminal state in which one or more
+        #: scenarios were degraded after exhausting their retries; the
+        #: report carries their canonical failure records instead.
         self.state = "queued"
         self.events: list[JobEvent] = []
         self.counters = JobCounters()
@@ -105,7 +116,7 @@ class JobRecord:
 
     @property
     def done(self) -> bool:
-        return self.state in ("finished", "failed")
+        return self.state in ("finished", "partial", "failed")
 
 
 class _JobEmitter:
@@ -162,6 +173,7 @@ class _JobObserver(StageObserver):
         checkpoints: Optional[CheckpointStore],
         job_id: str,
         checkpoint_every: int,
+        scenario_keys: Optional[dict] = None,
     ) -> None:
         self._emitter = emitter
         #: ``(scenario name, artifact-key mapping)`` per scenario, in
@@ -170,6 +182,9 @@ class _JobObserver(StageObserver):
         self._checkpoints = checkpoints
         self._job_id = job_id
         self._checkpoint_every = checkpoint_every
+        #: scenario name -> scenario graph key, for canonical failure
+        #: records (the scenario prefix is stripped from failing stages).
+        self._scenario_keys = dict(scenario_keys or {})
         self._since_save = 0
         self._run = None
 
@@ -212,6 +227,33 @@ class _JobObserver(StageObserver):
             phase=node.phase,
             scenario=node.scenario,
             error=str(error),
+        )
+
+    def on_stage_retry(self, node, error, attempt: int, delay_s: float) -> None:
+        self._emitter.emit(
+            StageRetrying,
+            stage=node.key,
+            phase=node.phase,
+            scenario=node.scenario,
+            attempt=attempt,
+            delay_s=delay_s,
+            error=str(error),
+        )
+
+    def on_stage_failed(self, node, error, failure) -> None:
+        """A stage exhausted its retries and its scenario was degraded."""
+        self._emitter.emit(
+            StageFailed,
+            stage=node.key,
+            phase=node.phase,
+            scenario=node.scenario,
+            error=str(error),
+        )
+        scenario_key = self._scenario_keys.get(node.scenario, "")
+        self._emitter.emit(
+            ScenarioFailed,
+            scenario=node.scenario,
+            failure=canonical_failure(failure, scenario_key),
         )
 
     # -- content dispatch ---------------------------------------------- #
@@ -261,8 +303,12 @@ class CampaignService:
         checkpoint_dir=None,
         service_config: Optional[ServiceConfig] = None,
         mp_context=None,
+        chaos=None,
     ) -> None:
         self.num_workers = num_workers
+        #: Optional :class:`~repro.campaign.chaos.ChaosPlan` threaded into
+        #: every job's scheduler (testing/fault-drill hook; None in prod).
+        self.chaos = chaos
         self.fault_shards = (
             fault_shards if fault_shards is not None else max(1, num_workers)
         )
@@ -352,6 +398,11 @@ class CampaignService:
             raise ValueError(
                 f"duplicate scenario names {duplicates!r}: results are keyed "
                 "by name, so every scenario needs a distinct one"
+            )
+        if FAILURES_KEY in names:
+            raise ValueError(
+                f"scenario name {FAILURES_KEY!r} is reserved for the "
+                "report's degraded-scenario section"
             )
         depth = self.config.max_queue_depth
         if depth and self._queue.qsize() >= depth:
@@ -466,7 +517,7 @@ class CampaignService:
             record.resumed = event.resumed
             record.preloaded_stages = event.preloaded_stages
         elif isinstance(event, JobFinished):
-            record.state = "finished"
+            record.state = "partial" if event.partial else "finished"
         elif isinstance(event, JobFailed):
             record.state = "failed"
             record.error = event.error
@@ -540,17 +591,32 @@ class CampaignService:
                 preloaded_stages=len(preloads) + len(expansions or ()),
             )
 
+            key_by_name = {
+                scenario.name: scenario_keys[index]
+                for index, (scenario, _keys) in enumerate(scenario_meta)
+            }
             observer = _JobObserver(
                 emitter,
                 [(scenario.name, keys) for scenario, keys in scenario_meta],
                 checkpoints=self.checkpoints,
                 job_id=record.job_id,
                 checkpoint_every=self.config.checkpoint_every,
+                scenario_keys=key_by_name,
             )
             if self.num_workers >= 2:
-                scheduler = PooledScheduler(self.num_workers, mp_context=self.mp_context)
+                scheduler = PooledScheduler(
+                    self.num_workers,
+                    mp_context=self.mp_context,
+                    retry_policy=self.config.retry,
+                    chaos=self.chaos,
+                    degrade=self.config.degrade_scenarios,
+                )
             else:
-                scheduler = SerialScheduler()
+                scheduler = SerialScheduler(
+                    retry_policy=self.config.retry,
+                    chaos=self.chaos,
+                    degrade=self.config.degrade_scenarios,
+                )
             try:
                 run = scheduler.run(
                     nodes,
@@ -561,17 +627,31 @@ class CampaignService:
             finally:
                 release_scenario_engines(scenario_keys)
 
+            failures: dict[str, list[dict]] = {}
+            for failure in run.failures:
+                record_dict = canonical_failure(
+                    failure, key_by_name.get(failure.scenario, "")
+                )
+                failures.setdefault(failure.scenario, []).append(record_dict)
+            failures = {
+                name: sort_failures(records)
+                for name, records in sorted(failures.items())
+            }
             results = {
                 scenario.name: run.value(keys["report"])
                 for scenario, keys in scenario_meta
+                if scenario.name not in failures
             }
             campaign = CampaignResult(
                 scenarios=results,
+                failures=failures,
                 num_workers=self.num_workers,
                 seconds=time.perf_counter() - start,
             )
             report = campaign.report_bytes()
             for scenario, keys in scenario_meta:
+                if scenario.name in failures:
+                    continue
                 self.prep_cache.harvest(scenario.circuit, scenario.config, run, keys)
             record.result = campaign
             record.report = report
@@ -582,6 +662,8 @@ class CampaignService:
                 JobFinished,
                 scenarios=tuple(sorted(results)),
                 checksum=report_checksum(report),
+                partial=bool(failures),
+                failed_scenarios=tuple(sorted(failures)),
             )
         except BaseException as error:
             # With a checkpoint store the failure is resumable: the spec and

@@ -10,7 +10,16 @@ The ``service`` marker follows the same pattern for the campaign-service
 tier (:mod:`repro.service`): it needs a working ``asyncio`` (absent on
 some stripped-down embedded interpreters), so service tests auto-skip
 rather than error when the runtime cannot provide it.
+
+The ``chaos`` marker tags the fault-injection resilience suite
+(:mod:`repro.campaign.chaos` driving retries, timeouts, worker-crash
+recovery and scenario degradation).  The injectors use POSIX process
+primitives (``os.kill`` with ``SIGKILL``), so the suite auto-skips on
+platforms without them.
 """
+
+import os
+import signal
 
 import pytest
 
@@ -28,14 +37,26 @@ try:
 except ImportError:  # pragma: no cover - stripped-down interpreter
     HAVE_SERVICE = False
 
+try:
+    import repro.campaign.chaos  # noqa: F401
+
+    HAVE_CHAOS = hasattr(os, "kill") and hasattr(signal, "SIGKILL")
+except ImportError:  # pragma: no cover - stripped-down interpreter
+    HAVE_CHAOS = False
+
 
 def pytest_collection_modifyitems(config, items):
     skip_numpy = pytest.mark.skip(reason="NumPy not installed (repro[fast] extra)")
     skip_service = pytest.mark.skip(
         reason="asyncio / repro.service unavailable on this interpreter"
     )
+    skip_chaos = pytest.mark.skip(
+        reason="POSIX process primitives (os.kill/SIGKILL) unavailable"
+    )
     for item in items:
         if not HAVE_NUMPY and "numpy" in item.keywords:
             item.add_marker(skip_numpy)
         if not HAVE_SERVICE and "service" in item.keywords:
             item.add_marker(skip_service)
+        if not HAVE_CHAOS and "chaos" in item.keywords:
+            item.add_marker(skip_chaos)
