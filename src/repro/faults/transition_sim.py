@@ -34,6 +34,7 @@ from ..simulation.numpy_backend import (
     PYTHON_BACKEND,
     np as _np,
     plane_to_word,
+    width_cache,
     words_for,
 )
 from ..simulation.packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
@@ -183,15 +184,15 @@ class _NumpyPairScan:
             dtype=bool,
             count=len(faults),
         )
-        self._launch_tables: dict[int, object] = {}
+        # Per-width launch tables, bounded to the two most-recent widths so
+        # a session mixing block sizes never holds every width it touched.
+        self._launch_tables = width_cache()
 
     def launch_table_for(self, num_words: int):
         """The (cached) launch-value bit-plane table for one width."""
-        table = self._launch_tables.get(num_words)
-        if table is None:
-            table = self.np_kernel.make_table(num_words)
-            self._launch_tables[num_words] = table
-        return table
+        return self._launch_tables.get_or_build(
+            num_words, lambda: self.np_kernel.make_table(num_words)
+        )
 
     def activation_planes(self, launch_table, capture_table, mask_plane):
         """Per-fault activation rows: launch/capture transition at the site."""

@@ -36,6 +36,7 @@ from .numpy_backend import (
     numpy_kernel_for,
     resolve_backend,
     table_to_words,
+    width_cache,
     words_for,
 )
 from .packed import DEFAULT_BLOCK_SIZE, PatternBlock, iter_blocks, mask_for
@@ -67,7 +68,9 @@ class PackedSimulator:
         self._np_kernel = (
             numpy_kernel_for(self.kernel) if self.backend == NUMPY_BACKEND else None
         )
-        self._np_tables: dict[int, object] = {}
+        # Per-width bit-plane tables, bounded to the two most-recent widths
+        # (eviction costs a reallocation, never a result bit).
+        self._np_tables = width_cache() if self._np_kernel is not None else None
 
     # ------------------------------------------------------------------ #
     # Block-level interface
@@ -101,10 +104,9 @@ class PackedSimulator:
         kernel = self.kernel
         if self._np_kernel is not None:
             num_words = words_for(num_patterns)
-            table = self._np_tables.get(num_words)
-            if table is None:
-                table = self._np_kernel.make_table(num_words)
-                self._np_tables[num_words] = table
+            table = self._np_tables.get_or_build(
+                num_words, lambda: self._np_kernel.make_table(num_words)
+            )
             self._np_kernel.set_stimulus(table, stimulus, mask, num_words, strict=strict)
             self._np_kernel.evaluate(table, self._np_kernel.mask_plane(mask, num_words))
             values = self._values

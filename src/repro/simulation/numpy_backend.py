@@ -69,6 +69,7 @@ from ..netlist.gates import (
     OP_XOR,
     OP_XOR2,
 )
+from ..util.cache import KeyedLruCache
 from .kernel import CompiledKernel, ConePlan
 
 try:  # pragma: no cover - exercised implicitly by every numpy test
@@ -293,7 +294,7 @@ class NumpyKernel:
         self._max_eval_batch = max(
             (len(batch[1]) for batch in self.batches), default=1
         )
-        self._eval_buffers: dict[int, dict] = {}
+        self._eval_buffers = width_cache()
         self._stimulus_rows = np.array(kernel.stimulus_ids, dtype=np.intp)
         #: Per-site scan compilations, shared by every FaultScanKernel built
         #: over this kernel (cone plans themselves live on the CompiledKernel).
@@ -349,13 +350,13 @@ class NumpyKernel:
         execute in place, so a steady-state pass allocates nothing.
         """
         num_words = table.shape[1]
-        buffers = self._eval_buffers.get(num_words)
-        if buffers is None:
-            buffers = {
+        buffers = self._eval_buffers.get_or_build(
+            num_words,
+            lambda: {
                 "buf_a": np.empty((self._max_eval_batch, num_words), np.uint64),
                 "buf_b": np.empty((self._max_eval_batch, num_words), np.uint64),
-            }
-            self._eval_buffers[num_words] = buffers
+            },
+        )
         for op, out_idx, opnds in self.batches:
             _execute_batch_buffered(
                 table, op, out_idx, opnds, mask_plane, buffers
@@ -383,6 +384,20 @@ def numpy_kernel_for(kernel: CompiledKernel) -> NumpyKernel:
 #: stuck-at campaign, its ATPG top-up remainder, and a transition session's
 #: equivalent-stuck-at order to coexist.
 _SCAN_CACHE_ENTRIES = 4
+
+
+#: Block widths whose tables/workspaces are retained per cache.  A full
+#: table is ``O(num_rows x width)`` bytes, so holding every width a session
+#: ever touched (the pre-LRU behaviour) multiplies peak memory by the
+#: number of distinct widths; two covers the steady state -- a campaign's
+#: full-block width plus its partial tail block -- while any thrash beyond
+#: that only costs a reallocation, never a result bit.
+WIDTH_CACHE_ENTRIES = 2
+
+
+def width_cache() -> KeyedLruCache:
+    """A fresh per-width LRU for bit-plane tables/workspaces."""
+    return KeyedLruCache(maxsize=WIDTH_CACHE_ENTRIES)
 
 
 def scan_kernel_for(
@@ -690,9 +705,10 @@ class FaultScanKernel:
             np.array(obs_parts[2], dtype=np.intp), obs_counts
         )
         self._max_batch = max_batch
-        #: Per-width workspaces; valid for the kernel's whole lifetime (slot
-        #: rows are never renumbered).
-        self._workspaces: dict[int, dict] = {}
+        #: Per-width workspaces, bounded to the two most-recent widths
+        #: (:func:`width_cache`); slot rows are never renumbered, so an
+        #: evicted width only costs a reallocation when it comes back.
+        self._workspaces = width_cache()
 
     def _restore_full(self) -> None:
         """Make the whole canonical order live (pristine array references)."""
@@ -775,27 +791,28 @@ class FaultScanKernel:
     # ------------------------------------------------------------------ #
     def workspace(self, num_words: int) -> dict:
         """Preallocated tables and scratch buffers for one block width."""
-        ws = self._workspaces.get(num_words)
-        if ws is None:
-            ws = {
-                "table": self.nk.make_table(num_words, extra_rows=self.total_slots),
-                "faulty": np.empty((self.num_faults, num_words), dtype=np.uint64),
-                "site_good": np.empty((self.num_faults, num_words), dtype=np.uint64),
-                "diff": np.empty((self.num_faults, num_words), dtype=np.uint64),
-                "buf_a": np.empty((self._max_batch, num_words), dtype=np.uint64),
-                "buf_b": np.empty((self._max_batch, num_words), dtype=np.uint64),
-                "obs_a": np.empty(
-                    (len(self._full_obs_rows), num_words), dtype=np.uint64
-                ),
-                "obs_b": np.empty(
-                    (len(self._full_obs_rows), num_words), dtype=np.uint64
-                ),
-                "det": np.empty(
-                    (int(self.resimable.sum()), num_words), dtype=np.uint64
-                ),
-            }
-            self._workspaces[num_words] = ws
-        return ws
+        return self._workspaces.get_or_build(
+            num_words, lambda: self._make_workspace(num_words)
+        )
+
+    def _make_workspace(self, num_words: int) -> dict:
+        return {
+            "table": self.nk.make_table(num_words, extra_rows=self.total_slots),
+            "faulty": np.empty((self.num_faults, num_words), dtype=np.uint64),
+            "site_good": np.empty((self.num_faults, num_words), dtype=np.uint64),
+            "diff": np.empty((self.num_faults, num_words), dtype=np.uint64),
+            "buf_a": np.empty((self._max_batch, num_words), dtype=np.uint64),
+            "buf_b": np.empty((self._max_batch, num_words), dtype=np.uint64),
+            "obs_a": np.empty(
+                (len(self._full_obs_rows), num_words), dtype=np.uint64
+            ),
+            "obs_b": np.empty(
+                (len(self._full_obs_rows), num_words), dtype=np.uint64
+            ),
+            "det": np.empty(
+                (int(self.resimable.sum()), num_words), dtype=np.uint64
+            ),
+        }
 
     def table_for(self, num_words: int):
         """The good-rows + slot-rows bit-plane table for one block width."""

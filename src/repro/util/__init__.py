@@ -1,0 +1,11 @@
+"""Dependency-free utilities shared across subsystem layers.
+
+Anything in here must import nothing from the rest of :mod:`repro` (and no
+optional third-party packages): the simulation backends, the campaign layer
+and the service tier all reach down into this package, so it sits below
+every other subsystem in the import graph.
+"""
+
+from .cache import CacheStats, KeyedLruCache
+
+__all__ = ["CacheStats", "KeyedLruCache"]

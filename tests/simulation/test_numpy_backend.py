@@ -253,6 +253,58 @@ class TestFaultSimEquivalence:
         assert_fault_lists_identical(fl_py2, fl_np2)
 
 
+class TestWidthLruWorkspaces:
+    """Per-width workspace/table caches keep only the two most-recent widths.
+
+    The pre-LRU caches retained a full bit-plane table per block width
+    forever, so a session mixing widths {64, 256, 4096} held three full
+    tables simultaneously.  Thrashing widths through the bounded cache must
+    evict (peak memory stays two widths deep) while never changing a result
+    bit -- eviction only ever costs a reallocation.
+    """
+
+    def test_thrashed_widths_stay_bit_identical(self):
+        circuit = make_core(11)
+        # 520 patterns yields block widths {1, 4, 9} words across the block
+        # sizes below (full blocks plus partial tails), enough to overflow
+        # a two-entry cache.
+        patterns = random_patterns(circuit, 520, 41)
+        fl_py = collapse_stuck_at(circuit).to_fault_list()
+        FaultSimulator(circuit).simulate(fl_py, patterns, block_size=64)
+        vec = FaultSimulator(circuit, backend="numpy")
+        scan = None
+        for block_size in (64, 256, 1024, 64, 256):
+            fl_np = collapse_stuck_at(circuit).to_fault_list()
+            vec.simulate(fl_np, patterns, block_size=block_size)
+            # Detection statuses and first-detection indices are
+            # block-size-invariant, so one python run oracles every width.
+            assert_fault_lists_identical(fl_py, fl_np)
+            scan = vec._np_scan[1].scan
+            assert len(scan._workspaces) <= 2
+        # Drive three widths through the workspace cache directly (pruning
+        # legitimately clears it mid-campaign, so the simulate loop above
+        # can finish without ever holding three): the third must evict.
+        before = scan._workspaces.stats.evictions
+        for num_words in (1, 2, 3):
+            scan.workspace(num_words)
+        assert len(scan._workspaces) == 2
+        assert scan._workspaces.stats.evictions > before
+
+    def test_packed_simulator_tables_bounded(self):
+        circuit = make_core(12)
+        py = PackedSimulator(circuit)
+        vec = PackedSimulator(circuit, backend="numpy")
+        patterns = random_patterns(circuit, 600, 43)
+        nets = circuit.stimulus_nets()
+        for block_size in (64, 256, 1024, 64):
+            for block in iter_blocks(patterns, block_size=block_size, nets=nets):
+                expected = py.simulate_block(block.assignments, block.num_patterns)
+                actual = vec.simulate_block(block.assignments, block.num_patterns)
+                assert actual == expected
+            assert len(vec._np_tables) <= 2
+        assert vec._np_tables.stats.evictions > 0
+
+
 class TestTransitionEquivalence:
     @pytest.mark.parametrize("block_size", (17, 64, 256))
     def test_derived_capture_pairs_bit_identical(self, block_size):
