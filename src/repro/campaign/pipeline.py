@@ -346,6 +346,7 @@ class BuildStumpsStage:
             observe_nets=tuple(core.circuit.observation_nets()),
             faults=faults,
             sim_backend=config.sim_backend,
+            sim_memory_budget_mb=config.sim_memory_budget_mb,
         )
         return ScenarioBundle(
             scenario_key=self.scenario_key,
@@ -836,6 +837,7 @@ class TransitionPrepStage:
             observe_nets=tuple(circuit.observation_nets()),
             faults=faults,
             sim_backend=config.sim_backend,
+            sim_memory_budget_mb=config.sim_memory_budget_mb,
         )
         return TransitionBundle(
             scenario_key=inputs.scenario_key,

@@ -390,6 +390,7 @@ def run_sharded_fault_sim(
     mp_context=None,
     scenario_key: str = "fault-sim",
     sim_backend: str = "python",
+    sim_memory_budget_mb: Optional[float] = None,
 ) -> FaultSimulationResult:
     """Sharded drop-in for :meth:`FaultSimulator.simulate_blocks`.
 
@@ -401,6 +402,9 @@ def run_sharded_fault_sim(
     -- is bit-identical to the serial engine's (fault dropping enabled).
     ``sim_backend`` selects the execution backend every shard worker
     compiles ("python" or "numpy"); merged results are backend-invariant.
+    ``sim_memory_budget_mb`` bounds each worker's peak numpy fault-scan
+    memory (carried in the shard states, so it survives pickling into the
+    pool); results are budget-invariant.
     """
     scenario_key = _unique_key(scenario_key)
     offset_blocks = with_offsets(blocks, pattern_offset)
@@ -416,6 +420,7 @@ def run_sharded_fault_sim(
         ),
         faults=faults,
         sim_backend=sim_backend,
+        sim_memory_budget_mb=sim_memory_budget_mb,
     )
     tasks = plan_shard_tasks(
         FaultShardTask,
@@ -457,6 +462,7 @@ def run_sharded_transition_sim(
     mp_context=None,
     scenario_key: str = "transition-sim",
     sim_backend: str = "python",
+    sim_memory_budget_mb: Optional[float] = None,
 ) -> TransitionSimulationResult:
     """Sharded drop-in for :meth:`TransitionFaultSimulator.simulate_pairs`."""
     if len(launch_patterns) != len(capture_patterns):
@@ -477,6 +483,7 @@ def run_sharded_transition_sim(
         ),
         faults=faults,
         sim_backend=sim_backend,
+        sim_memory_budget_mb=sim_memory_budget_mb,
     )
     tasks = plan_shard_tasks(
         TransitionShardTask,

@@ -24,6 +24,13 @@ In the stage-graph pipeline these planners are the **fan-out rule** of
 :class:`~repro.campaign.pipeline.TransitionStage`: once a scenario's fault
 list and block stream exist, the stage expands into exactly the grid planned
 here -- one shard node per cell plus an order-independent merge node.
+
+Shard planning is memory-budget-oblivious by design: a
+``sim_memory_budget_mb`` ceiling travels inside the shard *states*
+(:class:`~repro.faults.fault_sim.FaultSimShardState`), and each worker's
+numpy scan tiles its own fault subset to fit -- so the planned grid, the
+merged results and the budget are three independent knobs (any budget is
+byte-invisible at any shard geometry).
 """
 
 from __future__ import annotations

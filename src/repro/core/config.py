@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 import re
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -244,6 +245,18 @@ class LogicBistConfig:
     #: included), the transition-coverage measurement and -- via the shard
     #: payloads -- every campaign worker.
     sim_backend: str = "python"
+    #: Peak fault-scan memory budget in MB for the ``"numpy"`` backend (None
+    #: = unbounded, the historical behavior).  The vectorised PPSFP scan
+    #: tiles the live fault set into groups whose union-cone slot demand
+    #: fits the budget and recycles one slot arena across the tiles, so
+    #: peak slot-table + workspace bytes per block width stay under this
+    #: ceiling instead of growing with total cone size -- results remain
+    #: bit-identical to the unbounded scan and the python oracle at any
+    #: budget (tiling only changes *when* rows are computed, never what).
+    #: Campaign shard payloads carry the budget, so every worker honors it.
+    #: Ignored by the ``"python"`` backend (the bigint interpreter has no
+    #: slot table); setting it there emits a :class:`UserWarning`.
+    sim_memory_budget_mb: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Sharded campaign execution
@@ -287,6 +300,21 @@ class LogicBistConfig:
     #: identically by the serial oracle and every pooled schedule, so the
     #: policy is byte-invisible on runs that eventually succeed.
     retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.sim_memory_budget_mb is not None:
+            if self.sim_memory_budget_mb <= 0:
+                raise ValueError(
+                    "sim_memory_budget_mb must be positive, got "
+                    f"{self.sim_memory_budget_mb!r}"
+                )
+            if self.sim_backend == "python":
+                warnings.warn(
+                    "sim_memory_budget_mb only bounds the numpy fault scan; "
+                    'the "python" backend ignores it',
+                    UserWarning,
+                    stacklevel=2,
+                )
 
 
 @dataclass

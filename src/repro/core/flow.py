@@ -151,7 +151,11 @@ def insert_test_points(
         stumps = build_stumps(core, config)
         patterns = stumps.generate_patterns(config.tpi_profile_patterns)
         fault_list = fresh_fault_list(core.circuit, config)
-        simulator = FaultSimulator(core.circuit, backend=config.sim_backend)
+        simulator = FaultSimulator(
+            core.circuit,
+            backend=config.sim_backend,
+            memory_budget_mb=config.sim_memory_budget_mb,
+        )
         simulator.simulate(fault_list, patterns, block_size=config.block_size)
         tpi = FaultSimGuidedObservationTpi(
             core.circuit,

@@ -50,6 +50,7 @@ from ..simulation.numpy_backend import (
     numpy_kernel_for,
     plane_to_word,
     resolve_backend,
+    resolve_memory_budget_mb,
     scan_kernel_for,
     words_for,
 )
@@ -111,11 +112,18 @@ class FaultSimShardState:
     faults: tuple[StuckAtFault, ...]
     #: Execution backend the shard worker compiles ("python" or "numpy").
     sim_backend: str = PYTHON_BACKEND
+    #: Peak scan-memory budget every pooled worker obeys (numpy backend;
+    #: ``None`` = unbounded).  Carried in the shard state so a campaign's
+    #: budget survives pickling into worker processes.
+    sim_memory_budget_mb: Optional[float] = None
 
     def build_simulator(self) -> "FaultSimulator":
         """Compile a fresh :class:`FaultSimulator` for this shard state."""
         return FaultSimulator(
-            self.circuit, list(self.observe_nets), backend=self.sim_backend
+            self.circuit,
+            list(self.observe_nets),
+            backend=self.sim_backend,
+            memory_budget_mb=self.sim_memory_budget_mb,
         )
 
 
@@ -183,10 +191,18 @@ class _NumpyFaultScan:
                             value=value,
                         )
                     )
-            return FaultScanKernel(self.np_kernel, scan_faults)
+            return FaultScanKernel(
+                self.np_kernel,
+                scan_faults,
+                memory_budget_bytes=engine._memory_budget_bytes,
+            )
 
+        # The budget is part of the cache key: a cached scan compiled for
+        # one budget must not serve an engine configured with another.
         self.scan = scan_kernel_for(
-            self.np_kernel, (faults, tuple(engine.observe_nets)), build
+            self.np_kernel,
+            (faults, tuple(engine.observe_nets), engine._memory_budget_bytes),
+            build,
         )
 
     def table_for(self, num_words: int):
@@ -210,10 +226,18 @@ class FaultSimulator:
         circuit: Circuit,
         observe_nets: Optional[Sequence[str]] = None,
         backend: str = PYTHON_BACKEND,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         self.circuit = circuit
         self.backend = resolve_backend(backend)
-        self.simulator = PackedSimulator(circuit, backend=backend)
+        #: Peak scan-memory budget in MB (numpy backend; ``None`` =
+        #: unbounded).  Bounds the vectorised scan's slot arena plus
+        #: per-block workspaces -- see ``FaultScanKernel``.
+        self.memory_budget_mb = memory_budget_mb
+        self._memory_budget_bytes = resolve_memory_budget_mb(memory_budget_mb)
+        self.simulator = PackedSimulator(
+            circuit, backend=backend, memory_budget_mb=memory_budget_mb
+        )
         self.kernel = self.simulator.kernel
         self.observe_nets = (
             list(observe_nets) if observe_nets is not None else circuit.observation_nets()
@@ -578,6 +602,7 @@ class FaultSimulator:
             observe_nets=tuple(self.observe_nets),
             faults=tuple(faults),
             sim_backend=self.backend,
+            sim_memory_budget_mb=self.memory_budget_mb,
         )
 
     def first_detections(

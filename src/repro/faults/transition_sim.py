@@ -133,11 +133,17 @@ class TransitionSimShardState:
     faults: tuple[TransitionFault, ...]
     #: Execution backend the shard worker compiles ("python" or "numpy").
     sim_backend: str = PYTHON_BACKEND
+    #: Peak scan-memory budget every pooled worker obeys (numpy backend;
+    #: ``None`` = unbounded), mirroring ``FaultSimShardState``.
+    sim_memory_budget_mb: Optional[float] = None
 
     def build_simulator(self) -> "TransitionFaultSimulator":
         """Compile a fresh :class:`TransitionFaultSimulator` for this state."""
         return TransitionFaultSimulator(
-            self.circuit, list(self.observe_nets), backend=self.sim_backend
+            self.circuit,
+            list(self.observe_nets),
+            backend=self.sim_backend,
+            memory_budget_mb=self.sim_memory_budget_mb,
         )
 
 
@@ -217,9 +223,13 @@ class TransitionFaultSimulator:
         circuit: Circuit,
         observe_nets: Optional[Sequence[str]] = None,
         backend: str = PYTHON_BACKEND,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         self.circuit = circuit
-        self.stuck_engine = FaultSimulator(circuit, observe_nets, backend=backend)
+        self.stuck_engine = FaultSimulator(
+            circuit, observe_nets, backend=backend,
+            memory_budget_mb=memory_budget_mb,
+        )
         self.backend = self.stuck_engine.backend
         self.simulator = self.stuck_engine.simulator
         # Most-recently compiled numpy pair-scan state: (fault tuple, scan).
@@ -482,6 +492,7 @@ class TransitionFaultSimulator:
             observe_nets=tuple(self.stuck_engine.observe_nets),
             faults=tuple(faults),
             sim_backend=self.backend,
+            sim_memory_budget_mb=self.stuck_engine.memory_budget_mb,
         )
 
     def first_detections(

@@ -19,7 +19,7 @@ Two simulators are provided:
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit
 from ..netlist.gates import (
@@ -35,6 +35,7 @@ from .numpy_backend import (
     PYTHON_BACKEND,
     numpy_kernel_for,
     resolve_backend,
+    resolve_memory_budget_mb,
     table_to_words,
     width_cache,
     words_for,
@@ -58,9 +59,20 @@ class PackedSimulator:
     :mod:`repro.simulation.numpy_backend`); results are bit-identical.
     """
 
-    def __init__(self, circuit: Circuit, backend: str = PYTHON_BACKEND) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        backend: str = PYTHON_BACKEND,
+        memory_budget_mb: Optional[float] = None,
+    ) -> None:
         self.circuit = circuit
         self.backend = resolve_backend(backend)
+        #: Peak scan-memory budget in MB, validated here and carried for
+        #: the fault-scan engines built on top of this simulator (the
+        #: packed simulator's own per-width tables are already bounded by
+        #: the two-entry width LRU below).
+        self.memory_budget_mb = memory_budget_mb
+        resolve_memory_budget_mb(memory_budget_mb)
         #: The compiled integer-indexed kernel; fault simulators use it directly.
         self.kernel = shared_kernel(circuit)
         self._stimulus = set(circuit.stimulus_nets())

@@ -33,6 +33,18 @@ Two execution structures are compiled from one backend-neutral
   fault-simulation time actually goes: the per-fault scan, not the
   fault-free pass.
 
+The scan's slot table grows with the total cone size of the live fault set
+times the block width -- gigabytes on SoC-sized cores at wide blocks --
+unless bounded: given a ``memory_budget_bytes`` (plumbed from
+``LogicBistConfig.sim_memory_budget_mb``), :class:`FaultScanKernel` tiles
+the live fault set into groups whose union-cone slot demand fits the
+budget and executes each block tile by tile against **one recycled slot
+arena** sized to the largest tile (re-indexed at compile/prune time, never
+per block).  Per-width workspaces are kept in a two-entry LRU
+(:func:`width_cache`), so the total footprint is bounded by roughly twice
+the budget.  Tiling only changes *when* slot rows are computed, never what:
+results stay bit-identical to the unbounded scan at any budget.
+
 Both structures are **bit-identical** to the python backend by construction
 (same compiled schedule, same masking discipline) and by test
 (``tests/simulation/test_numpy_backend.py`` and the backend-parametrised
@@ -106,6 +118,23 @@ def resolve_backend(backend: str) -> str:
             'the default sim_backend="python"'
         )
     return backend
+
+
+def resolve_memory_budget_mb(memory_budget_mb: Optional[float]) -> Optional[int]:
+    """Validate a ``sim_memory_budget_mb`` value and convert it to bytes.
+
+    ``None`` (the default) means unbounded -- the scan compiles one tile
+    over the whole live fault set, the pre-budget behaviour.  The budget
+    only bounds the numpy backend's scan workspaces; the python backend's
+    footprint is one bigint table regardless.
+    """
+    if memory_budget_mb is None:
+        return None
+    if memory_budget_mb <= 0:
+        raise ValueError(
+            f"sim_memory_budget_mb must be positive, got {memory_budget_mb!r}"
+        )
+    return int(memory_budget_mb * 1024 * 1024)
 
 
 # --------------------------------------------------------------------------- #
@@ -385,7 +414,6 @@ def numpy_kernel_for(kernel: CompiledKernel) -> NumpyKernel:
 #: equivalent-stuck-at order to coexist.
 _SCAN_CACHE_ENTRIES = 4
 
-
 #: Block widths whose tables/workspaces are retained per cache.  A full
 #: table is ``O(num_rows x width)`` bytes, so holding every width a session
 #: ever touched (the pre-LRU behaviour) multiplies peak memory by the
@@ -481,7 +509,7 @@ class _SiteCompile:
     def __init__(self, kernel: CompiledKernel, plan: ConePlan) -> None:
         slot_of = {out: j for j, out in enumerate(plan.outs)}
         self.slot_of = slot_of
-        self.num_slots = len(plan.outs) + 1
+        self.num_slots = plan.num_slots
         self.site_local = len(plan.outs)
         site_id = plan.site_id
 
@@ -519,36 +547,94 @@ def _resolve_local(local_arr, base_rep):
     )
 
 
+class _ScanTile:
+    """One tile of the live fault set, compiled against the shared slot arena.
+
+    Every array is tile-local (``positions`` maps tile-local fault index ->
+    canonical position); slot rows are *absolute* table rows into the arena
+    region ``[num_nets, num_nets + arena_slots)``, assigned from the arena
+    base for every tile -- which is exactly what lets one arena-sized table
+    serve every tile in turn.
+    """
+
+    __slots__ = (
+        "positions",
+        "site_ids",
+        "resimable",
+        "plan_lens",
+        "const0_local",
+        "const1_local",
+        "gate_batches",
+        "empty_observed_local",
+        "cone_batches",
+        "site_slot_of",
+        "obs_rows",
+        "obs_globals",
+        "obs_fault_local",
+        "obs_len_of",
+        "slots",
+    )
+
+
 class FaultScanKernel:
     """Union-cone vectorised PPSFP scan over a fixed canonical fault order.
 
-    Compile once per (kernel, fault sequence, observation set); scan any
-    active subset per block via the position list of the canonical order.
-    Detection rows are bit-identical to the python backend's per-fault
-    detection masks: the same compiled cone plans are executed in the same
-    level order with the same masking discipline, and per-fault results
-    never depend on other faults.
+    Compile once per (kernel, fault sequence, observation set, memory
+    budget); scan any active subset per block via the position list of the
+    canonical order.  Detection rows are bit-identical to the python
+    backend's per-fault detection masks: the same compiled cone plans are
+    executed in the same level order with the same masking discipline, and
+    per-fault results never depend on other faults.
 
-    Execution strategy: the *live* faults' cone schedules are concatenated
-    into global per-(level, opcode) index arrays over a private slot-row
-    region appended after the good rows, and every block evaluates **all**
-    live cones (slot rows are private, so computing a cone nobody asks
-    about is harmless and cheaper than filtering 10^5-element index arrays
-    per block); per-fault detection masks are reduced with
-    ``np.bitwise_or.reduceat`` and only the active faults' results are
-    reported.  Fault dropping shrinks the live set: :meth:`maybe_prune`
-    recompiles the arrays for the survivors once enough faults have
-    dropped, which keeps late-campaign blocks proportional to the
-    surviving work.  All per-block temporaries live in per-width
-    workspaces (gathers via ``np.take(..., out=...)``, bulk ops in place),
-    so steady-state scanning allocates nothing.
+    **Execution strategy.**  The live fault set is partitioned into
+    **tiles** whose compiled scan state fits ``memory_budget_bytes``; each
+    tile's cone schedules are concatenated into per-(level, opcode) index
+    arrays over a **recycled slot arena** -- one slot-row region, sized to
+    the largest tile, appended after the good rows and re-used by every
+    tile in turn.  A block scan walks the tiles: compute the tile's faulty
+    site rows in a few grouped operations, select the faults whose site
+    value differs, re-simulate their cones together (one gather/op/scatter
+    per (level, opcode) over the union of the tile's cone gates, frontier
+    values read in place from the good rows), reduce per-fault detection
+    masks with ``np.bitwise_or.reduceat``, and merge the tile's detections
+    back into canonical fault order.  Per-fault slot runs are private and
+    every batch touches only the selected faults' rows, so stale arena
+    contents from the previous tile (or block) are never read -- re-using
+    the arena cannot change a result bit.
+
+    With no budget (the default) there is exactly **one tile** containing
+    the whole live set -- the pre-tiling behaviour: per-block temporaries
+    live in per-width workspaces (gathers via ``np.take(..., out=...)``,
+    bulk ops in place), so steady-state scanning allocates nothing, and
+    detection rows alias workspace buffers.  With multiple tiles the
+    arena and the per-fault scratch arrays are *tile*-sized -- peak memory
+    is the configured budget instead of a function of fault-set size --
+    and detection rows are small per-fault copies (they must survive the
+    later tiles of the same scan).
+
+    **Fault dropping and pruning.**  :meth:`maybe_prune` re-tiles over the
+    survivors once enough faults have dropped; the pristine per-fault
+    compilations (``_pieces`` and the phase-A site records) are the
+    compile-once source of truth every re-tiling assembles from, so prunes
+    never recompile cone lowerings and late-campaign blocks stay
+    proportional to the surviving work.  Tiling is re-done lazily at the
+    first ``table_for``/``workspace`` call for a width that needs it (the
+    budget is width-dependent: wider blocks mean fewer faults per tile).
     """
 
-    def __init__(self, nk: NumpyKernel, scan_faults: Sequence[ScanFault]) -> None:
+    def __init__(
+        self,
+        nk: NumpyKernel,
+        scan_faults: Sequence[ScanFault],
+        memory_budget_bytes: Optional[int] = None,
+    ) -> None:
         self.nk = nk
         kernel = nk.kernel
         count = len(scan_faults)
         self.num_faults = count
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        self.memory_budget_bytes = memory_budget_bytes
         self.site_ids = np.fromiter(
             (f.site_id for f in scan_faults), dtype=np.intp, count=count
         )
@@ -556,11 +642,14 @@ class FaultScanKernel:
             (len(f.plan.ops) for f in scan_faults), dtype=np.int64, count=count
         )
 
-        const0: list[int] = []
-        const1: list[int] = []
-        gate_groups: dict[tuple, list[int]] = {}
-        empty_observed: list[int] = []
         self.resimable = np.zeros(count, dtype=bool)
+        #: Per-fault phase-A site records: forced-constant value (-1 = gate
+        #: re-evaluation) and the owning gate's shape for input-branch
+        #: faults.  Together with ``_pieces`` these are the compile-once
+        #: pristine source every (re-)tiling assembles from.
+        self._const_val = np.full(count, -1, dtype=np.int8)
+        self._gate_spec: list = [None] * count
+        self._empty_observed = np.zeros(count, dtype=bool)
         #: Per-fault (site compile, observed locals, observed globals), or
         #: ``None`` for faults that never resimulate a cone.
         self._pieces: list = [None] * count
@@ -568,18 +657,21 @@ class FaultScanKernel:
         site_compiles = nk._site_compiles
         for index, fault in enumerate(scan_faults):
             if fault.const_value is None:
-                key = (fault.gate_type, len(fault.operand_ids), fault.pin, fault.value)
-                gate_groups.setdefault(key, []).append(index)
-            elif fault.const_value:
-                const1.append(index)
+                self._gate_spec[index] = (
+                    fault.gate_type,
+                    len(fault.operand_ids),
+                    fault.pin,
+                    fault.value,
+                    fault.operand_ids,
+                )
             else:
-                const0.append(index)
+                self._const_val[index] = 1 if fault.const_value else 0
             if not fault.observed_ids:
                 continue
             if not fault.plan.ops:
                 # The only observable net of an empty cone is the site itself,
                 # so the detection mask is exactly the site diff row.
-                empty_observed.append(index)
+                self._empty_observed[index] = True
                 continue
             site = fault.site_id
             compiled = site_compiles.get(site)
@@ -593,193 +685,61 @@ class FaultScanKernel:
                 list(fault.observed_ids),
             )
 
-        self._full_const0_idx = np.array(const0, dtype=np.intp)
-        self._full_const1_idx = np.array(const1, dtype=np.intp)
-        self.empty_observed_idx = np.array(empty_observed, dtype=np.intp)
-
-        #: Phase-A static gate groups: (gate type, arity, pin, value,
-        #: fault index array, per-pin operand net-ID column arrays).
-        self._full_gate_batches = []
-        for (gate_type, arity, pin, value), indices in gate_groups.items():
-            idx = np.array(indices, dtype=np.intp)
-            columns = [
-                np.array(
-                    [scan_faults[i].operand_ids[k] for i in indices],
-                    dtype=np.intp,
-                )
-                for k in range(arity)
-            ]
-            self._full_gate_batches.append(
-                (gate_type, arity, pin, value, idx, columns)
-            )
-
-        self._compile_full()
+        #: Per-width workspaces, LRU-bounded to the two most-recent widths
+        #: (a campaign's full-block width plus its partial tail): the
+        #: pre-bound cache held a full table per width *forever*, so a flow
+        #: touching widths {64, 256, 4096} tripled peak memory.  Cleared on
+        #: every re-tiling (buffer shapes follow the tile maxima).
+        self._workspaces = width_cache()
+        #: High-water mark of total live workspace bytes (tables included)
+        #: across the kernel's lifetime -- what benches/tests assert the
+        #: budget against.
+        self.peak_workspace_nbytes = 0
+        #: True when a single fault's compiled state alone exceeded the
+        #: budget, which clamps that tile over budget rather than failing.
+        self.budget_clamped = False
+        self._tiles: Optional[list[_ScanTile]] = None
+        self._tile_width = 0
+        self.total_slots = 0
+        self._max_batch = 1
+        self._max_obs = 0
+        self._max_tile_faults = 0
         self._restore_full()
 
     # ------------------------------------------------------------------ #
-    # Compilation: full arrays once, live subsets by boolean compression
+    # Live-set management (tiles follow lazily)
     # ------------------------------------------------------------------ #
-    def _compile_full(self) -> None:
-        """Assemble the union-cone arrays over the whole canonical order.
-
-        Runs exactly once per scan kernel.  Slot rows are assigned here and
-        never renumbered: shrinking to a live subset (fault dropping) merely
-        compresses these pristine index arrays with a boolean mask, so
-        workspaces and tables stay valid across prunes and untouched slot
-        rows cost nothing but address space.
-        """
-        num_nets = self.nk.num_nets
-        cursor = num_nets
-        key_out: dict[tuple, list[int]] = {}
-        key_opnds: dict[tuple, list[list[int]]] = {}
-        key_parts: dict[tuple, tuple[list[int], list[int], list[int]]] = {}
-        obs_locals: list[int] = []
-        obs_globals: list[int] = []
-        obs_parts: tuple[list[int], list[int], list[int]] = ([], [], [])
-        #: Canonical fault index -> its site slot row (-1 when not resimable).
-        self.site_slot_of = np.full(self.num_faults, -1, dtype=np.intp)
-        #: Canonical fault index -> number of observed nets of its cone plan.
-        self.obs_len_of = np.zeros(self.num_faults, dtype=np.intp)
-        for position, piece in enumerate(self._pieces):
-            if piece is None:
-                continue
-            compiled, piece_obs_locals, piece_obs_globals = piece
-            base = cursor
-            cursor += compiled.num_slots
-            self.site_slot_of[position] = base + compiled.site_local
-            for key, (outs, opnds) in compiled.keyed.items():
-                out_list = key_out.get(key)
-                if out_list is None:
-                    key_out[key] = list(outs)
-                    key_opnds[key] = [list(column) for column in opnds]
-                    key_parts[key] = ([base], [len(outs)], [position])
-                else:
-                    out_list.extend(outs)
-                    opnd_lists = key_opnds[key]
-                    for pin, column in enumerate(opnds):
-                        opnd_lists[pin].extend(column)
-                    bases, counts, parts_positions = key_parts[key]
-                    bases.append(base)
-                    counts.append(len(outs))
-                    parts_positions.append(position)
-            obs_locals.extend(piece_obs_locals)
-            obs_globals.extend(piece_obs_globals)
-            obs_parts[0].append(base)
-            obs_parts[1].append(len(piece_obs_locals))
-            obs_parts[2].append(position)
-            self.obs_len_of[position] = len(piece_obs_locals)
-
-        self.total_slots = cursor - num_nets
-
-        #: Pristine full-universe batches, ascending level order:
-        #: (opcode, arity, per-instance fault indices, out rows, operand rows).
-        self._full_cone_batches = []
-        max_batch = 1
-        for key in sorted(key_out):
-            _, op, arity = key
-            bases, counts, parts_positions = key_parts[key]
-            counts_arr = np.array(counts, dtype=np.int64)
-            base_rep = np.repeat(np.array(bases, dtype=np.int64), counts_arr)
-            fault_ids = np.repeat(
-                np.array(parts_positions, dtype=np.intp), counts_arr
-            )
-            out_rows = (
-                np.array(key_out[key], dtype=np.int64) + base_rep
-            ).astype(np.intp)
-            opnd_rows = [
-                _resolve_local(np.array(column, dtype=np.int64), base_rep)
-                for column in key_opnds[key]
-            ]
-            max_batch = max(max_batch, len(out_rows))
-            self._full_cone_batches.append(
-                (op, arity, fault_ids, out_rows, opnd_rows)
-            )
-
-        obs_counts = np.array(obs_parts[1], dtype=np.int64)
-        obs_base_rep = np.repeat(np.array(obs_parts[0], dtype=np.int64), obs_counts)
-        self._full_obs_rows = _resolve_local(
-            np.array(obs_locals, dtype=np.int64), obs_base_rep
-        )
-        self._full_obs_globals = np.array(obs_globals, dtype=np.intp)
-        self._full_obs_fault_ids = np.repeat(
-            np.array(obs_parts[2], dtype=np.intp), obs_counts
-        )
-        self._max_batch = max_batch
-        #: Per-width workspaces, bounded to the two most-recent widths
-        #: (:func:`width_cache`); slot rows are never renumbered, so an
-        #: evicted width only costs a reallocation when it comes back.
-        self._workspaces = width_cache()
+    def _invalidate_tiles(self) -> None:
+        self._tiles = None
+        self._workspaces.clear()
 
     def _restore_full(self) -> None:
-        """Make the whole canonical order live (pristine array references)."""
+        """Make the whole canonical order live (re-tiled on next use)."""
+        self._live_positions = np.arange(self.num_faults, dtype=np.intp)
         self._live_mask = np.ones(self.num_faults, dtype=bool)
         self._live_count = self.num_faults
-        self.cone_batches = list(self._full_cone_batches)
-        self.obs_rows = self._full_obs_rows
-        self.obs_globals = self._full_obs_globals
-        self.obs_fault_ids = self._full_obs_fault_ids
-        self.gate_batches = list(self._full_gate_batches)
-        self.const0_idx = self._full_const0_idx
-        self.const1_idx = self._full_const1_idx
+        self._invalidate_tiles()
 
     def _select_live(self, positions) -> None:
-        """Compress the pristine arrays down to a live fault subset.
-
-        Covers the cone/observation arrays *and* the phase-A faulty-site
-        groups, so late-campaign blocks pay for surviving faults only.
-        Dropped faults' ``faulty``/``diff`` workspace rows go stale, which
-        is safe: every consumer masks by the active set first.
-        """
+        """Shrink the live set to ``positions`` (re-tiled on next use)."""
+        live = np.unique(np.asarray(positions, dtype=np.intp))
+        self._live_positions = live
         live_mask = np.zeros(self.num_faults, dtype=bool)
-        live_mask[positions] = True
+        live_mask[live] = True
         self._live_mask = live_mask
-        self._live_count = int(live_mask.sum())
-        self.cone_batches = []
-        for op, arity, fault_ids, out_rows, opnd_rows in self._full_cone_batches:
-            keep = live_mask[fault_ids]
-            if not keep.any():
-                continue
-            self.cone_batches.append(
-                (
-                    op,
-                    arity,
-                    fault_ids[keep],
-                    out_rows[keep],
-                    [rows[keep] for rows in opnd_rows],
-                )
-            )
-        keep = live_mask[self._full_obs_fault_ids]
-        self.obs_rows = self._full_obs_rows[keep]
-        self.obs_globals = self._full_obs_globals[keep]
-        self.obs_fault_ids = self._full_obs_fault_ids[keep]
-        self.gate_batches = []
-        for gate_type, arity, pin, value, idx, columns in self._full_gate_batches:
-            keep = live_mask[idx]
-            if not keep.any():
-                continue
-            self.gate_batches.append(
-                (
-                    gate_type,
-                    arity,
-                    pin,
-                    value,
-                    idx[keep],
-                    [column[keep] for column in columns],
-                )
-            )
-        self.const0_idx = self._full_const0_idx[live_mask[self._full_const0_idx]]
-        self.const1_idx = self._full_const1_idx[live_mask[self._full_const1_idx]]
+        self._live_count = len(live)
+        self._invalidate_tiles()
 
     def ensure_live(self, positions) -> None:
-        """Restore the full arrays if ``positions`` outgrew the pruned live
-        set (a cached scan being reused for a fresh campaign)."""
+        """Restore the full live set if ``positions`` outgrew the pruned one
+        (a cached scan being reused for a fresh campaign)."""
         if len(positions) and not self._live_mask[np.asarray(positions)].all():
             self._restore_full()
 
     def maybe_prune(self, positions) -> None:
-        """Shrink the compiled arrays once enough faults have dropped.
+        """Shrink the compiled tiles once enough faults have dropped.
 
-        Compressing costs about as much as scanning one block, so halving is
+        Re-tiling costs about as much as scanning one block, so halving is
         the trigger: late-campaign blocks then stay proportional to the
         surviving faults instead of the original fault universe.
         """
@@ -787,48 +747,355 @@ class FaultScanKernel:
             self._select_live(positions)
 
     # ------------------------------------------------------------------ #
+    # Tiling: partition the live set against the memory budget
+    # ------------------------------------------------------------------ #
+    def _ensure_tiles(self, num_words: int) -> None:
+        """(Re-)tile for ``num_words`` if the current tiling cannot serve it.
+
+        A tiling built for width *W* is valid for every width <= *W* (the
+        budget charge scales with the width, so narrower blocks only sit
+        further under budget); an unbudgeted tiling (one tile) is valid for
+        every width.
+        """
+        if self._tiles is not None and (
+            self.memory_budget_bytes is None or num_words <= self._tile_width
+        ):
+            return
+        self._build_tiles(num_words)
+
+    def _workspace_rows(self, slots: int, n: int, obs: int, batch: int) -> int:
+        """Total workspace rows for given tile maxima (the budget charge):
+        the good+arena table, four n-row per-fault arrays (faulty /
+        site_good / diff / det), two observation gathers and two batch
+        scratch buffers."""
+        return (self.nk.num_nets + slots) + 4 * n + 2 * obs + 2 * batch
+
+    def _build_tiles(self, num_words: int) -> None:
+        """Partition the live positions into tiles fitting the byte budget.
+
+        Greedy one-pass split in canonical order with exact incremental
+        accounting: a fault joins the current tile unless the workspace the
+        *final* maxima would require (running per-tile stats joined with the
+        maxima of the tiles already closed) exceeds the budget, in which
+        case the tile is closed and a new one starts.  Unbudgeted scans
+        take the degenerate path: one tile, identical to pre-tiling
+        compilation.
+        """
+        budget = self.memory_budget_bytes
+        bytes_row = num_words * 8
+        num_nets = self.nk.num_nets
+        pieces = self._pieces
+
+        tiles: list[_ScanTile] = []
+        gmax_slots = 0
+        gmax_n = 0
+        gmax_obs = 0
+        gmax_batch = 1
+        clamped = False
+
+        # Current-tile accumulators (python lists: assembly is list.extend
+        # plus one np.array per batch key, same as the original compile).
+        acc: dict = {}
+
+        def reset_acc() -> None:
+            acc.update(
+                positions=[],
+                key_out={},
+                key_opnds={},
+                key_parts={},
+                obs_locals=[],
+                obs_globals=[],
+                obs_bases=[],
+                obs_counts=[],
+                obs_ids=[],
+                obs_len=[],
+                gate_groups={},
+                const0=[],
+                const1=[],
+                empty_observed=[],
+                site_slot=[],
+                key_counts={},
+                max_batch=0,
+                obs_total=0,
+                cursor=0,
+            )
+
+        def finalize_tile() -> None:
+            nonlocal gmax_slots, gmax_n, gmax_obs, gmax_batch
+            tile = _ScanTile()
+            positions = np.array(acc["positions"], dtype=np.intp)
+            tile.positions = positions
+            tile.site_ids = self.site_ids[positions]
+            tile.resimable = self.resimable[positions]
+            tile.plan_lens = self.plan_lens[positions]
+            tile.const0_local = np.array(acc["const0"], dtype=np.intp)
+            tile.const1_local = np.array(acc["const1"], dtype=np.intp)
+            tile.empty_observed_local = np.array(
+                acc["empty_observed"], dtype=np.intp
+            )
+            tile.site_slot_of = np.array(acc["site_slot"], dtype=np.intp)
+            tile.obs_len_of = np.array(acc["obs_len"], dtype=np.intp)
+            tile.slots = acc["cursor"]
+            tile.gate_batches = []
+            for (gate_type, arity, pin, value), entry in acc[
+                "gate_groups"
+            ].items():
+                idx = np.array(entry[0], dtype=np.intp)
+                columns = [
+                    np.array(column, dtype=np.intp) for column in entry[1]
+                ]
+                tile.gate_batches.append(
+                    (gate_type, arity, pin, value, idx, columns)
+                )
+            tile.cone_batches = []
+            key_out = acc["key_out"]
+            key_opnds = acc["key_opnds"]
+            key_parts = acc["key_parts"]
+            for key in sorted(key_out):
+                _, op, arity = key
+                bases, counts, part_locals = key_parts[key]
+                counts_arr = np.array(counts, dtype=np.int64)
+                base_rep = np.repeat(np.array(bases, dtype=np.int64), counts_arr)
+                fault_ids = np.repeat(
+                    np.array(part_locals, dtype=np.intp), counts_arr
+                )
+                out_rows = (
+                    np.array(key_out[key], dtype=np.int64) + base_rep
+                ).astype(np.intp)
+                opnd_rows = [
+                    _resolve_local(np.array(column, dtype=np.int64), base_rep)
+                    for column in key_opnds[key]
+                ]
+                tile.cone_batches.append(
+                    (op, arity, fault_ids, out_rows, opnd_rows)
+                )
+            obs_counts = np.array(acc["obs_counts"], dtype=np.int64)
+            obs_base_rep = np.repeat(
+                np.array(acc["obs_bases"], dtype=np.int64), obs_counts
+            )
+            tile.obs_rows = _resolve_local(
+                np.array(acc["obs_locals"], dtype=np.int64), obs_base_rep
+            )
+            tile.obs_globals = np.array(acc["obs_globals"], dtype=np.intp)
+            tile.obs_fault_local = np.repeat(
+                np.array(acc["obs_ids"], dtype=np.intp), obs_counts
+            )
+            tiles.append(tile)
+            gmax_slots = max(gmax_slots, tile.slots)
+            gmax_n = max(gmax_n, len(positions))
+            gmax_obs = max(gmax_obs, acc["obs_total"])
+            gmax_batch = max(gmax_batch, acc["max_batch"])
+
+        reset_acc()
+        for position in self._live_positions:
+            position = int(position)
+            piece = pieces[position]
+            if piece is not None:
+                compiled = piece[0]
+                d_slots = compiled.num_slots
+                d_obs = len(piece[1])
+                prospective_batch = acc["max_batch"]
+                key_counts = acc["key_counts"]
+                for key, instances in compiled.key_counts.items():
+                    joined = key_counts.get(key, 0) + instances
+                    if joined > prospective_batch:
+                        prospective_batch = joined
+            else:
+                d_slots = 0
+                d_obs = 0
+                prospective_batch = acc["max_batch"]
+            if budget is not None and acc["positions"]:
+                candidate_rows = self._workspace_rows(
+                    max(gmax_slots, acc["cursor"] + d_slots),
+                    max(gmax_n, len(acc["positions"]) + 1),
+                    max(gmax_obs, acc["obs_total"] + d_obs),
+                    max(gmax_batch, prospective_batch, 1),
+                )
+                if candidate_rows * bytes_row > budget:
+                    finalize_tile()
+                    reset_acc()
+                    if piece is not None:
+                        prospective_batch = max(compiled.key_counts.values())
+            local = len(acc["positions"])
+            acc["positions"].append(position)
+            cv = self._const_val[position]
+            if cv == 0:
+                acc["const0"].append(local)
+            elif cv == 1:
+                acc["const1"].append(local)
+            else:
+                gate_type, arity, pin, value, operand_ids = self._gate_spec[
+                    position
+                ]
+                entry = acc["gate_groups"].get((gate_type, arity, pin, value))
+                if entry is None:
+                    entry = ([], [[] for _ in range(arity)])
+                    acc["gate_groups"][(gate_type, arity, pin, value)] = entry
+                entry[0].append(local)
+                for k, nid in enumerate(operand_ids):
+                    entry[1][k].append(nid)
+            if self._empty_observed[position]:
+                acc["empty_observed"].append(local)
+            if piece is None:
+                acc["site_slot"].append(-1)
+                acc["obs_len"].append(0)
+                continue
+            compiled, piece_obs_locals, piece_obs_globals = piece
+            base = num_nets + acc["cursor"]
+            acc["cursor"] += compiled.num_slots
+            acc["site_slot"].append(base + compiled.site_local)
+            key_out = acc["key_out"]
+            key_opnds = acc["key_opnds"]
+            key_parts = acc["key_parts"]
+            for key, (outs, opnds) in compiled.keyed.items():
+                out_list = key_out.get(key)
+                if out_list is None:
+                    key_out[key] = list(outs)
+                    key_opnds[key] = [list(column) for column in opnds]
+                    key_parts[key] = ([base], [len(outs)], [local])
+                else:
+                    out_list.extend(outs)
+                    opnd_lists = key_opnds[key]
+                    for pin, column in enumerate(opnds):
+                        opnd_lists[pin].extend(column)
+                    bases, counts, part_locals = key_parts[key]
+                    bases.append(base)
+                    counts.append(len(outs))
+                    part_locals.append(local)
+            key_counts = acc["key_counts"]
+            for key, instances in compiled.key_counts.items():
+                key_counts[key] = key_counts.get(key, 0) + instances
+            acc["max_batch"] = max(acc["max_batch"], prospective_batch)
+            acc["obs_locals"].extend(piece_obs_locals)
+            acc["obs_globals"].extend(piece_obs_globals)
+            acc["obs_bases"].append(base)
+            acc["obs_counts"].append(len(piece_obs_locals))
+            acc["obs_ids"].append(local)
+            acc["obs_len"].append(len(piece_obs_locals))
+            acc["obs_total"] += len(piece_obs_locals)
+        if acc["positions"]:
+            finalize_tile()
+
+        if budget is not None and tiles:
+            final_rows = self._workspace_rows(
+                gmax_slots, gmax_n, gmax_obs, gmax_batch
+            )
+            clamped = final_rows * bytes_row > budget
+
+        self._tiles = tiles
+        self._tile_width = num_words
+        self.total_slots = gmax_slots
+        self._max_batch = max(gmax_batch, 1)
+        self._max_obs = gmax_obs
+        self._max_tile_faults = gmax_n
+        self.budget_clamped = clamped
+        self._workspaces.clear()
+
+    @property
+    def num_tiles(self) -> int:
+        """Tiles of the current tiling (0 before first use / after prune)."""
+        return len(self._tiles) if self._tiles is not None else 0
+
+    # ------------------------------------------------------------------ #
     # Per-width workspaces
     # ------------------------------------------------------------------ #
     def workspace(self, num_words: int) -> dict:
         """Preallocated tables and scratch buffers for one block width."""
-        return self._workspaces.get_or_build(
+        self._ensure_tiles(num_words)
+        ws = self._workspaces.get_or_build(
             num_words, lambda: self._make_workspace(num_words)
         )
+        return ws
 
     def _make_workspace(self, num_words: int) -> dict:
-        return {
+        n = self._max_tile_faults
+        ws = {
             "table": self.nk.make_table(num_words, extra_rows=self.total_slots),
-            "faulty": np.empty((self.num_faults, num_words), dtype=np.uint64),
-            "site_good": np.empty((self.num_faults, num_words), dtype=np.uint64),
-            "diff": np.empty((self.num_faults, num_words), dtype=np.uint64),
+            "faulty": np.empty((n, num_words), dtype=np.uint64),
+            "site_good": np.empty((n, num_words), dtype=np.uint64),
+            "diff": np.empty((n, num_words), dtype=np.uint64),
             "buf_a": np.empty((self._max_batch, num_words), dtype=np.uint64),
             "buf_b": np.empty((self._max_batch, num_words), dtype=np.uint64),
-            "obs_a": np.empty(
-                (len(self._full_obs_rows), num_words), dtype=np.uint64
-            ),
-            "obs_b": np.empty(
-                (len(self._full_obs_rows), num_words), dtype=np.uint64
-            ),
-            "det": np.empty(
-                (int(self.resimable.sum()), num_words), dtype=np.uint64
-            ),
+            "obs_a": np.empty((self._max_obs, num_words), dtype=np.uint64),
+            "obs_b": np.empty((self._max_obs, num_words), dtype=np.uint64),
+            "det": np.empty((n, num_words), dtype=np.uint64),
         }
+        live_bytes = sum(
+            arr.nbytes
+            for cached in self._workspaces._entries.values()
+            for arr in cached.values()
+        ) + sum(arr.nbytes for arr in ws.values())
+        if live_bytes > self.peak_workspace_nbytes:
+            self.peak_workspace_nbytes = live_bytes
+        return ws
+
+    def workspace_nbytes(self, num_words: int) -> int:
+        """Measured bytes of one width's workspace, slot table included.
+
+        This is exactly what the memory budget bounds (when not
+        :attr:`budget_clamped`): ``workspace_nbytes(w) <=
+        memory_budget_bytes`` for every width the tiling was built for.
+        """
+        return sum(arr.nbytes for arr in self.workspace(num_words).values())
 
     def table_for(self, num_words: int):
-        """The good-rows + slot-rows bit-plane table for one block width."""
+        """The good-rows + arena-rows bit-plane table for one block width."""
         return self.workspace(num_words)["table"]
 
     # ------------------------------------------------------------------ #
     # Block scan
     # ------------------------------------------------------------------ #
-    def _faulty_site_planes(self, table, mask_plane, num_words: int, out):
-        """Faulty site rows for every canonical fault, grouped, into ``out``."""
-        if len(self.const0_idx):
-            out[self.const0_idx] = 0
-        if len(self.const1_idx):
-            out[self.const1_idx] = mask_plane
+    def scan_positions(self, table, mask_plane, num_words: int, positions):
+        """One PPSFP pass over the active faults given as canonical positions.
+
+        ``table`` must be this kernel's own :meth:`table_for` table with the
+        fault-free rows already evaluated.  Returns ``(detections,
+        resim_gate_evals)`` where ``detections`` maps canonical fault index
+        -> detection bit-plane row (only non-zero detections appear).  With
+        a single tile (no budget) the returned rows alias workspace
+        buffers: consume them before the next scan call.  With multiple
+        tiles the rows are per-fault copies (the arena is recycled across
+        tiles within this very call).
+        """
+        ws = self.workspace(num_words)
+        active_mask = np.zeros(self.num_faults, dtype=bool)
+        active_mask[positions] = True
+        detections: dict[int, object] = {}
+        gate_evals = 0
+        tiles = self._tiles
+        copy_rows = len(tiles) > 1
+        for tile in tiles:
+            tile_active = active_mask[tile.positions]
+            if not tile_active.any():
+                continue
+            gate_evals += self._scan_tile(
+                tile, table, mask_plane, num_words, ws, tile_active,
+                detections, copy_rows,
+            )
+        return detections, gate_evals
+
+    def _scan_tile(
+        self,
+        tile: _ScanTile,
+        table,
+        mask_plane,
+        num_words: int,
+        ws: dict,
+        tile_active,
+        detections: dict,
+        copy_rows: bool,
+    ) -> int:
+        """Scan one tile against the shared arena; detections are merged
+        into ``detections`` keyed by canonical position.  Returns the
+        tile's resimulation gate-evaluation count."""
+        n = len(tile.positions)
+        faulty = ws["faulty"][:n]
+        if len(tile.const0_local):
+            faulty[tile.const0_local] = 0
+        if len(tile.const1_local):
+            faulty[tile.const1_local] = mask_plane
         zero_plane = None
-        for gate_type, arity, pin, value, idx, columns in self.gate_batches:
+        for gate_type, arity, pin, value, idx, columns in tile.gate_batches:
             if value:
                 forced = np.broadcast_to(mask_plane, (len(idx), num_words))
             else:
@@ -838,73 +1105,60 @@ class FaultScanKernel:
             planes = [
                 forced if k == pin else table[columns[k]] for k in range(arity)
             ]
-            out[idx] = evaluate_gate_planes(gate_type, planes, mask_plane)
-        return out
-
-    def _execute_cone_batches(self, table, mask_plane, ws, resim_mask) -> None:
-        """The resimulating faults' cones, one buffered gather/op/scatter per
-        (level, opcode) over the union of their cone gates."""
-        for op, _arity, fault_ids, all_out_rows, all_opnd_rows in self.cone_batches:
-            selector = resim_mask[fault_ids]
-            out_rows = all_out_rows[selector]
-            if not len(out_rows):
-                continue
-            opnd_rows = [rows[selector] for rows in all_opnd_rows]
-            _execute_batch_buffered(table, op, out_rows, opnd_rows, mask_plane, ws)
-
-    def scan_positions(self, table, mask_plane, num_words: int, positions):
-        """One PPSFP pass over the active faults given as canonical positions.
-
-        ``table`` must be this kernel's own :meth:`table_for` table with the
-        fault-free rows already evaluated.  Returns ``(detections,
-        resim_gate_evals)`` where ``detections`` maps canonical fault index
-        -> detection bit-plane row (only non-zero detections appear).  The
-        returned rows alias workspace buffers: consume them before the next
-        scan call.
-        """
-        ws = self.workspace(num_words)
-        active_mask = np.zeros(self.num_faults, dtype=bool)
-        active_mask[positions] = True
-
-        faulty = self._faulty_site_planes(
-            table, mask_plane, num_words, ws["faulty"]
-        )
+            faulty[idx] = evaluate_gate_planes(gate_type, planes, mask_plane)
         site_good = np.take(
-            table, self.site_ids, axis=0, out=ws["site_good"], mode="clip"
+            table, tile.site_ids, axis=0, out=ws["site_good"][:n], mode="clip"
         )
-        diff = np.bitwise_xor(faulty, site_good, out=ws["diff"])
+        diff = np.bitwise_xor(faulty, site_good, out=ws["diff"][:n])
         candidates = diff.any(axis=1)
-        candidates &= active_mask
+        candidates &= tile_active
 
-        detections: dict[int, object] = {}
-        if len(self.empty_observed_idx):
-            hit = self.empty_observed_idx[candidates[self.empty_observed_idx]]
-            for index in hit:
-                detections[int(index)] = diff[index]
+        if len(tile.empty_observed_local):
+            hit = tile.empty_observed_local[
+                candidates[tile.empty_observed_local]
+            ]
+            for local in hit:
+                row = diff[local]
+                detections[int(tile.positions[local])] = (
+                    row.copy() if copy_rows else row
+                )
 
-        resim_mask = candidates & self.resimable
-        gate_evals = int(self.plan_lens[resim_mask].sum())
-        resim_positions = np.nonzero(resim_mask)[0]
-        if len(resim_positions):
-            table[self.site_slot_of[resim_positions]] = faulty[resim_positions]
-            self._execute_cone_batches(table, mask_plane, ws, resim_mask)
-            obs_selector = resim_mask[self.obs_fault_ids]
-            obs_rows = self.obs_rows[obs_selector]
-            obs_globals = self.obs_globals[obs_selector]
+        resim_mask = candidates & tile.resimable
+        gate_evals = int(tile.plan_lens[resim_mask].sum())
+        resim_local = np.nonzero(resim_mask)[0]
+        if len(resim_local):
+            table[tile.site_slot_of[resim_local]] = faulty[resim_local]
+            for op, _arity, fault_ids, all_out_rows, all_opnd_rows in (
+                tile.cone_batches
+            ):
+                selector = resim_mask[fault_ids]
+                out_rows = all_out_rows[selector]
+                if not len(out_rows):
+                    continue
+                opnd_rows = [rows[selector] for rows in all_opnd_rows]
+                _execute_batch_buffered(
+                    table, op, out_rows, opnd_rows, mask_plane, ws
+                )
+            obs_selector = resim_mask[tile.obs_fault_local]
+            obs_rows = tile.obs_rows[obs_selector]
+            obs_globals = tile.obs_globals[obs_selector]
             count = len(obs_rows)
             obs_a = ws["obs_a"][:count]
             obs_b = ws["obs_b"][:count]
             np.take(table, obs_rows, axis=0, out=obs_a, mode="clip")
             np.take(table, obs_globals, axis=0, out=obs_b, mode="clip")
             np.bitwise_xor(obs_a, obs_b, out=obs_a)
-            seg_lens = self.obs_len_of[resim_positions]
-            seg_starts = np.zeros(len(resim_positions), dtype=np.intp)
+            seg_lens = tile.obs_len_of[resim_local]
+            seg_starts = np.zeros(len(resim_local), dtype=np.intp)
             if len(seg_lens) > 1:
                 np.cumsum(seg_lens[:-1], out=seg_starts[1:])
             det = np.bitwise_or.reduceat(
-                obs_a, seg_starts, axis=0, out=ws["det"][: len(resim_positions)]
+                obs_a, seg_starts, axis=0, out=ws["det"][: len(resim_local)]
             )
             reported = det.any(axis=1)
             for j in np.nonzero(reported)[0]:
-                detections[int(resim_positions[j])] = det[j]
-        return detections, gate_evals
+                row = det[j]
+                detections[int(tile.positions[resim_local[j]])] = (
+                    row.copy() if copy_rows else row
+                )
+        return gate_evals

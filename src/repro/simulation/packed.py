@@ -56,6 +56,13 @@ class PatternBlock:
         """Mask of valid pattern bits."""
         return mask_for(self.num_patterns)
 
+    @property
+    def num_words(self) -> int:
+        """uint64 words per bit-plane row the numpy backend needs for this
+        block (:func:`repro.simulation.numpy_backend.words_for`); the key of
+        the per-width table/workspace caches and of memory-budget tiling."""
+        return max(1, (self.num_patterns + 63) // 64)
+
     def value_of(self, net: str, pattern_index: int) -> int:
         """Scalar value of ``net`` in pattern ``pattern_index``."""
         if not 0 <= pattern_index < self.num_patterns:

@@ -200,6 +200,73 @@ class TestNumpyBackendCampaign:
         )
         assert_fault_lists_identical(ref_list, fault_list)
 
+    @pytest.mark.parametrize("fault_shards", (1, 2, 4))
+    def test_sharded_budget_matches_serial_python(self, fault_shards):
+        """A scan-memory budget in the shard states is byte-invisible at
+        every shard geometry: each worker tiles its own fault subset to fit,
+        and the min-merge still reproduces the serial python oracle."""
+        circuit = make_core(11)
+        patterns = random_patterns(circuit, 221, 5)
+        ref_list, ref_result, blocks = serial_reference(circuit, patterns, 64)
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        result = run_sharded_fault_sim(
+            circuit,
+            fault_list,
+            blocks,
+            fault_shards=fault_shards,
+            pattern_shards=2,
+            sim_backend="numpy",
+            sim_memory_budget_mb=0.05,
+        )
+        assert result.coverage_curve == ref_result.coverage_curve
+        assert result.detections_per_pattern == ref_result.detections_per_pattern
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    def test_sharded_transition_budget_matches_python(self):
+        circuit = make_core(19)
+        launch = random_patterns(circuit, 96, 23)
+        capture = derive_capture_patterns(circuit, launch)
+        ref_list = FaultList.transition(circuit)
+        TransitionFaultSimulator(circuit).simulate_pairs(
+            ref_list, launch, capture, block_size=64
+        )
+        fault_list = FaultList.transition(circuit)
+        run_sharded_transition_sim(
+            circuit,
+            fault_list,
+            launch,
+            capture,
+            block_size=64,
+            fault_shards=3,
+            sim_backend="numpy",
+            sim_memory_budget_mb=0.05,
+        )
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    def test_campaign_runner_report_bytes_budget_invariant(self):
+        """Full multi-scenario campaign through the stage-graph pipeline:
+        the canonical report bytes cannot depend on the memory budget (the
+        shard bundles carry it, the tiled scans honor it)."""
+        import dataclasses
+
+        circuit = make_core(23)
+        config = LogicBistConfig(
+            total_scan_chains=4,
+            tpi_method="none",
+            observation_point_budget=0,
+            random_patterns=96,
+            signature_patterns=8,
+            sim_backend="numpy",
+        )
+        budgeted = dataclasses.replace(config, sim_memory_budget_mb=0.05)
+        plain_run = CampaignRunner(num_workers=1, fault_shards=4).run(
+            [CampaignScenario("core", circuit, config)]
+        )
+        budget_run = CampaignRunner(num_workers=1, fault_shards=4).run(
+            [CampaignScenario("core", circuit, budgeted)]
+        )
+        assert plain_run.report_bytes() == budget_run.report_bytes()
+
     def test_campaign_runner_report_bytes_backend_invariant(self):
         """Full multi-scenario campaign: canonical bytes match across
         backends (coverage curves, first detections, MISR signatures)."""
@@ -258,6 +325,29 @@ class TestMultiprocessPool:
             fault_shards=4,
             pattern_shards=2,
             sim_backend="numpy",
+        )
+        assert result.coverage_curve == ref_result.coverage_curve
+        assert result.detections_per_pattern == ref_result.detections_per_pattern
+        assert_fault_lists_identical(ref_list, fault_list)
+
+    @pytest.mark.numpy
+    @pytest.mark.parametrize("num_workers", (2, 4))
+    def test_numpy_pool_with_budget_matches_serial_python(self, num_workers):
+        """The budget survives pickling into real worker processes: pooled
+        budgeted workers vs the serial python oracle, at two pool widths."""
+        circuit = make_core(31)
+        patterns = random_patterns(circuit, 130, 3)
+        ref_list, ref_result, blocks = serial_reference(circuit, patterns, 64)
+        fault_list = collapse_stuck_at(circuit).to_fault_list()
+        result = run_sharded_fault_sim(
+            circuit,
+            fault_list,
+            blocks,
+            num_workers=num_workers,
+            fault_shards=4,
+            pattern_shards=2,
+            sim_backend="numpy",
+            sim_memory_budget_mb=0.05,
         )
         assert result.coverage_curve == ref_result.coverage_curve
         assert result.detections_per_pattern == ref_result.detections_per_pattern

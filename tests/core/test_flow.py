@@ -179,6 +179,26 @@ class TestConfigurationVariants:
         with pytest.raises(ValueError):
             LogicBistFlow(small_config(tpi_method="magic")).run(circuit)
 
+    def test_memory_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="sim_memory_budget_mb"):
+            small_config(sim_memory_budget_mb=0)
+        with pytest.raises(ValueError, match="sim_memory_budget_mb"):
+            small_config(sim_memory_budget_mb=-16)
+
+    def test_memory_budget_warns_on_python_backend(self):
+        """The budget only bounds the numpy scan; asking the bigint
+        interpreter to honor it is a config smell, not an error."""
+        with pytest.warns(UserWarning, match="numpy fault scan"):
+            small_config(sim_backend="python", sim_memory_budget_mb=64)
+
+    def test_memory_budget_accepted_quietly_with_numpy(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = small_config(sim_backend="numpy", sim_memory_budget_mb=64)
+        assert config.sim_memory_budget_mb == 64
+
     def test_space_compactor_variant(self):
         circuit = comparator_core(width=8, easy_outputs=2)
         result = LogicBistFlow(

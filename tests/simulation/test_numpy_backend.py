@@ -305,6 +305,151 @@ class TestWidthLruWorkspaces:
         assert vec._np_tables.stats.evictions > 0
 
 
+class TestMemoryBudgetTiling:
+    """Memory-budgeted tiled scans stay bit-identical at every tile count.
+
+    ``memory_budget_mb`` caps the vectorised scan's per-width slot table plus
+    workspace: the live fault set is tiled into groups whose union-cone slot
+    demand fits the budget and one recycled arena serves every tile in turn.
+    Tiling may only change *when* slot rows are computed, never a result
+    bit -- against the python oracle AND the unbounded numpy scan -- and the
+    measured workspace of a feasible budget must actually fit under it.
+    """
+
+    @staticmethod
+    def _mb(nbytes: float) -> float:
+        return nbytes / (1024.0 * 1024.0)
+
+    def _no_drop_reference(self, circuit, patterns, block_size=64):
+        blocks = list(
+            iter_blocks(patterns, block_size=block_size, nets=circuit.stimulus_nets())
+        )
+        fl = collapse_stuck_at(circuit).to_fault_list()
+        result = FaultSimulator(circuit).simulate_blocks(
+            fl, blocks, drop_detected=False
+        )
+        return fl, result, blocks
+
+    def _scan_demand(self, circuit, blocks, fl_py, result_py):
+        """(full, floor) workspace bytes of the unbounded and the maximally
+        tiled scan, measured on no-drop runs (dropping would prune and
+        re-tile, shrinking the demand being measured)."""
+        unbounded = FaultSimulator(circuit, backend="numpy")
+        fl_un = collapse_stuck_at(circuit).to_fault_list()
+        result_un = unbounded.simulate_blocks(fl_un, blocks, drop_detected=False)
+        assert result_un.coverage_curve == result_py.coverage_curve
+        assert_fault_lists_identical(fl_py, fl_un)
+        scan_un = unbounded._np_scan[1].scan
+        assert scan_un.num_tiles == 1
+        full = scan_un.workspace_nbytes(1)
+
+        # An absurd budget (8 bytes) degenerates to one tile per fault and
+        # sets ``budget_clamped`` -- graceful, never an error -- and its
+        # workspace is the feasibility floor of any tiling.
+        clamped = FaultSimulator(
+            circuit, backend="numpy", memory_budget_mb=self._mb(8)
+        )
+        fl_cl = collapse_stuck_at(circuit).to_fault_list()
+        result_cl = clamped.simulate_blocks(fl_cl, blocks, drop_detected=False)
+        assert result_cl.coverage_curve == result_py.coverage_curve
+        assert result_cl.detections_per_pattern == result_py.detections_per_pattern
+        assert_fault_lists_identical(fl_py, fl_cl)
+        scan_cl = clamped._np_scan[1].scan
+        assert scan_cl.budget_clamped
+        assert scan_cl.num_tiles > 2
+        floor = scan_cl.workspace_nbytes(1)
+        assert floor < full
+        return full, floor
+
+    def test_budget_ladder_forces_tiles_and_stays_identical(self):
+        circuit = make_core(21)
+        # 128 = two exact 64-pattern blocks: a single 1-word width, so the
+        # per-width workspace is the whole scan footprint being bounded.
+        patterns = random_patterns(circuit, 128, 77)
+        fl_py, result_py, blocks = self._no_drop_reference(circuit, patterns)
+        full, floor = self._scan_demand(circuit, blocks, fl_py, result_py)
+
+        tile_counts = []
+        for frac in (0.5, 0.25, 0.1):
+            budget_bytes = floor + (full - floor) * frac
+            vec = FaultSimulator(
+                circuit, backend="numpy", memory_budget_mb=self._mb(budget_bytes)
+            )
+            fl_np = collapse_stuck_at(circuit).to_fault_list()
+            result_np = vec.simulate_blocks(fl_np, blocks, drop_detected=False)
+            assert result_np.patterns_simulated == result_py.patterns_simulated
+            assert result_np.coverage_curve == result_py.coverage_curve
+            assert result_np.detections_per_pattern == result_py.detections_per_pattern
+            assert_fault_lists_identical(fl_py, fl_np)
+            scan = vec._np_scan[1].scan
+            # Any budget at or above the floor is feasible: never clamped,
+            # and the measured workspace really fits under it.
+            assert not scan.budget_clamped
+            assert scan.workspace_nbytes(1) <= scan.memory_budget_bytes
+            assert scan.num_tiles > 1
+            tile_counts.append(scan.num_tiles)
+        # Tighter budgets can only need more tiles.
+        assert tile_counts == sorted(tile_counts)
+        assert tile_counts[-1] >= 3
+
+    def test_budgeted_scan_with_dropping_and_prunes(self):
+        """Fault dropping prunes and re-tiles mid-run (and across widths);
+        a budget must survive both without costing a bit."""
+        circuit = make_core(22)
+        patterns = random_patterns(circuit, 256, 78)
+        _, _, blocks = self._no_drop_reference(circuit, patterns)
+        fl_probe = collapse_stuck_at(circuit).to_fault_list()
+        probe_result = FaultSimulator(circuit).simulate_blocks(
+            fl_probe, blocks, drop_detected=False
+        )
+        full, floor = self._scan_demand(circuit, blocks, fl_probe, probe_result)
+        budget_mb = self._mb(floor + (full - floor) * 0.3)
+
+        fl_py = collapse_stuck_at(circuit).to_fault_list()
+        FaultSimulator(circuit).simulate(fl_py, patterns, block_size=64)
+        vec = FaultSimulator(circuit, backend="numpy", memory_budget_mb=budget_mb)
+        for block_size in (64, 256, 17):
+            fl_np = collapse_stuck_at(circuit).to_fault_list()
+            vec.simulate(fl_np, patterns, block_size=block_size)
+            # Statuses and first detections are block-size-invariant, so the
+            # one python run oracles every width.
+            assert_fault_lists_identical(fl_py, fl_np)
+            scan = vec._np_scan[1].scan
+            if not scan.budget_clamped:
+                width = max(1, (min(block_size, 256) + 63) // 64)
+                assert scan.workspace_nbytes(width) <= scan.memory_budget_bytes
+
+    def test_transition_budget_multi_width_reuse(self):
+        """Transition pair scans under a budget, driven through several block
+        widths on one engine (per-width workspaces recycle through the width
+        LRU): bit-identical to the python oracle at every width."""
+        circuit = make_core(23)
+        launch = random_patterns(circuit, 96, 79)
+        fl_py = FaultList.transition(circuit)
+        result_py = TransitionFaultSimulator(circuit).simulate_with_derived_capture(
+            fl_py, launch, block_size=64
+        )
+        vec = TransitionFaultSimulator(
+            circuit, backend="numpy", memory_budget_mb=0.02
+        )
+        assert vec.stuck_engine.memory_budget_mb == 0.02
+        for block_size in (64, 17, 256):
+            fl_np = FaultList.transition(circuit)
+            result_np = vec.simulate_with_derived_capture(
+                fl_np, launch, block_size=block_size
+            )
+            assert_fault_lists_identical(fl_py, fl_np)
+            if block_size == 64:
+                assert result_np.coverage_curve == result_py.coverage_curve
+
+    def test_invalid_budget_rejected(self):
+        circuit = make_core(1)
+        with pytest.raises(ValueError, match="sim_memory_budget_mb"):
+            FaultSimulator(circuit, backend="numpy", memory_budget_mb=0)
+        with pytest.raises(ValueError, match="sim_memory_budget_mb"):
+            PackedSimulator(circuit, memory_budget_mb=-4)
+
+
 class TestTransitionEquivalence:
     @pytest.mark.parametrize("block_size", (17, 64, 256))
     def test_derived_capture_pairs_bit_identical(self, block_size):
