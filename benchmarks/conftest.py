@@ -26,8 +26,14 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tracemalloc
 from pathlib import Path
 from typing import Mapping, Sequence, TypeVar
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    resource = None
 
 #: Directory that receives the ``BENCH_*.json`` regression records.
 BENCH_DIR = Path(__file__).parent
@@ -64,19 +70,43 @@ def cpu_counts() -> dict[str, object]:
     }
 
 
+def memory_peaks() -> dict[str, object]:
+    """The process memory facts every BENCH record carries.
+
+    ``ru_maxrss_kb`` is the OS-reported lifetime peak resident set of this
+    process (kilobytes on Linux; ``None`` where ``resource`` is missing) --
+    a high-water mark that never goes down, so it bounds every measurement
+    in the record.  ``tracemalloc_peak_bytes`` is the Python-allocation peak
+    since tracing started, or ``None`` when the benchmark did not enable
+    ``tracemalloc`` -- memory-focused benches trace around their hot loops
+    and report their own per-phase peaks alongside this stamp.
+    """
+    peak = tracemalloc.get_traced_memory()[1] if tracemalloc.is_tracing() else None
+    return {
+        "ru_maxrss_kb": (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            if resource is not None
+            else None
+        ),
+        "tracemalloc_peak_bytes": peak,
+    }
+
+
 def write_bench_json(name: str, payload: Mapping[str, object]) -> Path:
     """Persist one benchmark's measurements as ``benchmarks/BENCH_<name>.json``.
 
-    The payload is stamped with the interpreter version and the host CPU
-    counts so historical numbers can be compared like for like.  Under the
-    bench-smoke tier the record lands in ``benchmarks/.smoke/`` instead and
-    is marked ``"smoke": true`` -- tiny-workload numbers must never
-    overwrite the checked-in regression records.
+    The payload is stamped with the interpreter version, the host CPU counts
+    and the process memory peaks so historical numbers can be compared like
+    for like.  Under the bench-smoke tier the record lands in
+    ``benchmarks/.smoke/`` instead and is marked ``"smoke": true`` --
+    tiny-workload numbers must never overwrite the checked-in regression
+    records.
     """
     record = {
         "benchmark": name,
         "python": platform.python_version(),
         **cpu_counts(),
+        **memory_peaks(),
         **payload,
     }
     directory = BENCH_DIR
