@@ -18,7 +18,16 @@ Measured here, all on the same multi-scenario campaign:
 * **recovery latency** -- wall-clock penalty of recovering one SIGKILLed
   worker mid-campaign on the 2-worker pool, with the recovered report
   re-asserted byte-identical to the clean serial oracle.  Not a regression
-  bar, but the number that makes "bounded recovery" concrete.
+  bar, but the number that makes "bounded recovery" concrete,
+* **lifecycle overhead** (PR 10) -- the serial campaign with the job
+  lifecycle machinery armed (a live :class:`~repro.campaign.CancelToken`
+  with a far-future deadline, checked at every stage boundary) vs the bare
+  run.  Same < 2 % bar as the retry machinery: cancellability must be free
+  until someone cancels,
+* **cancel latency** (PR 10) -- wall clock from a ``service.cancel()``
+  call against a mid-run job to its checkpointed ``JobCancelled`` event,
+  min over repeats.  Bounded by one stage execution (cancellation is
+  cooperative at stage boundaries); recorded, not asserted.
 
 Run as a script (writes ``benchmarks/BENCH_resilience.json``):
 
@@ -31,12 +40,21 @@ or through pytest:
 
 from __future__ import annotations
 
+import asyncio
+import tempfile
 import time
 
-from repro.campaign import CampaignRunner, CampaignScenario, ExplicitChaosPlan
+from repro.campaign import (
+    CampaignRunner,
+    CampaignScenario,
+    CancelToken,
+    ExplicitChaosPlan,
+)
 from repro.core import LogicBistConfig
 from repro.core.config import RetryPolicy
 from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
+from repro.service import CampaignService
+from repro.service.events import JobCancelled, StageFinished
 
 from conftest import print_rows, scaled, smoke_mode, write_bench_json
 
@@ -85,8 +103,15 @@ def _build_scenarios() -> list[CampaignScenario]:
     return scenarios
 
 
-def _campaign_wall(scenarios, *, num_workers, retry_policy=None, chaos=None):
-    """Min wall-clock over ``REPEATS`` runs; returns (seconds, result)."""
+def _campaign_wall(
+    scenarios, *, num_workers, retry_policy=None, chaos=None, lifecycle=False
+):
+    """Min wall-clock over ``REPEATS`` runs; returns (seconds, result).
+
+    ``lifecycle=True`` arms the PR-10 cancellation machinery exactly as a
+    service job would: a live :class:`CancelToken` with a (far-future)
+    deadline armed, consulted at every stage boundary, never tripped.
+    """
     best = None
     result = None
     for _ in range(REPEATS):
@@ -96,12 +121,46 @@ def _campaign_wall(scenarios, *, num_workers, retry_policy=None, chaos=None):
             retry_policy=retry_policy,
             chaos=chaos,
         )
+        token = None
+        if lifecycle:
+            token = CancelToken()
+            token.arm_deadline(3600.0)
         start = time.perf_counter()
-        result = runner.run(scenarios)
+        result = runner.run(scenarios, cancel_token=token)
         wall = time.perf_counter() - start
         if best is None or wall < best:
             best = wall
     return best, result
+
+
+def _cancel_latency_wall(scenarios) -> float:
+    """Min over ``REPEATS``: service.cancel() of a mid-run job -> its
+    checkpointed JobCancelled event (the cooperative-stop latency)."""
+
+    async def one_cancel(checkpoint_dir) -> float:
+        service = CampaignService(num_workers=1, checkpoint_dir=checkpoint_dir)
+        await service.start()
+        job_id = await service.submit(scenarios)
+        requested = None
+        latency = None
+        async for event in service.stream(job_id):
+            if requested is None and isinstance(event, StageFinished):
+                requested = time.perf_counter()
+                await service.cancel(job_id)
+            elif isinstance(event, JobCancelled):
+                latency = time.perf_counter() - requested
+                break
+        await service.wait(job_id)
+        await service.stop()
+        return latency
+
+    best = None
+    for _ in range(REPEATS):
+        with tempfile.TemporaryDirectory() as checkpoint_dir:
+            latency = asyncio.run(one_cancel(checkpoint_dir))
+        if best is None or latency < best:
+            best = latency
+    return best
 
 
 def run() -> dict:
@@ -118,6 +177,12 @@ def run() -> dict:
     serial_overhead = serial_armed / serial_bare - 1.0
     oracle = serial_result.report_bytes()
     identical_armed = armed_result.report_bytes() == oracle
+
+    lifecycle_armed, lifecycle_result = _campaign_wall(
+        scenarios, num_workers=1, lifecycle=True
+    )
+    lifecycle_overhead = lifecycle_armed / serial_bare - 1.0
+    identical_lifecycle = lifecycle_result.report_bytes() == oracle
 
     pooled_bare, _ = _campaign_wall(scenarios, num_workers=2)
     pooled_armed, _ = _campaign_wall(
@@ -139,6 +204,8 @@ def run() -> dict:
     )
     identical_recovered = recovered_result.report_bytes() == oracle
     recovery_penalty = recovered_wall - pooled_armed
+
+    cancel_latency = _cancel_latency_wall(scenarios)
 
     rows = [
         {
@@ -164,6 +231,16 @@ def run() -> dict:
             "seconds": round(recovered_wall, 4),
             "overhead": f"{recovery_penalty:+.3f}s penalty",
         },
+        {
+            "configuration": "serial, lifecycle armed (cancel token + deadline)",
+            "seconds": round(lifecycle_armed, 4),
+            "overhead": f"{lifecycle_overhead:+.2%}",
+        },
+        {
+            "configuration": "service cancel -> checkpointed stop",
+            "seconds": round(cancel_latency, 4),
+            "overhead": "latency",
+        },
     ]
 
     payload = {
@@ -178,9 +255,13 @@ def run() -> dict:
         "pooled_clean_overhead": round(pooled_overhead, 4),
         "kill_recovery_wall_seconds": round(recovered_wall, 4),
         "kill_recovery_penalty_seconds": round(recovery_penalty, 4),
+        "lifecycle_armed_seconds": round(lifecycle_armed, 4),
+        "lifecycle_clean_overhead": round(lifecycle_overhead, 4),
+        "cancel_latency_seconds": round(cancel_latency, 4),
         "max_clean_overhead": MAX_CLEAN_OVERHEAD,
         "bit_identical_armed": identical_armed,
         "bit_identical_recovered": identical_recovered,
+        "bit_identical_lifecycle": identical_lifecycle,
         "note": (
             "serial_clean_overhead is the asserted number (< 2%): the cost "
             "of consulting an armed RetryPolicy per stage on a fault-free "
@@ -188,7 +269,12 @@ def run() -> dict:
             "heartbeat/deadline bookkeeping (recorded only; pool walls on "
             "shared CI cores are noisy).  kill_recovery_* is the wall cost "
             "of detecting a SIGKILLed worker, respawning it and replaying "
-            "its stage, report re-asserted byte-identical to the oracle"
+            "its stage, report re-asserted byte-identical to the oracle.  "
+            "lifecycle_clean_overhead (asserted < 2%) is the cost of a live "
+            "CancelToken with an armed deadline checked at every stage "
+            "boundary, never tripped; cancel_latency_seconds is the wall "
+            "from service.cancel() on a mid-run job to its checkpointed "
+            "JobCancelled event (recorded only; bounded by one stage)"
         ),
     }
     path = write_bench_json("resilience", payload)
@@ -197,24 +283,29 @@ def run() -> dict:
         rows,
     )
     print(
-        f"clean overhead: serial {serial_overhead:+.2%} "
-        f"(bar < {MAX_CLEAN_OVERHEAD:.0%}), pooled {pooled_overhead:+.2%}; "
-        f"kill recovery penalty {recovery_penalty:+.3f}s -> {path.name}"
+        f"clean overhead: serial {serial_overhead:+.2%}, lifecycle "
+        f"{lifecycle_overhead:+.2%} (bar < {MAX_CLEAN_OVERHEAD:.0%}), "
+        f"pooled {pooled_overhead:+.2%}; kill recovery penalty "
+        f"{recovery_penalty:+.3f}s; cancel latency {cancel_latency:.3f}s "
+        f"-> {path.name}"
     )
     return payload
 
 
 def test_resilience_overhead_recorded():
-    """Regression guard: the armed resilience machinery costs a fault-free
-    serial campaign < 2%, and both the armed and the crash-recovered runs
-    stay byte-identical to the bare oracle.  Timing is only asserted outside
-    smoke mode (tiny workloads measure fixed costs, not throughput)."""
+    """Regression guard: the armed resilience and lifecycle machinery each
+    cost a fault-free serial campaign < 2%, and the armed, crash-recovered
+    and lifecycle-armed runs all stay byte-identical to the bare oracle.
+    Timing is only asserted outside smoke mode (tiny workloads measure
+    fixed costs, not throughput)."""
     payload = run()
     assert payload["bit_identical_armed"]
     assert payload["bit_identical_recovered"]
+    assert payload["bit_identical_lifecycle"]
     if smoke_mode():
         return
     assert payload["serial_clean_overhead"] < MAX_CLEAN_OVERHEAD
+    assert payload["lifecycle_clean_overhead"] < MAX_CLEAN_OVERHEAD
 
 
 if __name__ == "__main__":
@@ -222,9 +313,13 @@ if __name__ == "__main__":
     ok = (
         payload["bit_identical_armed"]
         and payload["bit_identical_recovered"]
+        and payload["bit_identical_lifecycle"]
         and (
             smoke_mode()
-            or payload["serial_clean_overhead"] < MAX_CLEAN_OVERHEAD
+            or (
+                payload["serial_clean_overhead"] < MAX_CLEAN_OVERHEAD
+                and payload["lifecycle_clean_overhead"] < MAX_CLEAN_OVERHEAD
+            )
         )
     )
     raise SystemExit(0 if ok else 1)

@@ -6,7 +6,7 @@ tier that makes campaigns *infrastructure*: a long-lived asyncio
 :class:`~repro.service.CampaignService` accepting scenario submissions into
 a job queue, streaming incremental events while the stage graph drains, and
 checkpointing canonical merged partials so a killed service resumes with
-byte-identical results.  Four acts:
+byte-identical results.  Five acts:
 
 1. **Submit & stream** -- two scenario jobs enter the queue; we subscribe to
    the first job's event stream and print stage completions and
@@ -26,6 +26,12 @@ byte-identical results.  Four acts:
    and the service's total wall time is compared against a bare
    :class:`~repro.campaign.CampaignRunner` to show the parent-side
    streaming/checkpointing overhead.
+5. **Cancel, deadline & quarantine** -- the PR-10 lifecycle layer: a
+   mid-run job is cancelled at a stage boundary (checkpointed, then
+   resumed to the oracle bytes), a job with an impossible deadline times
+   out cooperatively (then resumed with a generous one), and a poison job
+   that crashes the service on every resume attempt is quarantined after
+   ``max_resume_attempts`` restarts instead of crash-looping forever.
 
 Run with::
 
@@ -37,7 +43,7 @@ import asyncio
 import tempfile
 import time
 
-from repro.campaign import CampaignRunner, CampaignScenario
+from repro.campaign import CampaignRunner, CampaignScenario, LifecycleChaosPlan
 from repro.core.config import LogicBistConfig, ServiceConfig
 from repro.cores.generator import SyntheticCoreConfig, generate_synthetic_core
 from repro.service import (
@@ -48,6 +54,8 @@ from repro.service import (
 )
 from repro.service.events import (
     CoverageDelta,
+    JobCancelled,
+    JobQuarantined,
     ScenarioCompleted,
     SectionCompleted,
     StageFinished,
@@ -214,6 +222,78 @@ async def act_four_warm_cache_and_overhead(scenarios, workers, runner_seconds):
     await service.stop()
 
 
+async def act_five_cancel_deadline_quarantine(scenarios, workers, oracle):
+    print("== 5. cancel, deadline & quarantine " + "=" * 32)
+
+    # Cancel: stop a mid-run job at the next stage boundary, then resume it.
+    with tempfile.TemporaryDirectory() as tmp:
+        service = CampaignService(num_workers=workers, checkpoint_dir=tmp)
+        await service.start()
+        job_id = await service.submit(scenarios)
+        async for event in service.stream(job_id):
+            if isinstance(event, StageFinished):
+                await service.cancel(job_id)
+            elif isinstance(event, JobCancelled):
+                print(
+                    f"cancelled {job_id} mid-run: reason={event.reason}, "
+                    f"checkpointed={event.checkpointed}"
+                )
+                break
+        record = await service.wait(job_id)
+        await service.resume(job_id)
+        resumed = await service.wait(job_id)
+        print(
+            f"state {record.state} -> resumed -> {resumed.state}; "
+            f"bytes == uninterrupted oracle: {resumed.report == oracle}"
+        )
+        assert record.state == "cancelled" and resumed.report == oracle
+
+        # Deadline: an impossible per-job budget trips at the first stage
+        # boundary; resubmitting with a generous one finishes normally.
+        job_id = await service.submit(scenarios, deadline_s=1e-4)
+        timed_out = await service.wait(job_id)
+        await service.resume(job_id, deadline_s=600.0)
+        recovered = await service.wait(job_id)
+        print(
+            f"deadline 0.1ms: state={timed_out.state}; resumed with 600s: "
+            f"state={recovered.state}, bytes match: {recovered.report == oracle}"
+        )
+        assert timed_out.state == "timeout" and recovered.report == oracle
+        await service.stop()
+
+    # Quarantine: a poison job crashes the service at the same stage
+    # boundary on every resume attempt.  After max_resume_attempts
+    # recoveries the service quarantines it instead of crash-looping.
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(max_resume_attempts=1)
+        job_id = None
+        for attempt in range(3):
+            service = CampaignService(
+                num_workers=workers,
+                checkpoint_dir=tmp,
+                service_config=config,
+                lifecycle_chaos=LifecycleChaosPlan.crash_every_run(),
+            )
+            recovered = await service.start()
+            if job_id is None:
+                job_id = await service.submit(scenarios)
+            record = await service.wait(job_id)
+            print(
+                f"service start {attempt + 1}: recovered={recovered}, "
+                f"job state={record.state}"
+            )
+            await service.stop()
+            if record.state == "quarantined":
+                break
+        events = [e async for e in service.stream(job_id)]
+        verdict = next(e for e in events if isinstance(e, JobQuarantined))
+        print(
+            f"quarantined after {verdict.resume_attempts} resume attempts "
+            f"(limit {verdict.limit}); spec and partial results kept on disk"
+        )
+        assert record.state == "quarantined"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=1)
@@ -235,6 +315,9 @@ def main():
         await act_three_kill_and_resume(scenarios, args.workers, oracle)
         await act_four_warm_cache_and_overhead(
             scenarios, args.workers, runner_seconds
+        )
+        await act_five_cancel_deadline_quarantine(
+            scenarios, args.workers, oracle
         )
 
     asyncio.run(run())

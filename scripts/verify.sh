@@ -43,6 +43,19 @@
 #                                 real worker pools included -- the check
 #                                 after touching the schedulers' resilience
 #                                 machinery or repro/campaign/chaos.py.
+#                                 Includes the service-tier lifecycle
+#                                 injections (cancel mid-stage, deadline
+#                                 mid-schedule, crash between resume
+#                                 attempts).
+#   scripts/verify.sh lifecycle   serial job-lifecycle subset: the
+#                                 lifecycle-marked tests (cancellation,
+#                                 job deadlines, bounded shutdown,
+#                                 crash-loop quarantine) without worker
+#                                 pools -- the quick check after touching
+#                                 the cancel/deadline/shutdown machinery in
+#                                 service/queue.py or the schedulers'
+#                                 CancelToken path.  The pooled lifecycle
+#                                 matrix runs in the full tier.
 #
 # Markers:
 #   slow          exhaustive LFSR period walks (widths 14-20)
@@ -88,8 +101,11 @@ case "$tier" in
   chaos)
     exec python -m pytest -x -q -m "chaos" "$@"
     ;;
+  lifecycle)
+    exec python -m pytest -x -q -m "lifecycle and not multiprocess" "$@"
+    ;;
   *)
-    echo "usage: scripts/verify.sh [fast|full|bench-smoke|transition|service|chaos] [pytest args...]" >&2
+    echo "usage: scripts/verify.sh [fast|full|bench-smoke|transition|service|chaos|lifecycle] [pytest args...]" >&2
     exit 2
     ;;
 esac

@@ -39,8 +39,11 @@ from .chaos import (
     ChaosPlan,
     ExplicitChaosPlan,
     Injection,
+    LifecycleChaosPlan,
+    LifecycleInjection,
     RecordingChaosPlan,
     SeededChaosPlan,
+    ServiceCrashError,
 )
 from .results import (
     FAILURES_KEY,
@@ -73,9 +76,11 @@ from .runner import (
     with_offsets,
 )
 from .scheduler import (
+    CancelToken,
     Expansion,
     PipelineRun,
     PooledScheduler,
+    ScheduleCancelled,
     SerialScheduler,
     StageFailure,
     StageNode,
@@ -118,7 +123,10 @@ __all__ = [
     "ExplicitChaosPlan",
     "FAILURES_KEY",
     "Injection",
+    "LifecycleChaosPlan",
+    "LifecycleInjection",
     "RecordingChaosPlan",
+    "ServiceCrashError",
     "ScenarioResult",
     "SeededChaosPlan",
     "ShardOutcome",
@@ -144,9 +152,11 @@ __all__ = [
     "run_sharded_fault_sim",
     "run_sharded_transition_sim",
     "with_offsets",
+    "CancelToken",
     "Expansion",
     "PipelineRun",
     "PooledScheduler",
+    "ScheduleCancelled",
     "SerialScheduler",
     "StageFailure",
     "StageNode",

@@ -35,6 +35,20 @@ Faults are *decided in the parent* (the schedulers call
 :meth:`ChaosPlan.fault_for` before executing or dispatching an attempt) and
 applied at the execution site, so serial and pooled schedules consume
 identical attempt sequences per stage.
+
+Service-tier lifecycle injections (:class:`LifecycleChaosPlan`) extend the
+harness above the schedulers: instead of faulting a stage *body*, they trip
+a job's :class:`~repro.campaign.scheduler.CancelToken` (``cancel`` /
+``deadline``) or crash the whole service (``crash``, the SIGKILL stand-in
+-- it aborts the job out of an observer callback, leaving exactly the
+resumable checkpoint a killed process would) at a deterministic stage
+boundary.  The service's job observer consults the plan on every stage
+start/finish; occurrence indices are counted per injection, so "cancel at
+the 7th stage completion" is a reproducible schedule whichever scheduler
+drains the graph.  These drive the job-lifecycle differential suite
+(``tests/service/test_lifecycle.py``): any cancel/deadline/crash schedule
+that lets a job eventually complete must reproduce the clean serial oracle
+bytes.
 """
 
 from __future__ import annotations
@@ -220,6 +234,126 @@ class SeededChaosPlan(ChaosPlan):
             sleep_s=self.sleep_s,
             exit_code=self.exit_code,
         )
+
+
+# --------------------------------------------------------------------- #
+# Service-tier lifecycle injections
+# --------------------------------------------------------------------- #
+class ServiceCrashError(RuntimeError):
+    """Injected service-tier crash (the lifecycle harness's SIGKILL stand-in).
+
+    Raised out of the service's stage observer, which aborts the schedule
+    and fails the job with ``interrupted=True`` -- the spec and the last
+    progress snapshot survive on disk, exactly as if the process had been
+    killed there (the resumed service shares no memory with the crashed
+    run either way).  Feeding one of these on *every* attempt produces the
+    crash-looping poison job the quarantine machinery must contain.
+    """
+
+
+#: Lifecycle actions a :class:`LifecycleInjection` may fire.
+LIFECYCLE_ACTIONS = ("cancel", "deadline", "crash")
+
+#: Stage-boundary events lifecycle injections can attach to.
+LIFECYCLE_EVENTS = ("start", "finish")
+
+
+@dataclass(frozen=True)
+class LifecycleInjection:
+    """One service-tier injection rule.
+
+    ``stage`` substring-matches canonical stage keys (``""`` matches every
+    stage) -- substring rather than the suffix match of :class:`Injection`
+    so a rule can target one *scenario* of one job (service stage keys are
+    ``<job_id>/s<i>:<scenario>/<stage>``, so ``stage=":poison/"`` hits
+    every stage of the scenario named ``poison`` and nothing else); ``on``
+    picks the boundary (``"start"`` / ``"finish"``); ``occurrences`` lists which
+    0-based matching events fire (``()`` = every one -- how a
+    crash-on-every-resume poison job is spelled).  Actions:
+
+    ``cancel``
+        Trip the job's cancel token (reason ``"cancelled"``): the job
+        checkpoints and lands in the ``"cancelled"`` state.
+    ``deadline``
+        Trip the token with reason ``"timeout"`` -- the same stop path an
+        expired job deadline takes, injected mid-schedule.
+    ``crash``
+        Raise :class:`ServiceCrashError` from the observer callback: the
+        job dies ``interrupted`` with its checkpoint intact, and the next
+        service start must recover (or quarantine) it.
+    """
+
+    stage: str = ""
+    on: str = "finish"
+    action: str = "cancel"
+    occurrences: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.on not in LIFECYCLE_EVENTS:
+            raise ValueError(f"unknown lifecycle event {self.on!r}")
+        if self.action not in LIFECYCLE_ACTIONS:
+            raise ValueError(f"unknown lifecycle action {self.action!r}")
+
+
+class LifecycleChaosPlan:
+    """Deterministic service-tier lifecycle injections at stage boundaries.
+
+    One plan instance rides one job execution (occurrence counters are
+    per-plan state); construct a fresh plan per run.  The service's job
+    observer calls :meth:`action_for` on every stage start and finish and
+    applies the first matching rule's action.
+    """
+
+    def __init__(self, injections: Sequence[LifecycleInjection]) -> None:
+        self.injections = tuple(injections)
+        self._seen = [0] * len(self.injections)
+        #: ``(canonical stage key, event, action)`` per fired injection.
+        self.fired: list[tuple[str, str, str]] = []
+
+    @classmethod
+    def cancel_after_stages(
+        cls, count: int, action: str = "cancel"
+    ) -> "LifecycleChaosPlan":
+        """Fire ``action`` at the ``count``-th (0-based) stage completion.
+
+        The randomized-boundary differential tests draw ``count`` from a
+        seeded RNG: every stage boundary of a job is a valid cancel point.
+        """
+        return cls(
+            [LifecycleInjection(stage="", on="finish", action=action,
+                                occurrences=(count,))]
+        )
+
+    @classmethod
+    def crash_every_run(cls, stage: str = "") -> "LifecycleChaosPlan":
+        """Crash the service at the first matching stage finish, every run.
+
+        Applied to every execution of a job (fresh plan per service start),
+        this is the deterministic poison job: each resume attempt dies at
+        the same boundary until quarantine contains it.
+        """
+        return cls(
+            [LifecycleInjection(stage=stage, on="finish", action="crash",
+                                occurrences=(0,))]
+        )
+
+    def action_for(self, stage_key: str, event: str) -> Optional[str]:
+        """The action to apply at ``event`` of ``stage_key``, or ``None``."""
+        key = canonical_stage_key(stage_key)
+        action = None
+        for index, injection in enumerate(self.injections):
+            if injection.on != event:
+                continue
+            if injection.stage and injection.stage not in key:
+                continue
+            occurrence = self._seen[index]
+            self._seen[index] += 1
+            if injection.occurrences and occurrence not in injection.occurrences:
+                continue
+            if action is None:
+                action = injection.action
+                self.fired.append((key, event, action))
+        return action
 
 
 class RecordingChaosPlan(ChaosPlan):

@@ -586,8 +586,17 @@ class CampaignRunner:
         self.last_run = None
 
     # ------------------------------------------------------------------ #
-    def run(self, scenarios: Iterable[CampaignScenario]) -> CampaignResult:
+    def run(
+        self, scenarios: Iterable[CampaignScenario], cancel_token=None
+    ) -> CampaignResult:
         """Run every scenario's random-pattern fault-sim + signature session.
+
+        ``cancel_token`` (a :class:`~repro.campaign.scheduler.CancelToken`)
+        stops the schedule cooperatively at the next stage boundary:
+        :class:`~repro.campaign.scheduler.ScheduleCancelled` propagates to
+        the caller carrying the half-finished run.  The service tier layers
+        checkpointing on top; here the token is the raw mechanism (and the
+        clean-run overhead probe ``benchmarks/bench_resilience.py`` arms).
 
         Scenarios whose config sets ``campaign_topup=True`` additionally run
         the deterministic ATPG top-up phase: PODEM target shards fan out
@@ -667,7 +676,7 @@ class CampaignRunner:
                 retry_policy=retry_policy, chaos=self.chaos, degrade=self.degrade
             )
         try:
-            pipeline_run = scheduler.run(nodes)
+            pipeline_run = scheduler.run(nodes, cancel_token=cancel_token)
         finally:
             release_scenario_engines(scenario_keys)
         # Keep the trace (the Amdahl/benchmark diagnostics), drop the

@@ -60,7 +60,15 @@ Both schedulers additionally support the service tier
   graph: preloaded artifact values are injected into the store and their
   nodes are skipped, while preloaded :class:`Expansion` records splice their
   recorded children without re-running the expander (so e.g. signature fold
-  stages keep the exact per-domain copies the original run embedded).
+  stages keep the exact per-domain copies the original run embedded), and
+* a :class:`CancelToken` (``run(..., cancel_token=...)``) stops either
+  schedule cooperatively at the next stage boundary --
+  :class:`ScheduleCancelled` carries the half-finished
+  :class:`PipelineRun`, a checkpoint-consistent resume point.  The token
+  doubles as the job-deadline mechanism: an armed deadline trips it with
+  reason ``"timeout"``.  The pooled scheduler abandons its outstanding
+  stages (the pool is force-terminated, per-schedule, so nothing leaks into
+  the next job).
 """
 
 from __future__ import annotations
@@ -69,6 +77,7 @@ import heapq
 import itertools
 import multiprocessing
 import pickle
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -93,6 +102,80 @@ class WorkerCrashError(RuntimeError):
 
 class StageTimeoutError(RuntimeError):
     """A stage exceeded its :attr:`RetryPolicy.stage_timeout_s` deadline."""
+
+
+class ScheduleCancelled(BaseException):
+    """A schedule stopped cooperatively at a stage boundary.
+
+    Raised by either scheduler when its :class:`CancelToken` trips.  The
+    half-finished :class:`PipelineRun` rides along so the caller can persist
+    a checkpoint-consistent resume point (``run.store``/``run.expansions``
+    are only ever mutated between stages, never mid-stage).  Deliberately a
+    ``BaseException``: no :class:`~repro.core.config.RetryPolicy`
+    classification may retry or degrade a cancellation.
+    """
+
+    def __init__(self, reason: str, run: "PipelineRun") -> None:
+        super().__init__(f"schedule cancelled ({reason})")
+        self.reason = reason
+        self.run = run
+
+
+class CancelToken:
+    """Cooperative cancellation signal threaded through the schedulers.
+
+    Thread-safe: the service's event loop cancels while the scheduler runs
+    in a worker thread.  The first :meth:`cancel` wins (``reason`` is
+    latched); an armed deadline auto-cancels with reason ``"timeout"`` once
+    it passes, so job deadlines and explicit cancellation share one stop
+    path.  Schedulers poll the token at stage boundaries only -- a running
+    stage is never preempted (the same cooperative contract as the retry
+    policy's soft timeouts).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._reason: Optional[str] = None
+        self._deadline: Optional[float] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Trip the token (idempotent; the first reason is kept)."""
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+
+    def arm_deadline(self, seconds: Optional[float]) -> None:
+        """Auto-cancel with reason ``"timeout"`` after ``seconds`` from now.
+
+        ``None`` disarms.  Re-arming replaces the previous deadline (a
+        resumed job gets a fresh budget).
+        """
+        with self._lock:
+            self._deadline = (
+                None if seconds is None else time.monotonic() + seconds
+            )
+
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            if (
+                self._reason is None
+                and self._deadline is not None
+                and time.monotonic() >= self._deadline
+            ):
+                self._reason = "timeout"
+            return self._reason is not None
+
+    @property
+    def reason(self) -> Optional[str]:
+        """The latched stop reason (``None`` while the token is clear)."""
+        with self._lock:
+            return self._reason
+
+    def raise_if_cancelled(self, run: "PipelineRun") -> None:
+        """Raise :class:`ScheduleCancelled` carrying ``run`` if tripped."""
+        if self.cancelled:
+            raise ScheduleCancelled(self.reason, run)
 
 
 def timeout_error_message(timeout_s: float) -> str:
@@ -594,6 +677,7 @@ class SerialScheduler:
         observer: Optional[StageObserver] = None,
         preloaded: Optional[Mapping[str, object]] = None,
         expansions: Optional[Mapping[str, Expansion]] = None,
+        cancel_token: Optional[CancelToken] = None,
     ) -> PipelineRun:
         state = _GraphState(nodes, preloaded=preloaded, expansions=expansions)
         observer = observer or StageObserver()
@@ -603,6 +687,8 @@ class SerialScheduler:
         while state.pending:
             progressed = False
             for key in list(state.pending):
+                if cancel_token is not None:
+                    cancel_token.raise_if_cancelled(state.run)
                 node = state.pending.get(key)
                 if node is None:
                     continue
@@ -896,6 +982,7 @@ class PooledScheduler:
         observer: Optional[StageObserver] = None,
         preloaded: Optional[Mapping[str, object]] = None,
         expansions: Optional[Mapping[str, Expansion]] = None,
+        cancel_token: Optional[CancelToken] = None,
     ) -> PipelineRun:
         state = _GraphState(nodes, preloaded=preloaded, expansions=expansions)
         observer = observer or StageObserver()
@@ -1014,9 +1101,18 @@ class PooledScheduler:
             resolve_failure(entry.node, entry.inputs, entry.attempt, error)
 
         try:
+            if cancel_token is not None:
+                cancel_token.raise_if_cancelled(state.run)
             launch_ready()
             dispatch()
             while in_flight or ready or delayed:
+                # Cooperative stop: checked once per completion-loop wake-up
+                # (bounded by the policy heartbeat), so a cancel abandons the
+                # outstanding pooled stages at the next boundary; the
+                # ``except`` below force-terminates the pool, leaving nothing
+                # behind for the next schedule.
+                if cancel_token is not None:
+                    cancel_token.raise_if_cancelled(state.run)
                 now = time.monotonic()
                 while delayed and delayed[0][0] <= now:
                     _, _, node, inputs, attempt = heapq.heappop(delayed)

@@ -355,6 +355,18 @@ class ServiceConfig:
     #: job in the ``"partial"`` state with a canonical ``failures`` report
     #: section -- instead of failing the whole job.
     degrade_scenarios: bool = True
+    #: Default wall-clock budget per job, seconds (``None`` = unbounded;
+    #: per-submit override wins).  An over-deadline job is cooperatively
+    #: stopped at the next stage boundary, checkpointed, and finishes in
+    #: the ``"timeout"`` terminal state -- composing with (not replacing)
+    #: the per-*stage* deadlines of :attr:`retry`.
+    job_deadline_s: Optional[float] = None
+    #: Crash-loop guard: a checkpointed job recovered (i.e. found pending
+    #: and actually *started*) more than this many times is quarantined --
+    #: spec and partial progress kept on disk, terminal ``"quarantined"``
+    #: state -- instead of re-enqueued, so one poison job cannot take the
+    #: service down on every restart.
+    max_resume_attempts: int = 3
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:
@@ -367,3 +379,7 @@ class ServiceConfig:
             raise ValueError("retain_jobs must be >= 0")
         if self.max_queue_depth < 0:
             raise ValueError("max_queue_depth must be >= 0")
+        if self.job_deadline_s is not None and self.job_deadline_s <= 0:
+            raise ValueError("job_deadline_s must be positive (or None)")
+        if self.max_resume_attempts < 0:
+            raise ValueError("max_resume_attempts must be >= 0")

@@ -31,10 +31,12 @@ from .events import (
     CoverageDelta,
     EventReassembler,
     JobAccepted,
+    JobCancelled,
     JobCounters,
     JobEvent,
     JobFailed,
     JobFinished,
+    JobQuarantined,
     JobStarted,
     ScenarioCompleted,
     ScenarioFailed,
@@ -44,7 +46,14 @@ from .events import (
     StageRetrying,
     StageStarted,
 )
-from .queue import CampaignService, JobRecord, JobSpec
+from .queue import (
+    TERMINAL_STATES,
+    CampaignService,
+    JobRecord,
+    JobSpec,
+    QueueFullError,
+    ServiceStoppedError,
+)
 
 __all__ = [
     "CampaignService",
@@ -52,19 +61,24 @@ __all__ = [
     "CoverageDelta",
     "EventReassembler",
     "JobAccepted",
+    "JobCancelled",
     "JobCounters",
     "JobEvent",
     "JobFailed",
     "JobFinished",
+    "JobQuarantined",
     "JobRecord",
     "JobSpec",
     "JobStarted",
+    "QueueFullError",
     "ScenarioCompleted",
     "ScenarioFailed",
     "ScenarioPrepCache",
     "SectionCompleted",
+    "ServiceStoppedError",
     "StageFailed",
     "StageFinished",
     "StageRetrying",
     "StageStarted",
+    "TERMINAL_STATES",
 ]

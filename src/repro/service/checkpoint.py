@@ -5,6 +5,8 @@ Layout (everything under one root directory, one subdirectory per job)::
     <root>/<job_id>/spec.pkl      -- the pickled JobSpec (what was submitted)
     <root>/<job_id>/progress.pkl  -- canonical merged partials (resume point)
     <root>/<job_id>/report.json   -- final canonical report bytes
+    <root>/<job_id>/state.json    -- lifecycle record (terminal state,
+                                     resume-attempt counter, started flag)
 
 ``progress.pkl`` is **one** pickle dump of the run's ``{"store": ...,
 "expansions": ...}``.  The single dump matters: stage artifacts share
@@ -23,6 +25,17 @@ previous consistent snapshot in place.  :class:`CheckpointStore` is the
 seam the crash-injection suite subclasses to inject failures at exact
 checkpoint boundaries.
 
+``state.json`` is the durable job-*lifecycle* record (PR 10).  It carries
+three facts recovery needs that the other artifacts cannot express: the
+terminal state of a cancelled/timed-out/quarantined job (so a restart does
+not blindly resume a job the user stopped on purpose), the resume-attempt
+counter behind crash-loop quarantine, and a ``started`` flag distinguishing
+a job that actually began executing (and may have crashed the process) from
+one that merely waited in the queue behind it -- only started jobs burn
+resume attempts.  It is plain JSON, not pickle: human-inspectable during
+incident response, and a corrupt record degrades to "no lifecycle info"
+(the job resumes normally) rather than poisoning recovery.
+
 Pickled artifacts (spec, progress) are framed with a SHA-256 checksum so a
 corrupt or truncated blob -- a torn disk write, bit rot, a partial copy --
 is *detected* on load instead of crashing recovery deep inside the
@@ -34,6 +47,7 @@ recovery.  Unframed legacy blobs still load.
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
 import os
 import pickle
@@ -45,6 +59,7 @@ logger = logging.getLogger(__name__)
 SPEC_FILE = "spec.pkl"
 PROGRESS_FILE = "progress.pkl"
 REPORT_FILE = "report.json"
+STATE_FILE = "state.json"
 
 #: Frame layout: magic + 64 hex chars of sha256(payload) + newline + payload.
 CHECKSUM_MAGIC = b"repro-ckpt-v1\n"
@@ -166,6 +181,11 @@ class CheckpointStore:
             return None
         return snapshot
 
+    def has_progress(self, job_id: str) -> bool:
+        """Whether a resume point exists on disk (no unpickling; existence
+        only -- a corrupt snapshot still reads as ``None`` on load)."""
+        return self._path(job_id, PROGRESS_FILE).exists()
+
     def discard_progress(self, job_id: str) -> None:
         """Drop the resume point (the job finished; the report is durable)."""
         path = self._path(job_id, PROGRESS_FILE)
@@ -183,6 +203,70 @@ class CheckpointStore:
         if not path.exists():
             return None
         return path.read_bytes()
+
+    # -- lifecycle ----------------------------------------------------- #
+    def load_lifecycle(self, job_id: str) -> dict:
+        """The job's durable lifecycle record; ``{}`` if absent/corrupt.
+
+        Keys (all optional): ``state`` (a terminal state a restart must
+        honour -- ``"cancelled"``, ``"timeout"``, ``"quarantined"``),
+        ``reason``, ``resume_attempts`` (int), ``started`` (bool).
+        """
+        path = self._path(job_id, STATE_FILE)
+        if not path.exists():
+            return {}
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            logger.warning(
+                "checkpoint %s: unreadable lifecycle record (%s: %s); "
+                "treating the job as having no lifecycle history",
+                path,
+                type(error).__name__,
+                error,
+            )
+            return {}
+        if not isinstance(record, dict):
+            logger.warning(
+                "checkpoint %s: unexpected lifecycle shape; ignoring it", path
+            )
+            return {}
+        return record
+
+    def save_lifecycle(self, job_id: str, **fields) -> dict:
+        """Merge ``fields`` into the lifecycle record and persist it."""
+        record = self.load_lifecycle(job_id)
+        record.update(fields)
+        self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            self._path(job_id, STATE_FILE),
+            json.dumps(record, sort_keys=True).encode("utf-8"),
+        )
+        return record
+
+    def mark_started(self, job_id: str) -> None:
+        """Record that the job began executing (it now burns resume
+        attempts if the process dies before it finishes)."""
+        self.save_lifecycle(job_id, started=True)
+
+    def mark_state(self, job_id: str, state: str, reason: str = "") -> None:
+        """Persist a terminal lifecycle state a restart must honour."""
+        self.save_lifecycle(job_id, state=state, reason=reason)
+
+    def bump_resume_attempts(self, job_id: str) -> int:
+        """Count one recovery of a previously-*started* job; returns the
+        new total.  Clears ``started`` -- the attempt is only re-armed when
+        the resumed job actually begins executing again."""
+        attempts = int(self.load_lifecycle(job_id).get("resume_attempts", 0)) + 1
+        self.save_lifecycle(job_id, resume_attempts=attempts, started=False)
+        return attempts
+
+    def clear_lifecycle(self, job_id: str) -> None:
+        """Drop the lifecycle record (job finished, or an operator
+        explicitly resubmitted it with a fresh history)."""
+        path = self._path(job_id, STATE_FILE)
+        if path.exists():
+            path.unlink()
 
     # -- recovery ------------------------------------------------------ #
     def job_ids(self) -> list[str]:

@@ -204,7 +204,40 @@ class JobFailed(JobEvent):
     interrupted: bool = False
 
 
-TERMINAL_EVENTS = (JobFinished, JobFailed)
+@dataclass(frozen=True)
+class JobCancelled(JobEvent):
+    """The job was cooperatively stopped at a stage boundary.
+
+    ``reason`` distinguishes the three stop paths sharing this event:
+    ``"cancelled"`` (explicit :meth:`~repro.service.CampaignService.cancel`),
+    ``"timeout"`` (the job-level deadline fired; the record lands in the
+    ``"timeout"`` terminal state), and ``"shutdown"``
+    (``stop(mode="cancel")`` -- the job stays *pending* on disk and a
+    restart resumes it).  ``checkpointed`` says whether a resume point was
+    persisted at the stop, so a resubmission continues instead of
+    restarting.
+    """
+
+    reason: str = "cancelled"
+    checkpointed: bool = False
+
+
+@dataclass(frozen=True)
+class JobQuarantined(JobEvent):
+    """The job exceeded its crash-loop budget and will not be resumed.
+
+    Emitted at recovery when a previously-started job has been resumed
+    ``resume_attempts`` times against a ``limit`` of
+    :attr:`~repro.core.config.ServiceConfig.max_resume_attempts`.  Spec and
+    partial progress stay on disk for inspection; an operator can clear the
+    record with an explicit resume.
+    """
+
+    resume_attempts: int = 0
+    limit: int = 0
+
+
+TERMINAL_EVENTS = (JobFinished, JobFailed, JobCancelled, JobQuarantined)
 
 
 # --------------------------------------------------------------------- #

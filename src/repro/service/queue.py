@@ -25,6 +25,24 @@ uninterrupted run (``tests/service/test_checkpoint_resume.py``).
 Scenario keys are **deterministic** here (``<job_id>/s<i>:<name>``), unlike
 the invocation-unique keys of the one-shot runner: a resumed schedule must
 address the same artifacts the crashed one checkpointed.
+
+Job lifecycle (PR 10): every job moves through the state machine
+``queued -> running -> finished | partial | failed | cancelled | timeout |
+quarantined``.  :meth:`CampaignService.cancel` removes a queued job or
+cooperatively stops a running one (a :class:`~repro.campaign.scheduler.
+CancelToken` threaded into the scheduler's completion loop stops it at the
+next stage boundary, checkpointed); a job-level deadline
+(:attr:`~repro.core.config.ServiceConfig.job_deadline_s` or the per-submit
+override) takes the same path into the ``"timeout"`` state;
+``stop(mode="cancel", timeout_s=...)`` bounds shutdown by
+checkpoint-stopping the in-flight job (it stays *pending* on disk, so a
+restart resumes it); and recovery quarantines a job resumed more than
+:attr:`~repro.core.config.ServiceConfig.max_resume_attempts` times instead
+of letting a poison spec crash-loop the service.  Cancelled/timed-out jobs
+persist a terminal marker (``state.json``) so a restart surfaces them
+instead of silently resuming; an explicit :meth:`CampaignService.resume`
+clears the marker and re-runs from the checkpoint -- byte-identical to an
+uninterrupted run (``tests/service/test_lifecycle.py``).
 """
 
 from __future__ import annotations
@@ -49,8 +67,15 @@ from ..campaign.results import (
     canonical_failure,
     sort_failures,
 )
+from ..campaign.chaos import ServiceCrashError
 from ..campaign.runner import CampaignScenario
-from ..campaign.scheduler import PooledScheduler, SerialScheduler, StageObserver
+from ..campaign.scheduler import (
+    CancelToken,
+    PooledScheduler,
+    ScheduleCancelled,
+    SerialScheduler,
+    StageObserver,
+)
 from ..core.config import ServiceConfig
 from ..netlist.library import CellLibrary
 from .cache import ScenarioPrepCache
@@ -59,10 +84,12 @@ from .events import (
     TERMINAL_EVENTS,
     CoverageDelta,
     JobAccepted,
+    JobCancelled,
     JobCounters,
     JobEvent,
     JobFailed,
     JobFinished,
+    JobQuarantined,
     JobStarted,
     ScenarioCompleted,
     ScenarioFailed,
@@ -76,13 +103,58 @@ from .events import (
 
 _JOB_ID_PATTERN = re.compile(r"^job-(\d+)$")
 
+#: Every terminal state of the job state machine.  ``"partial"`` is a
+#: *successful* terminal state (degraded scenarios, canonical ``failures``
+#: report section); the last four are the PR-10 lifecycle states.
+TERMINAL_STATES = (
+    "finished",
+    "partial",
+    "failed",
+    "cancelled",
+    "timeout",
+    "quarantined",
+)
+
+
+class ServiceStoppedError(RuntimeError):
+    """Submission rejected because :meth:`CampaignService.stop` has begun.
+
+    Before this error existed a job enqueued behind the shutdown sentinel
+    was *accepted* but never executed -- stuck in ``"queued"`` forever.
+    """
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue is at capacity.
+
+    Carries ``depth`` (the configured
+    :attr:`~repro.core.config.ServiceConfig.max_queue_depth`) and ``qsize``
+    (the occupancy observed at submission), so callers can implement their
+    own backpressure; or pass ``submit(..., wait=True)`` to await capacity
+    instead of handling this error.
+    """
+
+    def __init__(self, depth: int, qsize: int) -> None:
+        super().__init__(
+            f"job queue is full (max_queue_depth={depth}, queued={qsize})"
+        )
+        self.depth = depth
+        self.qsize = qsize
+
 
 @dataclass(frozen=True)
 class JobSpec:
-    """The durable submission record: everything needed to (re-)run a job."""
+    """The durable submission record: everything needed to (re-)run a job.
+
+    ``deadline_s`` is the job's resolved wall-clock budget (per-submit
+    override, else the service default at submission time; ``None`` =
+    unbounded).  It lives in the spec so a restart enforces the same budget
+    the submitter asked for.
+    """
 
     job_id: str
     scenarios: tuple
+    deadline_s: Optional[float] = None
 
 
 class JobRecord:
@@ -96,7 +168,7 @@ class JobRecord:
     def __init__(self, spec: JobSpec) -> None:
         self.spec = spec
         self.job_id = spec.job_id
-        #: "queued" -> "running" -> "finished" | "partial" | "failed".
+        #: "queued" -> "running" -> one of :data:`TERMINAL_STATES`.
         #: "partial" is a *successful* terminal state in which one or more
         #: scenarios were degraded after exhausting their retries; the
         #: report carries their canonical failure records instead.
@@ -108,6 +180,12 @@ class JobRecord:
         self.error: Optional[str] = None
         self.resumed = False
         self.preloaded_stages = 0
+        #: The running job's cooperative-stop handle (set by the drain task
+        #: just before execution; ``None`` while queued/terminal).
+        self.cancel_token: Optional[CancelToken] = None
+        #: Open ``stream()`` iterators; a terminal record with subscribers
+        #: is never pruned (they'd hang on a dropped event log).
+        self.subscribers = 0
         self._seq = itertools.count()
         self._new_event = asyncio.Event()
 
@@ -116,7 +194,7 @@ class JobRecord:
 
     @property
     def done(self) -> bool:
-        return self.state in ("finished", "partial", "failed")
+        return self.state in TERMINAL_STATES
 
 
 class _JobEmitter:
@@ -174,6 +252,8 @@ class _JobObserver(StageObserver):
         job_id: str,
         checkpoint_every: int,
         scenario_keys: Optional[dict] = None,
+        cancel_token: Optional[CancelToken] = None,
+        lifecycle_chaos=None,
     ) -> None:
         self._emitter = emitter
         #: ``(scenario name, artifact-key mapping)`` per scenario, in
@@ -185,6 +265,11 @@ class _JobObserver(StageObserver):
         #: scenario name -> scenario graph key, for canonical failure
         #: records (the scenario prefix is stripped from failing stages).
         self._scenario_keys = dict(scenario_keys or {})
+        self._cancel_token = cancel_token
+        #: Optional :class:`~repro.campaign.chaos.LifecycleChaosPlan`:
+        #: service-tier fault injection (cancel / deadline / crash) at the
+        #: exact stage boundaries the lifecycle machinery acts on.
+        self._lifecycle_chaos = lifecycle_chaos
         self._since_save = 0
         self._run = None
 
@@ -204,6 +289,7 @@ class _JobObserver(StageObserver):
         self._emitter.emit(
             StageStarted, stage=node.key, phase=node.phase, scenario=node.scenario
         )
+        self._inject_lifecycle(node, "start")
 
     def on_stage_finish(self, node, value, seconds: float) -> None:
         self._emitter.emit(
@@ -219,6 +305,25 @@ class _JobObserver(StageObserver):
             if self._since_save >= self._checkpoint_every:
                 self._checkpoints.save_progress(self._job_id, self._run)
                 self._since_save = 0
+        # After the checkpoint write, so an injected crash/cancel lands in
+        # the worst spot: progress durable, stage done, job not finished.
+        self._inject_lifecycle(node, "finish")
+
+    def _inject_lifecycle(self, node, event: str) -> None:
+        """Apply a service-tier chaos action at this stage boundary."""
+        if self._lifecycle_chaos is None:
+            return
+        action = self._lifecycle_chaos.action_for(node.key, event)
+        if action is None:
+            return
+        if action == "crash":
+            raise ServiceCrashError(
+                f"injected service crash at {node.key} ({event})"
+            )
+        if self._cancel_token is not None:
+            self._cancel_token.cancel(
+                "timeout" if action == "deadline" else "cancelled"
+            )
 
     def on_stage_error(self, node, error: BaseException) -> None:
         self._emitter.emit(
@@ -304,11 +409,16 @@ class CampaignService:
         service_config: Optional[ServiceConfig] = None,
         mp_context=None,
         chaos=None,
+        lifecycle_chaos=None,
     ) -> None:
         self.num_workers = num_workers
         #: Optional :class:`~repro.campaign.chaos.ChaosPlan` threaded into
         #: every job's scheduler (testing/fault-drill hook; None in prod).
         self.chaos = chaos
+        #: Optional :class:`~repro.campaign.chaos.LifecycleChaosPlan`:
+        #: service-tier injections (cancel/deadline/crash at stage
+        #: boundaries) driving the lifecycle test suite; None in prod.
+        self.lifecycle_chaos = lifecycle_chaos
         self.fault_shards = (
             fault_shards if fault_shards is not None else max(1, num_workers)
         )
@@ -326,6 +436,16 @@ class CampaignService:
         self._drain_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._job_counter = itertools.count(1)
+        #: True once stop() has begun: submissions are rejected with
+        #: ServiceStoppedError instead of stranding behind the sentinel.
+        self._stopping = False
+        #: True in stop(mode="cancel"): the drain skips still-queued jobs
+        #: (they stay pending on disk; a restart resumes them).
+        self._stop_cancel = False
+        #: The record currently executing in the worker thread, if any.
+        self._current: Optional[JobRecord] = None
+        #: Set whenever queue occupancy drops; submit(wait=True) awaits it.
+        self._capacity: Optional[asyncio.Event] = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -333,14 +453,24 @@ class CampaignService:
     async def start(self) -> list[str]:
         """Start draining; recover and re-enqueue checkpointed pending jobs.
 
-        Returns the recovered job ids (oldest first).  Recovered jobs run
+        Returns the re-enqueued job ids (oldest first).  Recovered jobs run
         before anything submitted afterwards and resume from their last
-        progress snapshot.
+        progress snapshot.  Jobs whose durable lifecycle record says they
+        were cancelled or timed out are surfaced as terminal records (not
+        resumed -- an explicit :meth:`resume` restarts them); a job
+        recovered-and-started more than
+        :attr:`~repro.core.config.ServiceConfig.max_resume_attempts` times
+        is quarantined instead of re-enqueued, so a poison spec cannot
+        crash-loop the service.
         """
         if self._drain_task is not None:
             raise RuntimeError("service already started")
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue()
+        self._capacity = asyncio.Event()
+        self._stopping = False
+        self._stop_cancel = False
+        self._current = None
         recovered: list[str] = []
         if self.checkpoints is not None:
             highest = 0
@@ -354,7 +484,6 @@ class CampaignService:
                 if spec is None:
                     continue
                 record = JobRecord(spec)
-                record.resumed = True
                 self._jobs[job_id] = record
                 self._record_event(
                     record,
@@ -364,19 +493,98 @@ class CampaignService:
                         position=self._queue.qsize(),
                     ),
                 )
+                lifecycle = self.checkpoints.load_lifecycle(job_id)
+                state = lifecycle.get("state")
+                if state in ("cancelled", "timeout"):
+                    # Stopped on purpose: surface the terminal record, keep
+                    # the checkpoint, and wait for an explicit resume().
+                    self._record_event(
+                        record,
+                        JobCancelled(
+                            job_id=job_id,
+                            seq=record.next_seq(),
+                            reason=lifecycle.get("reason") or state,
+                            checkpointed=self.checkpoints.has_progress(job_id),
+                        ),
+                    )
+                    continue
+                attempts = int(lifecycle.get("resume_attempts", 0))
+                if state != "quarantined" and lifecycle.get("started"):
+                    # The previous run *began executing* and never reached a
+                    # terminal state: this recovery burns a resume attempt.
+                    # Jobs that merely waited in the queue don't.
+                    attempts = self.checkpoints.bump_resume_attempts(job_id)
+                if state == "quarantined" or attempts > self.config.max_resume_attempts:
+                    if state != "quarantined":
+                        self.checkpoints.mark_state(
+                            job_id, "quarantined", "crash-loop"
+                        )
+                    self._record_event(
+                        record,
+                        JobQuarantined(
+                            job_id=job_id,
+                            seq=record.next_seq(),
+                            resume_attempts=attempts,
+                            limit=self.config.max_resume_attempts,
+                        ),
+                    )
+                    continue
+                record.resumed = True
                 self._queue.put_nowait(record)
                 recovered.append(job_id)
         self._drain_task = asyncio.create_task(self._drain())
         return recovered
 
-    async def stop(self) -> None:
-        """Drain the queue to completion, then stop (idempotent)."""
+    async def stop(
+        self, mode: str = "drain", timeout_s: Optional[float] = None
+    ) -> None:
+        """Stop the service (idempotent); submissions are rejected at once.
+
+        ``mode="drain"`` (default) keeps the historical semantics: every
+        queued job runs to completion first.  ``mode="cancel"`` bounds
+        shutdown instead: the in-flight job is cooperatively stopped at its
+        next stage boundary and checkpointed, still-queued jobs are skipped
+        -- both stay *pending* on disk (no terminal marker), so the next
+        :meth:`start` resumes them where they left off.
+
+        ``timeout_s`` bounds the wait.  A drain that overruns it escalates
+        to the cancel path and waits one more ``timeout_s``; if the stop
+        still hasn't completed (a stage blocking past every deadline),
+        ``asyncio.TimeoutError`` propagates with the drain task intact --
+        call ``stop()`` again to keep waiting.
+        """
+        if mode not in ("drain", "cancel"):
+            raise ValueError(f"unknown stop mode {mode!r}")
         if self._drain_task is None:
             return
         assert self._queue is not None
-        self._queue.put_nowait(None)
-        await self._drain_task
+        if not self._stopping:
+            self._stopping = True
+            self._queue.put_nowait(None)
+            self._notify_capacity()  # wake submit(wait=True) waiters
+        if mode == "cancel":
+            self._begin_stop_cancel()
+        drain = self._drain_task
+        if timeout_s is None:
+            await drain
+        else:
+            try:
+                await asyncio.wait_for(asyncio.shield(drain), timeout_s)
+            except asyncio.TimeoutError:
+                if self._stop_cancel:
+                    raise
+                self._begin_stop_cancel()
+                await asyncio.wait_for(asyncio.shield(drain), timeout_s)
         self._drain_task = None
+
+    def _begin_stop_cancel(self) -> None:
+        """Switch shutdown to the cancel path (loop thread only)."""
+        self._stop_cancel = True
+        current = self._current
+        if current is not None and current.cancel_token is not None:
+            # "shutdown" deliberately writes NO terminal marker: the job
+            # stays pending on disk and the next start() resumes it.
+            current.cancel_token.cancel("shutdown")
 
     # ------------------------------------------------------------------ #
     # Submission / observation
@@ -385,10 +593,23 @@ class CampaignService:
         self,
         scenarios: Iterable[CampaignScenario],
         job_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        wait: bool = False,
     ) -> str:
-        """Queue a campaign; returns its job id immediately."""
+        """Queue a campaign; returns its job id immediately.
+
+        ``deadline_s`` overrides the service-wide
+        :attr:`~repro.core.config.ServiceConfig.job_deadline_s` wall-clock
+        budget for this job.  With a bounded queue, ``wait=True`` awaits
+        capacity instead of raising :class:`QueueFullError`.  Raises
+        :class:`ServiceStoppedError` once :meth:`stop` has begun.
+        """
         if self._queue is None:
             raise RuntimeError("service not started; await service.start() first")
+        if self._stopping:
+            raise ServiceStoppedError("service is stopping; submission rejected")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
         scenarios = tuple(scenarios)
         if not scenarios:
             raise ValueError("a job needs at least one scenario")
@@ -405,17 +626,119 @@ class CampaignService:
                 "report's degraded-scenario section"
             )
         depth = self.config.max_queue_depth
-        if depth and self._queue.qsize() >= depth:
-            raise RuntimeError(f"job queue is full (max_queue_depth={depth})")
+        if depth:
+            if wait:
+                # Everything that changes qsize runs on this loop thread and
+                # sets _capacity afterwards, so clear-then-wait cannot lose
+                # a wakeup.
+                while self._queue.qsize() >= depth:
+                    assert self._capacity is not None
+                    self._capacity.clear()
+                    await self._capacity.wait()
+                    if self._stopping:
+                        raise ServiceStoppedError(
+                            "service stopped while awaiting queue capacity"
+                        )
+            elif self._queue.qsize() >= depth:
+                raise QueueFullError(depth=depth, qsize=self._queue.qsize())
         if job_id is None:
             job_id = f"job-{next(self._job_counter):06d}"
         if job_id in self._jobs:
             raise ValueError(f"duplicate job id {job_id!r}")
-        spec = JobSpec(job_id=job_id, scenarios=scenarios)
+        if deadline_s is None:
+            deadline_s = self.config.job_deadline_s
+        spec = JobSpec(job_id=job_id, scenarios=scenarios, deadline_s=deadline_s)
         record = JobRecord(spec)
         self._jobs[job_id] = record
         if self.checkpoints is not None:
             self.checkpoints.save_spec(job_id, spec)
+        self._record_event(
+            record,
+            JobAccepted(
+                job_id=job_id, seq=record.next_seq(), position=self._queue.qsize()
+            ),
+        )
+        self._queue.put_nowait(record)
+        return job_id
+
+    async def cancel(self, job_id: str) -> bool:
+        """Cancel a queued or running job; ``False`` if already terminal.
+
+        A queued job becomes ``"cancelled"`` immediately (the drain skips
+        its record).  A running job is stopped *cooperatively*: its
+        :class:`~repro.campaign.scheduler.CancelToken` is latched and the
+        scheduler raises out of its completion loop at the next stage
+        boundary -- in-flight pool stages are abandoned, the pool stays
+        healthy, and the job checkpoints its progress before landing in
+        ``"cancelled"`` with a :class:`~repro.service.events.JobCancelled`
+        event.  Await :meth:`wait` for the terminal state; :meth:`resume`
+        restarts from the checkpoint, byte-identical to a clean run.
+        """
+        record = self.job(job_id)
+        if record.done:
+            return False
+        if record.state == "queued":
+            # Terminal marker first: if we die between these two writes the
+            # restart still honours the cancellation.
+            if self.checkpoints is not None:
+                self.checkpoints.mark_state(job_id, "cancelled", "cancelled")
+            self._record_event(
+                record,
+                JobCancelled(
+                    job_id=job_id,
+                    seq=record.next_seq(),
+                    reason="cancelled",
+                    checkpointed=False,
+                ),
+            )
+            return True
+        token = record.cancel_token
+        if token is None:  # pragma: no cover - running implies a token
+            return False
+        token.cancel("cancelled")
+        return True
+
+    async def resume(
+        self, job_id: str, deadline_s: Optional[float] = None
+    ) -> str:
+        """Re-enqueue a terminal (cancelled/timed-out/failed/quarantined)
+        job; it resumes from its checkpoint.
+
+        This is the explicit operator override: it clears the durable
+        lifecycle record (terminal marker *and* resume-attempt counter), so
+        it also releases a quarantined job for one more supervised run.
+        ``deadline_s`` replaces the job's persisted deadline (``None``
+        keeps it).  Returns the job id.
+        """
+        if self._queue is None:
+            raise RuntimeError("service not started; await service.start() first")
+        if self._stopping:
+            raise ServiceStoppedError("service is stopping; resume rejected")
+        old = self._jobs.get(job_id)
+        if old is not None and not old.done:
+            raise ValueError(f"job {job_id!r} is {old.state}; nothing to resume")
+        spec = self.checkpoints.load_spec(job_id) if self.checkpoints else None
+        if spec is None and old is not None:
+            spec = old.spec
+        if spec is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if deadline_s is not None:
+            if deadline_s <= 0:
+                raise ValueError("deadline_s must be positive")
+            # Rebuild rather than dataclasses.replace: a legacy pickled
+            # spec may predate the deadline_s field.
+            spec = JobSpec(
+                job_id=spec.job_id,
+                scenarios=spec.scenarios,
+                deadline_s=deadline_s,
+            )
+        record = JobRecord(spec)
+        record.resumed = True
+        self._jobs[job_id] = record
+        if self.checkpoints is not None:
+            self.checkpoints.clear_lifecycle(job_id)
+            if deadline_s is not None:
+                self.checkpoints.save_spec(job_id, spec)
         self._record_event(
             record,
             JobAccepted(
@@ -438,17 +761,21 @@ class CampaignService:
         the log first) and terminates after the job's terminal event.
         """
         record = self.job(job_id)
-        index = 0
-        while True:
-            record._new_event.clear()
-            if index < len(record.events):
-                event = record.events[index]
-                index += 1
-                yield event
-                if isinstance(event, TERMINAL_EVENTS):
-                    return
-                continue
-            await record._new_event.wait()
+        record.subscribers += 1
+        try:
+            index = 0
+            while True:
+                record._new_event.clear()
+                if index < len(record.events):
+                    event = record.events[index]
+                    index += 1
+                    yield event
+                    if isinstance(event, TERMINAL_EVENTS):
+                        return
+                    continue
+                await record._new_event.wait()
+        finally:
+            record.subscribers -= 1
 
     async def wait(self, job_id: str) -> JobRecord:
         """Block until the job reaches a terminal state; returns its record."""
@@ -478,6 +805,7 @@ class CampaignService:
 
         return {
             "queued": self._queue.qsize() if self._queue is not None else 0,
+            "stopping": self._stopping,
             "jobs": {
                 job_id: record.state for job_id, record in sorted(self._jobs.items())
             },
@@ -502,10 +830,32 @@ class CampaignService:
             try:
                 if record is None:
                     return
-                await asyncio.to_thread(self._execute_job, record)
+                # Cancelled-while-queued records stay in the queue but are
+                # already terminal; in stop(mode="cancel") every queued job
+                # is skipped (still pending on disk -> a restart resumes).
+                if record.done or self._stop_cancel:
+                    continue
+                # Synchronously on the loop thread, before the worker
+                # thread exists: cancel() observing "queued" may safely
+                # terminalize the record, and observing "running" has a
+                # token to latch -- no window between the two.
+                record.state = "running"
+                record.cancel_token = CancelToken()
+                self._current = record
+                try:
+                    await asyncio.to_thread(self._execute_job, record)
+                finally:
+                    self._current = None
+                    record.cancel_token = None
             finally:
                 self._queue.task_done()
+                self._notify_capacity()
                 self._prune_records()
+
+    def _notify_capacity(self) -> None:
+        """Wake submit(wait=True) waiters after occupancy drops."""
+        if self._capacity is not None:
+            self._capacity.set()
 
     def _record_event(self, record: JobRecord, event: JobEvent) -> None:
         """Append one event (event-loop thread only) and wake subscribers."""
@@ -521,15 +871,25 @@ class CampaignService:
         elif isinstance(event, JobFailed):
             record.state = "failed"
             record.error = event.error
+        elif isinstance(event, JobCancelled):
+            record.state = "timeout" if event.reason == "timeout" else "cancelled"
+        elif isinstance(event, JobQuarantined):
+            record.state = "quarantined"
         record._new_event.set()
 
     def _prune_records(self) -> None:
         """Forget the oldest terminal jobs beyond ``retain_jobs``.
 
         Only in-memory records are pruned; checkpointed reports stay on
-        disk and remain readable through :meth:`report_bytes`.
+        disk and remain readable through :meth:`report_bytes`.  A record
+        with an open :meth:`stream` subscriber is never evicted -- the
+        subscriber would hang mid-replay on a dropped event log.
         """
-        done = [job_id for job_id, record in self._jobs.items() if record.done]
+        done = [
+            job_id
+            for job_id, record in self._jobs.items()
+            if record.done and record.subscribers == 0
+        ]
         excess = len(done) - self.config.retain_jobs
         for job_id in done[:max(0, excess)]:
             del self._jobs[job_id]
@@ -547,7 +907,18 @@ class CampaignService:
         )
         start = time.perf_counter()
         scenario_keys: list[str] = []
+        token = record.cancel_token or CancelToken()
+        # Per-execution wall-clock budget (per-submit override baked into
+        # the spec at submission; config default covers legacy specs).
+        deadline_s = getattr(record.spec, "deadline_s", None)
+        if deadline_s is None:
+            deadline_s = self.config.job_deadline_s
+        token.arm_deadline(deadline_s)
         try:
+            if self.checkpoints is not None:
+                # From here on, dying without a terminal state burns one of
+                # the job's resume attempts at the next recovery.
+                self.checkpoints.mark_started(record.job_id)
             nodes = []
             scenario_meta = []
             preloads: dict[str, object] = {}
@@ -602,6 +973,8 @@ class CampaignService:
                 job_id=record.job_id,
                 checkpoint_every=self.config.checkpoint_every,
                 scenario_keys=key_by_name,
+                cancel_token=token,
+                lifecycle_chaos=self.lifecycle_chaos,
             )
             if self.num_workers >= 2:
                 scheduler = PooledScheduler(
@@ -623,6 +996,7 @@ class CampaignService:
                     observer=observer,
                     preloaded=preloads,
                     expansions=expansions,
+                    cancel_token=token,
                 )
             finally:
                 release_scenario_engines(scenario_keys)
@@ -658,12 +1032,34 @@ class CampaignService:
             if self.checkpoints is not None:
                 self.checkpoints.save_report(record.job_id, report)
                 self.checkpoints.discard_progress(record.job_id)
+                self.checkpoints.clear_lifecycle(record.job_id)
             emitter.emit(
                 JobFinished,
                 scenarios=tuple(sorted(results)),
                 checksum=report_checksum(report),
                 partial=bool(failures),
                 failed_scenarios=tuple(sorted(failures)),
+            )
+        except ScheduleCancelled as stop:
+            # Cooperative stop at a stage boundary: checkpoint whatever the
+            # half-finished run merged so far, then record the terminal
+            # state.  reason "shutdown" (stop(mode="cancel")) writes NO
+            # terminal marker -- the job stays pending on disk and the next
+            # start() resumes it; user cancels and deadline timeouts write
+            # one, so a restart surfaces them instead of resuming.
+            checkpointed = False
+            if self.checkpoints is not None:
+                if stop.run is not None:
+                    self.checkpoints.save_progress(record.job_id, stop.run)
+                    checkpointed = True
+                if stop.reason != "shutdown":
+                    self.checkpoints.mark_state(
+                        record.job_id,
+                        "timeout" if stop.reason == "timeout" else "cancelled",
+                        stop.reason,
+                    )
+            emitter.emit(
+                JobCancelled, reason=stop.reason, checkpointed=checkpointed
             )
         except BaseException as error:
             # With a checkpoint store the failure is resumable: the spec and
